@@ -1,0 +1,304 @@
+package pardis
+
+// The benchmark harness regenerating the paper's evaluation. One benchmark
+// per table and figure (see DESIGN.md's per-experiment index):
+//
+//	BenchmarkTable1Centralized  — Table 1, simulated 1997 platform
+//	BenchmarkTable2Multiport    — Table 2, simulated 1997 platform
+//	BenchmarkFigure4Bandwidth   — Figure 4, simulated 1997 platform
+//	BenchmarkUnevenSplit        — the §3.3 uneven-split check
+//	BenchmarkRealTransfer       — both methods on the real stack (loopback)
+//
+// plus ablation benchmarks for the design choices DESIGN.md calls out
+// (chunk size, send window, gather algorithm) and micro-benchmarks of the
+// hot substrate paths (CDR block marshalling, redistribution planning, RTS
+// collectives).
+//
+// Simulated results are reported as custom metrics (ms/invocation and
+// MB/s); they are deterministic, so b.N loops measure only the simulator
+// itself while the metrics carry the reproduced values.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/rts"
+)
+
+// BenchmarkTable1Centralized regenerates the paper's Table 1: centralized
+// argument transfer of a 2^19-double sequence across the c × s grid.
+func BenchmarkTable1Centralized(b *testing.B) {
+	p := exp.PaperPlatform()
+	for _, s := range exp.Table1ServerCounts {
+		for _, c := range exp.Table1ClientCounts {
+			b.Run(fmt.Sprintf("c=%d/s=%d", c, s), func(b *testing.B) {
+				var bd exp.Breakdown
+				for i := 0; i < b.N; i++ {
+					var err error
+					bd, err = exp.SimulateCentralized(p, c, s, exp.PaperElems)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(bd.Total*1e3, "ms/invocation")
+				b.ReportMetric(bd.Gather*1e3, "ms-gather")
+				b.ReportMetric(bd.Scatter*1e3, "ms-scatter")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Multiport regenerates the paper's Table 2: multi-port
+// argument transfer across the c × s grid.
+func BenchmarkTable2Multiport(b *testing.B) {
+	p := exp.PaperPlatform()
+	for _, s := range exp.Table2ServerCounts {
+		for _, c := range exp.Table2ClientCounts {
+			b.Run(fmt.Sprintf("c=%d/s=%d", c, s), func(b *testing.B) {
+				var bd exp.Breakdown
+				for i := 0; i < b.N; i++ {
+					var err error
+					bd, err = exp.SimulateMultiport(p, c, s, exp.PaperElems)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(bd.Total*1e3, "ms/invocation")
+				b.ReportMetric(bd.Barrier*1e3, "ms-barrier")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4Bandwidth regenerates the paper's Figure 4: effective
+// bandwidth of both methods over the 10^1..10^7-double sweep.
+func BenchmarkFigure4Bandwidth(b *testing.B) {
+	p := exp.PaperPlatform()
+	for _, n := range exp.Figure4Lengths {
+		b.Run(fmt.Sprintf("doubles=%d", n), func(b *testing.B) {
+			var bc, bm exp.Breakdown
+			for i := 0; i < b.N; i++ {
+				var err error
+				bc, err = exp.SimulateCentralized(p, exp.Figure4Client, exp.Figure4Server, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bm, err = exp.SimulateMultiport(p, exp.Figure4Client, exp.Figure4Server, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bc.Bandwidth(n*8)/1e6, "MBps-centralized")
+			b.ReportMetric(bm.Bandwidth(n*8)/1e6, "MBps-multiport")
+		})
+	}
+}
+
+// BenchmarkUnevenSplit regenerates the §3.3 check that uneven distribution
+// splits cost about the same as even ones.
+func BenchmarkUnevenSplit(b *testing.B) {
+	p := exp.PaperPlatform()
+	var even, uneven exp.Breakdown
+	for i := 0; i < b.N; i++ {
+		var err error
+		even, uneven, err = exp.UnevenSplit(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(even.Total*1e3, "ms-even")
+	b.ReportMetric(uneven.Total*1e3, "ms-uneven")
+}
+
+// BenchmarkRealTransfer measures both transfer methods on the real PARDIS
+// stack over loopback TCP: the measured counterpart of Tables 1/2 (shape
+// comparison only; absolute values reflect this machine).
+func BenchmarkRealTransfer(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real stack benchmark in -short mode")
+	}
+	const elems = 1 << 17 // 1 MiB of doubles
+	for _, method := range []core.Method{core.Centralized, core.Multiport} {
+		b.Run(method.String(), func(b *testing.B) {
+			bd, err := exp.RunReal(exp.RealConfig{C: 4, S: 4, Elems: elems, Reps: b.N, Method: method})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(elems * 8)
+			b.ReportMetric(bd.Total*1e3, "ms/invocation")
+		})
+	}
+}
+
+// BenchmarkAblationChunking varies the transfer chunk size: the pipelining
+// granularity trade-off behind the platform's 64 KiB default.
+func BenchmarkAblationChunking(b *testing.B) {
+	for _, chunk := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("chunk=%dKiB", chunk>>10), func(b *testing.B) {
+			p := exp.PaperPlatform()
+			p.ChunkBytes = chunk
+			var bd exp.Breakdown
+			for i := 0; i < b.N; i++ {
+				var err error
+				bd, err = exp.SimulateMultiport(p, 4, 4, exp.PaperElems)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bd.Total*1e3, "ms/invocation")
+		})
+	}
+}
+
+// BenchmarkAblationWindow varies the per-flow send window: window 1 is the
+// fully synchronous rendezvous, large windows approximate asynchronous
+// buffering.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, win := range []int{1, 2, 4, 16, 64} {
+		b.Run(fmt.Sprintf("window=%d", win), func(b *testing.B) {
+			p := exp.PaperPlatform()
+			p.Window = win
+			var bd exp.Breakdown
+			for i := 0; i < b.N; i++ {
+				var err error
+				bd, err = exp.SimulateMultiport(p, 4, 2, exp.PaperElems)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bd.Total*1e3, "ms/invocation")
+		})
+	}
+}
+
+// BenchmarkAblationGatherTree compares the RTS gather algorithms (flat
+// centralized receive vs binomial tree) on the real run-time system.
+func BenchmarkAblationGatherTree(b *testing.B) {
+	for _, alg := range []struct {
+		name string
+		alg  rts.GatherAlgorithm
+	}{{"flat", rts.GatherFlat}, {"binomial", rts.GatherBinomial}} {
+		for _, ranks := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", alg.name, ranks), func(b *testing.B) {
+				w := rts.NewWorld(ranks, rts.Options{RecvTimeout: 30 * time.Second, Gather: alg.alg})
+				defer w.Close()
+				payload := make([]byte, 64<<10)
+				b.SetBytes(int64(len(payload) * ranks))
+				b.ResetTimer()
+				err := w.Run(func(c *rts.Comm) error {
+					for i := 0; i < b.N; i++ {
+						if _, err := c.Gather(0, payload); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCDRDoubles measures the marshalling hot path: block encoding of
+// double sequences (the paper's argument type).
+func BenchmarkCDRDoubles(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 19} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		b.Run(fmt.Sprintf("encode/n=%d", n), func(b *testing.B) {
+			e := cdr.NewEncoder(cdr.NativeOrder)
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				e.Reset()
+				e.WriteDoubles(vals)
+			}
+		})
+		b.Run(fmt.Sprintf("decode/n=%d", n), func(b *testing.B) {
+			e := cdr.NewEncoder(cdr.NativeOrder)
+			e.WriteDoubles(vals)
+			buf := e.Bytes()
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				d := cdr.NewDecoder(buf, cdr.NativeOrder)
+				if _, err := d.ReadDoubles(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlan measures redistribution planning, the per-invocation
+// control-path cost of the multi-port method.
+func BenchmarkPlan(b *testing.B) {
+	for _, cfg := range []struct{ c, s int }{{4, 8}, {8, 4}, {16, 16}} {
+		b.Run(fmt.Sprintf("c=%d/s=%d", cfg.c, cfg.s), func(b *testing.B) {
+			src, err := dist.Block{}.Layout(exp.PaperElems, cfg.c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst, err := dist.Block{}.Layout(exp.PaperElems, cfg.s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.Plan(src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRTSCollectives measures the goroutine run-time system's
+// collective primitives that the centralized method leans on.
+func BenchmarkRTSCollectives(b *testing.B) {
+	const ranks = 8
+	payload := make([]byte, 64<<10)
+	for _, op := range []string{"barrier", "bcast", "alltoall"} {
+		b.Run(op, func(b *testing.B) {
+			w := rts.NewWorld(ranks, rts.Options{RecvTimeout: 30 * time.Second})
+			defer w.Close()
+			b.ResetTimer()
+			err := w.Run(func(c *rts.Comm) error {
+				for i := 0; i < b.N; i++ {
+					switch op {
+					case "barrier":
+						if err := c.Barrier(); err != nil {
+							return err
+						}
+					case "bcast":
+						var in []byte
+						if c.Rank() == 0 {
+							in = payload
+						}
+						if _, err := c.Bcast(0, in); err != nil {
+							return err
+						}
+					case "alltoall":
+						parts := make([][]byte, ranks)
+						for r := range parts {
+							parts[r] = payload[:1024]
+						}
+						if _, err := c.Alltoall(parts); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

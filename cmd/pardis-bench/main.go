@@ -1,0 +1,89 @@
+// Command pardis-bench regenerates the paper's evaluation: Table 1
+// (centralized argument transfer), Table 2 (multi-port argument transfer),
+// the §3.3 uneven-split check, and Figure 4 (effective bandwidth versus
+// sequence length), on the discrete-event model of the 1997 platform and —
+// optionally — on the real PARDIS stack over loopback TCP.
+//
+// Usage:
+//
+//	pardis-bench                  # all simulated experiments
+//	pardis-bench -table 1         # just Table 1
+//	pardis-bench -table 2         # just Table 2
+//	pardis-bench -table uneven    # the uneven-split check
+//	pardis-bench -figure 4        # just Figure 4
+//	pardis-bench -real -c 4 -s 4 -elems 262144 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	table := flag.String("table", "", "regenerate one table: 1, 2, or uneven")
+	figure := flag.String("figure", "", "regenerate one figure: 4")
+	real := flag.Bool("real", false, "measure the real stack over loopback instead of simulating")
+	c := flag.Int("c", 4, "(real mode) client computing threads")
+	s := flag.Int("s", 4, "(real mode) server computing threads")
+	elems := flag.Int("elems", 1<<18, "(real mode) sequence length in doubles")
+	reps := flag.Int("reps", 5, "(real mode) repetitions")
+	flag.Parse()
+
+	if *real {
+		runReal(*c, *s, *elems, *reps)
+		return
+	}
+	p := exp.PaperPlatform()
+	all := *table == "" && *figure == ""
+
+	if all || *table == "1" {
+		rows, err := exp.Table1(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(exp.FormatTable1(rows))
+		fmt.Println()
+	}
+	if all || *table == "2" {
+		rows, err := exp.Table2(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(exp.FormatTable2(rows))
+		fmt.Println()
+	}
+	if all || *table == "uneven" {
+		even, uneven, err := exp.UnevenSplit(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Uneven split check (§3.3, c=3 s=5, %d doubles):\n", exp.PaperElems)
+		fmt.Printf("  even    total %7.1f ms\n", even.Total*1e3)
+		fmt.Printf("  uneven  total %7.1f ms (ratio %.2f — \"of comparable efficiency\")\n",
+			uneven.Total*1e3, uneven.Total/even.Total)
+		fmt.Println()
+	}
+	if all || *figure == "4" {
+		pts, err := exp.Figure4(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(exp.FormatFigure4(pts, exp.Figure4Client, exp.Figure4Server))
+	}
+}
+
+func runReal(c, s, elems, reps int) {
+	fmt.Printf("real stack over loopback: c=%d s=%d, %d doubles, %d reps\n", c, s, elems, reps)
+	central, multi, err := exp.RunRealComparison(c, s, elems, reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  centralized  total %8.3f ms (gather %6.3f, scatter %6.3f)\n",
+		central.Total*1e3, central.Gather*1e3, central.Scatter*1e3)
+	fmt.Printf("  multi-port   total %8.3f ms (pack %6.3f, barrier %6.3f)\n",
+		multi.Total*1e3, multi.Pack*1e3, multi.Barrier*1e3)
+	fmt.Printf("  speedup %.2fx\n", central.Total/multi.Total)
+}

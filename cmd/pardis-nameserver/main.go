@@ -1,0 +1,55 @@
+// Command pardis-nameserver runs the PARDIS naming service: the daemon that
+// gives _bind and _spmd_bind their naming domain (paper §2.1).
+//
+// Usage:
+//
+//	pardis-nameserver [-addr 127.0.0.1:7566] [-v]
+//
+// The service is itself a PARDIS object (key "NameService"), so any PARDIS
+// client can also resolve, bind and list names programmatically through
+// naming.Resolver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/naming"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7566", "listen address")
+	verbose := flag.Bool("v", false, "periodically print the bound names")
+	flag.Parse()
+
+	srv, err := naming.NewServer(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("pardis-nameserver listening on %s\n", srv.Addr())
+	fmt.Printf("service reference: %s\n", srv.Ref())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	if *verbose {
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				names := srv.List()
+				fmt.Printf("[%s] %d name(s) bound: %v\n", time.Now().Format(time.TimeOnly), len(names), names)
+			case <-stop:
+				fmt.Println("shutting down")
+				return
+			}
+		}
+	}
+	<-stop
+	fmt.Println("shutting down")
+}

@@ -1,0 +1,105 @@
+// Command pardis-wiredump decodes PGIOP wire data: a stream of framed
+// messages (as captured from a connection) or a single stringified object
+// reference.
+//
+// Usage:
+//
+//	pardis-wiredump capture.bin        # decode framed messages from a file
+//	pardis-wiredump -                  # ... from stdin
+//	pardis-wiredump -ior IOR:00a1...   # pretty-print an object reference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/orb"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	ior := flag.String("ior", "", "decode a stringified object reference instead of a stream")
+	flag.Parse()
+
+	if *ior != "" {
+		ref, err := orb.ParseIOR(*ior)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("type id:  %s\n", ref.TypeID)
+		fmt.Printf("key:      %q\n", ref.Key)
+		fmt.Printf("threads:  %d\n", ref.Threads)
+		fmt.Printf("multiport: %v\n", ref.Multiport())
+		for _, ep := range ref.Endpoints {
+			fmt.Printf("  thread %d at %s\n", ep.Rank, ep.Addr())
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pardis-wiredump [-ior IOR:...] <file|->")
+		os.Exit(2)
+	}
+	var r io.ReadCloser
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r = f
+	}
+	defer r.Close()
+
+	conn := transport.NewConn(readOnly{r}, nil)
+	for i := 0; ; i++ {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			if i == 0 {
+				log.Fatalf("no messages decoded: %v", err)
+			}
+			fmt.Printf("-- end of stream after %d message(s) (%v)\n", i, err)
+			return
+		}
+		dump(i, msg)
+	}
+}
+
+func dump(i int, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Request:
+		fmt.Printf("[%d] Request id=%d op=%q key=%q response=%v args=%dB\n",
+			i, m.RequestID, m.Operation, m.ObjectKey, m.ResponseExpected, len(m.Args))
+	case *wire.Reply:
+		fmt.Printf("[%d] Reply id=%d status=%v args=%dB\n", i, m.RequestID, m.Status, len(m.Args))
+	case *wire.Data:
+		kind := "in-flow"
+		if m.Reply {
+			kind = "return-flow"
+		}
+		fmt.Printf("[%d] Data id=%d arg=%d %s src=%d dst=%d off=%d count=%d payload=%dB\n",
+			i, m.RequestID, m.ArgIndex, kind, m.SrcRank, m.DstRank, m.DstOff, m.Count, len(m.Payload))
+	case *wire.LocateRequest:
+		fmt.Printf("[%d] LocateRequest id=%d key=%q\n", i, m.RequestID, m.ObjectKey)
+	case *wire.LocateReply:
+		fmt.Printf("[%d] LocateReply id=%d status=%d\n", i, m.RequestID, m.Status)
+	case *wire.CancelRequest:
+		fmt.Printf("[%d] CancelRequest id=%d\n", i, m.RequestID)
+	case *wire.CloseConnection:
+		fmt.Printf("[%d] CloseConnection\n", i)
+	case *wire.MessageError:
+		fmt.Printf("[%d] MessageError\n", i)
+	default:
+		fmt.Printf("[%d] %v\n", i, msg.Type())
+	}
+}
+
+// readOnly adapts a reader into the ReadWriteCloser the transport wants.
+type readOnly struct{ io.ReadCloser }
+
+func (readOnly) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -1,0 +1,73 @@
+// Command pardisc is the PARDIS IDL compiler: it translates IDL interface
+// specifications (including the dsequence distributed-argument extension)
+// into Go stub and skeleton code over the PARDIS runtime.
+//
+// Usage:
+//
+//	pardisc -pkg diffgen -o diff_generated.go diff.idl
+//
+// With -o - (or no -o) the generated source is written to stdout. The
+// -check flag parses and analyzes without generating, printing every
+// diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/idl"
+	"repro/internal/idlgen"
+)
+
+func main() {
+	pkg := flag.String("pkg", "generated", "Go package name for the generated code")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	check := flag.Bool("check", false, "only parse and analyze, reporting diagnostics")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pardisc [-pkg name] [-o file] [-check] input.idl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+
+	src, err := os.ReadFile(input)
+	if err != nil {
+		fatal("%v", err)
+	}
+	spec, err := idl.Parse(filepath.Base(input), string(src))
+	if err != nil {
+		fatal("%v", err)
+	}
+	if errs := idl.Analyze(spec); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		os.Exit(1)
+	}
+	if *check {
+		fmt.Fprintf(os.Stderr, "%s: %d interface(s) OK\n", input, len(spec.Interfaces()))
+		return
+	}
+	code, err := idlgen.Generate(spec, idlgen.Options{Package: *pkg, Source: filepath.Base(input)})
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *out == "-" || *out == "" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pardisc: "+format+"\n", args...)
+	os.Exit(1)
+}

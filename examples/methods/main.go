@@ -1,0 +1,53 @@
+// Methods: the paper's §3 experiment in miniature, on the real stack.
+//
+// A c-thread SPMD client transfers a distributed sequence to an s-thread
+// SPMD object over loopback TCP using both argument transfer methods, and
+// prints the measured invocation breakdown side by side. It then prints the
+// simulated Figure 4 bandwidth curve for the calibrated 1997 platform, so
+// the two modes (measured-today vs simulated-then) can be compared.
+//
+// Usage:
+//
+//	go run ./examples/methods [-c 4] [-s 4] [-elems 262144] [-reps 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	c := flag.Int("c", 4, "client computing threads")
+	s := flag.Int("s", 4, "server computing threads")
+	elems := flag.Int("elems", 1<<18, "sequence length (doubles)")
+	reps := flag.Int("reps", 5, "repetitions to average")
+	flag.Parse()
+
+	fmt.Printf("real stack over loopback: c=%d s=%d, %d doubles (%.1f MiB), %d reps\n",
+		*c, *s, *elems, float64(*elems)*8/(1<<20), *reps)
+	central, multi, err := exp.RunRealComparison(*c, *s, *elems, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	print := func(name string, b exp.Breakdown) {
+		fmt.Printf("  %-12s total %8.3fms  gather %7.3fms  scatter %7.3fms  pack %7.3fms  sendrecv %8.3fms  unpack %7.3fms  barrier %7.3fms\n",
+			name, b.Total*1e3, b.Gather*1e3, b.Scatter*1e3, b.Pack*1e3, b.Send*1e3, b.RecvUnpack*1e3, b.Barrier*1e3)
+	}
+	print("centralized", central)
+	print("multi-port", multi)
+	if multi.Total < central.Total {
+		fmt.Printf("  multi-port wins by %.2fx\n", central.Total/multi.Total)
+	} else {
+		fmt.Printf("  centralized wins by %.2fx (small transfers favour the single connection)\n", multi.Total/central.Total)
+	}
+
+	fmt.Printf("\nsimulated 1997 platform (paper Figure 4 configuration):\n")
+	pts, err := exp.Figure4(exp.PaperPlatform())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(exp.FormatFigure4(pts, exp.Figure4Client, exp.Figure4Server))
+}

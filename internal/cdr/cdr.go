@@ -1,0 +1,76 @@
+// Package cdr implements a Common Data Representation style binary encoding
+// for PARDIS argument marshalling.
+//
+// The paper relies on CORBA's CDR for its stubs' marshalling code. This
+// package reproduces the properties PARDIS depends on:
+//
+//   - primitive types are aligned to their natural size, measured from the
+//     start of the stream (or enclosing encapsulation), so fixed layouts can
+//     be computed statically;
+//   - both byte orders are supported and declared by the producer
+//     (receiver-makes-right), so heterogeneous components can interoperate
+//     without double conversion;
+//   - strings are length-prefixed and NUL-terminated; sequences carry a
+//     uint32 element count;
+//   - encapsulations nest a complete CDR stream (with its own byte-order
+//     flag and alignment origin) inside an octet sequence, which is how
+//     object references and distribution templates travel inside requests.
+//
+// Encoder and Decoder are deliberately free of reflection: generated stub
+// code (see internal/idlgen) and hand-written codecs call the typed
+// Write*/Read* methods directly, as the IDL compiler's output would.
+package cdr
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ByteOrder identifies the endianness of an encoded stream.
+type ByteOrder byte
+
+const (
+	BigEndian    ByteOrder = 0
+	LittleEndian ByteOrder = 1
+)
+
+// byteOrder joins the read and append views of encoding/binary's orders;
+// both binary.LittleEndian and binary.BigEndian satisfy it.
+type byteOrder interface {
+	binary.ByteOrder
+	binary.AppendByteOrder
+}
+
+func (o ByteOrder) order() byteOrder {
+	if o == LittleEndian {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+func (o ByteOrder) String() string {
+	if o == LittleEndian {
+		return "little-endian"
+	}
+	return "big-endian"
+}
+
+// NativeOrder is the byte order new encoders use by default. Using little
+// endian matches the common case on current hardware so that the
+// receiver-makes-right rule usually avoids byte swapping.
+const NativeOrder = LittleEndian
+
+// Errors reported by the decoder.
+var (
+	ErrTruncated = errors.New("cdr: truncated stream")
+	ErrInvalid   = errors.New("cdr: invalid encoding")
+)
+
+// maxLen bounds length prefixes so corrupt or hostile streams cannot force
+// enormous allocations.
+const maxLen = 1 << 30
+
+// align returns the padding needed to bring pos up to a multiple of n.
+func align(pos, n int) int {
+	return (n - pos%n) % n
+}

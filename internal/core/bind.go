@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/rts"
+)
+
+// BindOptions configure SPMDBind and Bind.
+type BindOptions struct {
+	// TypeID, when set, constrains the name resolution to that repository
+	// id (CORBA-style typed narrowing at bind time).
+	TypeID string
+	// Method is the default argument transfer method for invocations on
+	// this binding.
+	Method Method
+	// Timeout bounds each blocking remote interaction; zero means no bound.
+	Timeout time.Duration
+}
+
+// Binding is one computing thread's handle on a bound SPMD object. All the
+// threads that took part in the SPMDBind share one logical binding; every
+// invocation through it is collective ("after spmd_bind, every invocation to
+// the object must be called by all the threads that participated in the bind
+// call, and will result in making one request on the object", paper §2.1).
+type Binding struct {
+	comm    *rts.Comm
+	client  *orb.Client
+	ref     orb.IOR
+	ops     map[string]OpDesc
+	method  Method
+	ownsCli bool
+
+	// invoking serializes invocations per thread; collective discipline
+	// keeps the threads consistent with each other.
+	invoking chan struct{}
+}
+
+// SPMDBind collectively binds all the computing threads of comm to the named
+// SPMD object, resolving the name through the PARDIS naming domain at
+// nameServer. It is the paper's _spmd_bind.
+func SPMDBind(comm *rts.Comm, name, nameServer string, opts ...BindOptions) (*Binding, error) {
+	var o BindOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	var refStr string
+	var bindErr string
+	if comm.Rank() == 0 {
+		cli := orb.NewClient()
+		cli.Timeout = o.Timeout
+		res := naming.NewResolver(cli, nameServer)
+		ref, err := res.Resolve(name, o.TypeID)
+		cli.Close()
+		if err != nil {
+			bindErr = err.Error()
+		} else {
+			refStr = ref.String()
+		}
+	}
+	// Share the resolution outcome.
+	payload := refStr
+	if bindErr != "" {
+		payload = "!" + bindErr
+	}
+	shared, err := comm.Bcast(0, []byte(payload))
+	if err != nil {
+		return nil, err
+	}
+	if len(shared) > 0 && shared[0] == '!' {
+		return nil, fmt.Errorf("core: binding %q: %s", name, shared[1:])
+	}
+	ref, err := orb.ParseIOR(string(shared))
+	if err != nil {
+		return nil, err
+	}
+	return SPMDBindRef(comm, ref, o)
+}
+
+// SPMDBindRef is SPMDBind for a reference obtained out of band (a
+// stringified IOR passed between processes). Collective.
+func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, error) {
+	var o BindOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if ref.Threads < 1 {
+		return nil, ErrNotSPMD
+	}
+	engine, err := comm.Dup()
+	if err != nil {
+		return nil, err
+	}
+	client := orb.NewClient()
+	client.Timeout = o.Timeout
+	client.Principal = fmt.Sprintf("spmd-client/%d", engine.Rank())
+
+	// Thread 0 fetches the interface description; everyone shares it.
+	var tableBytes []byte
+	if engine.Rank() == 0 {
+		reply, err := client.Invoke(ref, describeOp, orb.NewArgEncoder().Bytes(), false)
+		if err != nil {
+			tableBytes = append([]byte{'!'}, []byte(err.Error())...)
+		} else {
+			tableBytes = append([]byte{0}, reply...)
+		}
+	}
+	tableBytes, err = engine.Bcast(0, tableBytes)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	if len(tableBytes) == 0 {
+		client.Close()
+		return nil, fmt.Errorf("%w: empty interface description", ErrBadHeader)
+	}
+	if tableBytes[0] == '!' {
+		client.Close()
+		return nil, fmt.Errorf("core: describing object: %s", tableBytes[1:])
+	}
+	d, err := orb.ArgDecoder(tableBytes[1:])
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	descs, err := decodeOpTable(d)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	ops := make(map[string]OpDesc, len(descs))
+	for _, desc := range descs {
+		ops[desc.Name] = desc
+	}
+	b := &Binding{
+		comm:     engine,
+		client:   client,
+		ref:      ref,
+		ops:      ops,
+		method:   o.Method,
+		ownsCli:  true,
+		invoking: make(chan struct{}, 1),
+	}
+	if o.Method == Multiport && !ref.Multiport() {
+		b.Close()
+		return nil, ErrNoMultiport
+	}
+	return b, nil
+}
+
+// Bind is the paper's non-collective _bind: it gives the calling thread its
+// own independent binding using the non-distributed mapping (a private
+// single-thread world, so the shared collective machinery degenerates to
+// local operations). Different threads of a parallel client can Bind to
+// different objects and invoke them concurrently.
+func Bind(name, nameServer string, opts ...BindOptions) (*Binding, error) {
+	w := rts.NewWorld(1)
+	b, err := SPMDBind(w.Comm(0), name, nameServer, opts...)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// BindRef is Bind for an out-of-band reference.
+func BindRef(ref orb.IOR, opts ...BindOptions) (*Binding, error) {
+	w := rts.NewWorld(1)
+	b, err := SPMDBindRef(w.Comm(0), ref, opts...)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// Ref returns the bound object's reference.
+func (b *Binding) Ref() orb.IOR { return b.ref }
+
+// Comm returns the binding's engine communicator.
+func (b *Binding) Comm() *rts.Comm { return b.comm }
+
+// Ops returns the bound object's operation descriptions, keyed by name.
+func (b *Binding) Ops() map[string]OpDesc { return b.ops }
+
+// Close releases this thread's client connections. Local, idempotent.
+func (b *Binding) Close() {
+	if b.ownsCli {
+		b.client.Close()
+	}
+}
+
+// scalarEncoder is a convenience for building the non-distributed argument
+// payload of an invocation.
+func ScalarEncoder() *cdr.Encoder { return orb.NewArgEncoder() }
+
+// ScalarDecoder opens a reply's scalar results.
+func ScalarDecoder(payload []byte) (*cdr.Decoder, error) { return orb.ArgDecoder(payload) }

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/dseq"
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/rts"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Operation is the server-side registration of one operation of an SPMD
+// object: its distributed-argument signature, a factory for the server-side
+// sequences of one invocation, and the collective handler.
+type Operation struct {
+	Desc OpDesc
+	// NewArgs builds this invocation's server-side sequences, one per
+	// entry of Desc.Args, on the given communicator. lengths[i] is the
+	// client-declared length for In/InOut arguments and -1 for Out
+	// arguments (whose length the handler chooses). Generated skeletons
+	// supply this; SeqArgsFloat64 covers the common all-double case.
+	NewArgs func(comm *rts.Comm, lengths []int) ([]dseq.Transferable, error)
+	// Handler performs the operation. It runs on every computing thread
+	// (the collective upcall); the scalar results written by thread 0 form
+	// the reply.
+	Handler func(call *ServerCall) error
+}
+
+// ServerCall is the context of one collective upcall.
+type ServerCall struct {
+	// Comm is the object's engine communicator: Rank identifies this
+	// computing thread. Handlers may use it for their own collectives; the
+	// engine serializes invocations, so no interleaving can occur.
+	Comm *rts.Comm
+	// Op is the invoked operation name.
+	Op string
+	// In decodes the non-distributed arguments (identical on all threads,
+	// as the paper requires: "all threads will invoke the request with
+	// identical values of non-distributed arguments").
+	In *cdr.Decoder
+	// Out collects scalar results; thread 0's bytes form the reply.
+	Out *cdr.Encoder
+	// Args are the operation's distributed arguments in declaration order,
+	// already populated for In/InOut.
+	Args []dseq.Transferable
+}
+
+// ExportOptions configure Export.
+type ExportOptions struct {
+	// TypeID is the object's repository id (e.g. "IDL:diff_object:1.0").
+	TypeID string
+	// Host is the address to listen on; default loopback.
+	Host string
+	// Multiport exposes one endpoint per computing thread, enabling the
+	// multi-port transfer method. Without it only the communicating
+	// thread's endpoint is advertised (centralized only).
+	Multiport bool
+	// Name and NameServer, when both set, register the object in the
+	// PARDIS naming domain at export time (thread 0 performs the
+	// registration).
+	Name       string
+	NameServer string
+	// QueueDepth bounds pending requests awaiting the collective loop.
+	QueueDepth int
+}
+
+// Object is one computing thread's handle on an exported SPMD object.
+type Object struct {
+	comm *rts.Comm
+	opts ExportOptions
+	ops  map[string]*Operation
+	srv  *orb.Server // nil on threads without a listener
+	ref  orb.IOR
+
+	// rank 0 only: requests from the object adapter awaiting the
+	// collective loop.
+	queue chan *pendingCall
+	stop  chan struct{}
+
+	bucketMu sync.Mutex
+	buckets  map[uint32]*dataBucket
+
+	closeOnce sync.Once
+}
+
+type pendingCall struct {
+	token   uint32
+	header  *invocationHeader
+	replyCh chan callResult
+}
+
+type callResult struct {
+	reply []byte
+	err   error
+}
+
+// dataBucket accumulates multi-port transfers and connection attachments
+// for one invocation token on one computing thread.
+type dataBucket struct {
+	ch     chan *wire.Data
+	connMu sync.Mutex
+	conns  map[int]*transport.Conn // client rank → connection for replies
+	// notify wakes a return-flow sender waiting for a client attachment
+	// that is still in flight (a pure-out operation can reach its send
+	// phase before the attach message lands).
+	notify chan struct{}
+}
+
+// conn returns the recorded connection for a client rank, waiting up to
+// timeout for the attachment to arrive. A nil stop channel disables
+// cancellation; timeout <= 0 disables the deadline.
+func (b *dataBucket) conn(rank int, stop <-chan struct{}, timeout time.Duration) (*transport.Conn, error) {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		b.connMu.Lock()
+		c := b.conns[rank]
+		b.connMu.Unlock()
+		if c != nil {
+			return c, nil
+		}
+		select {
+		case <-b.notify:
+		case <-stop:
+			return nil, ErrStopped
+		case <-deadline:
+			return nil, fmt.Errorf("core: no attachment from client thread %d", rank)
+		}
+	}
+}
+
+// bucketCapacity bounds buffered in-flight transfers per invocation; the
+// block→block worst case is client ranks + server ranks transfers in total,
+// so this is generous.
+const bucketCapacity = 4096
+
+// Export collectively registers an SPMD object implementation. Every
+// computing thread calls it with identical options and operation tables.
+// The returned handles share one object; thread 0's carries the
+// communicating-thread endpoint.
+func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object, error) {
+	engine, err := comm.Dup()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Host == "" {
+		opts.Host = "127.0.0.1"
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	o := &Object{
+		comm:    engine,
+		opts:    opts,
+		ops:     make(map[string]*Operation, len(operations)),
+		buckets: make(map[uint32]*dataBucket),
+		stop:    make(chan struct{}),
+	}
+	for i := range operations {
+		op := &operations[i]
+		if _, dup := o.ops[op.Desc.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate operation %q", op.Desc.Name)
+		}
+		if op.Desc.Name == describeOp {
+			return nil, fmt.Errorf("core: operation name %q is reserved", describeOp)
+		}
+		o.ops[op.Desc.Name] = op
+	}
+
+	// Listeners: the communicating thread always listens; other threads
+	// listen only when the multi-port method is advertised.
+	if engine.Rank() == 0 || opts.Multiport {
+		srv, err := orb.NewServer(opts.Host + ":0")
+		if err != nil {
+			return nil, err
+		}
+		o.srv = srv
+		srv.SetDataHandler(o.handleData)
+	}
+
+	// Collect endpoints at thread 0 and build the reference.
+	var epPayload []byte
+	if o.srv != nil {
+		ep := o.srv.Endpoint(engine.Rank())
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		e.WriteString(ep.Host)
+		e.WriteULong(uint32(ep.Port))
+		epPayload = e.Bytes()
+	}
+	eps, err := engine.Gather(0, epPayload)
+	if err != nil {
+		o.closeListeners()
+		return nil, err
+	}
+	var refStr string
+	if engine.Rank() == 0 {
+		key := []byte(fmt.Sprintf("spmd/%s/%s", opts.TypeID, opts.Name))
+		ref := orb.IOR{TypeID: opts.TypeID, Key: key, Threads: engine.Size()}
+		for r, p := range eps {
+			if len(p) == 0 {
+				continue
+			}
+			d := cdr.NewDecoder(p, cdr.NativeOrder)
+			host, err := d.ReadString()
+			if err != nil {
+				o.closeListeners()
+				return nil, err
+			}
+			port, err := d.ReadULong()
+			if err != nil {
+				o.closeListeners()
+				return nil, err
+			}
+			ref.Endpoints = append(ref.Endpoints, orb.Endpoint{Host: host, Port: int(port), Rank: r})
+		}
+		refStr = ref.String()
+	}
+	refBytes, err := engine.Bcast(0, []byte(refStr))
+	if err != nil {
+		o.closeListeners()
+		return nil, err
+	}
+	if o.ref, err = orb.ParseIOR(string(refBytes)); err != nil {
+		o.closeListeners()
+		return nil, err
+	}
+
+	// The communicating thread installs the servant and registers the name.
+	if engine.Rank() == 0 {
+		o.queue = make(chan *pendingCall, opts.QueueDepth)
+		o.srv.Register(o.ref.Key, orb.ServantFunc(o.dispatch))
+		if opts.Name != "" && opts.NameServer != "" {
+			client := orb.NewClient()
+			defer client.Close()
+			res := naming.NewResolver(client, opts.NameServer)
+			if err := res.Bind(opts.Name, o.ref, true); err != nil {
+				o.closeListeners()
+				return nil, fmt.Errorf("core: registering %q: %w", opts.Name, err)
+			}
+		}
+	}
+	// Everyone waits until registration is complete before serving.
+	if err := engine.Barrier(); err != nil {
+		o.closeListeners()
+		return nil, err
+	}
+	return o, nil
+}
+
+// Ref returns the object's reference.
+func (o *Object) Ref() orb.IOR { return o.ref }
+
+// Comm returns the object's engine communicator.
+func (o *Object) Comm() *rts.Comm { return o.comm }
+
+// dispatch is the communicating thread's servant: it answers interface
+// discovery directly and funnels operation requests into the collective
+// queue, blocking the adapter goroutine until the collective loop replies.
+func (o *Object) dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	if op == describeOp {
+		descs := make([]OpDesc, 0, len(o.ops))
+		for _, operation := range o.ops {
+			descs = append(descs, operation.Desc)
+		}
+		encodeOpTable(out, descs)
+		return nil
+	}
+	hdr, err := decodeInvocationHeader(in)
+	if err != nil {
+		return orb.Marshal(err)
+	}
+	if hdr.Op != op {
+		return orb.Marshal(fmt.Errorf("%w: header op %q != request op %q", ErrBadHeader, hdr.Op, op))
+	}
+	// Validate cheaply before involving the other computing threads.
+	if err := o.validate(hdr); err != nil {
+		return err
+	}
+	call := &pendingCall{token: hdr.Token, header: hdr, replyCh: make(chan callResult, 1)}
+	select {
+	case o.queue <- call:
+	case <-o.stop:
+		return &orb.SystemException{RepoID: orb.RepoInternal, Message: ErrStopped.Error()}
+	}
+	select {
+	case res := <-call.replyCh:
+		if res.err != nil {
+			return res.err
+		}
+		// res.reply is a complete argument payload; out already carries
+		// the byte-order octet, so splice in the body after the flag. Both
+		// were produced by NewArgEncoder, so orders and alignment agree.
+		if len(res.reply) > 0 {
+			out.WriteRaw(res.reply[1:])
+		}
+		return nil
+	case <-o.stop:
+		return &orb.SystemException{RepoID: orb.RepoInternal, Message: ErrStopped.Error()}
+	}
+}
+
+// validate checks an inbound header against the operation table.
+func (o *Object) validate(h *invocationHeader) error {
+	op, ok := o.ops[h.Op]
+	if !ok {
+		return orb.BadOperation(h.Op)
+	}
+	if len(h.Args) != len(op.Desc.Args) {
+		return &orb.SystemException{
+			RepoID:  orb.RepoBadOperation,
+			Message: fmt.Sprintf("%s: %d distributed args, want %d", h.Op, len(h.Args), len(op.Desc.Args)),
+		}
+	}
+	for i, a := range h.Args {
+		want := op.Desc.Args[i]
+		if a.Dir != want.Dir {
+			return &orb.SystemException{
+				RepoID:  orb.RepoBadOperation,
+				Message: fmt.Sprintf("%s arg %d: dir %v, want %v", h.Op, i, a.Dir, want.Dir),
+			}
+		}
+		if a.Elem != want.Elem {
+			return &orb.SystemException{
+				RepoID:  orb.RepoBadOperation,
+				Message: fmt.Sprintf("%s arg %d: element type %q, want %q", h.Op, i, a.Elem, want.Elem),
+			}
+		}
+	}
+	if h.Method == Multiport && !o.opts.Multiport {
+		return &orb.SystemException{RepoID: orb.RepoBadOperation, Message: ErrNoMultiport.Error()}
+	}
+	return nil
+}
+
+// handleData routes an inbound multi-port transfer (or connection
+// attachment) to its invocation's bucket on this computing thread.
+func (o *Object) handleData(d *wire.Data, conn *transport.Conn) {
+	b := o.bucket(d.RequestID)
+	b.connMu.Lock()
+	if _, ok := b.conns[int(d.SrcRank)]; !ok {
+		b.conns[int(d.SrcRank)] = conn
+	}
+	b.connMu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+	if d.Count > 0 {
+		b.ch <- d
+	}
+}
+
+func (o *Object) bucket(token uint32) *dataBucket {
+	o.bucketMu.Lock()
+	defer o.bucketMu.Unlock()
+	b, ok := o.buckets[token]
+	if !ok {
+		b = &dataBucket{
+			ch:     make(chan *wire.Data, bucketCapacity),
+			conns:  make(map[int]*transport.Conn),
+			notify: make(chan struct{}, 1),
+		}
+		o.buckets[token] = b
+	}
+	return b
+}
+
+func (o *Object) dropBucket(token uint32) {
+	o.bucketMu.Lock()
+	delete(o.buckets, token)
+	o.bucketMu.Unlock()
+}
+
+func (o *Object) closeListeners() {
+	if o.srv != nil {
+		o.srv.Close()
+	}
+}
+
+// Close tears down this thread's listener and unblocks the adapter. It is
+// local (not collective) and idempotent; Serve on this thread returns.
+func (o *Object) Close() {
+	o.closeOnce.Do(func() {
+		close(o.stop)
+		o.closeListeners()
+	})
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cdr"
+	"repro/internal/dist"
+)
+
+// invocationHeader is the SPMD extension of a request: it rides inside the
+// PGIOP Request's argument payload and tells the server everything it needs
+// to receive the distributed arguments. In the centralized method the
+// In/InOut argument data is embedded; in the multi-port method only the
+// client layouts travel and the data follows as Data messages.
+type invocationHeader struct {
+	Op          string
+	Method      Method
+	Token       uint32 // ties multi-port Data transfers to this invocation
+	ClientRanks int
+	Scalars     []byte // opaque marshalled non-distributed arguments
+	Args        []headerArg
+}
+
+type headerArg struct {
+	Dir    Dir
+	Elem   string
+	Layout dist.Layout // In/InOut: the client's current layout
+	Spec   dist.Spec   // Out: the client's template for the result
+	Data   []byte      // centralized In/InOut: full marshalled sequence
+}
+
+func (h *invocationHeader) encode(e *cdr.Encoder) {
+	e.WriteString(h.Op)
+	e.WriteEnum(uint32(h.Method))
+	e.WriteULong(h.Token)
+	e.WriteULong(uint32(h.ClientRanks))
+	e.WriteOctets(h.Scalars)
+	e.WriteULong(uint32(len(h.Args)))
+	for _, a := range h.Args {
+		e.WriteEnum(uint32(a.Dir))
+		e.WriteString(a.Elem)
+		if a.Dir == Out {
+			spec := a.Spec
+			if spec == nil {
+				spec = dist.Block{}
+			}
+			dist.EncodeSpec(e, spec)
+		} else {
+			dist.EncodeLayout(e, a.Layout)
+		}
+		if h.Method == Centralized && a.Dir != Out {
+			e.WriteOctets(a.Data)
+		}
+	}
+}
+
+func decodeInvocationHeader(d *cdr.Decoder) (*invocationHeader, error) {
+	var h invocationHeader
+	var err error
+	if h.Op, err = d.ReadString(); err != nil {
+		return nil, fmt.Errorf("%w: op: %v", ErrBadHeader, err)
+	}
+	m, err := d.ReadEnum()
+	if err != nil {
+		return nil, fmt.Errorf("%w: method: %v", ErrBadHeader, err)
+	}
+	if m > uint32(Multiport) {
+		return nil, fmt.Errorf("%w: method %d", ErrBadHeader, m)
+	}
+	h.Method = Method(m)
+	if h.Token, err = d.ReadULong(); err != nil {
+		return nil, fmt.Errorf("%w: token: %v", ErrBadHeader, err)
+	}
+	ranks, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("%w: ranks: %v", ErrBadHeader, err)
+	}
+	if ranks == 0 || ranks > 1<<20 {
+		return nil, fmt.Errorf("%w: %d client ranks", ErrBadHeader, ranks)
+	}
+	h.ClientRanks = int(ranks)
+	if h.Scalars, err = d.ReadOctets(); err != nil {
+		return nil, fmt.Errorf("%w: scalars: %v", ErrBadHeader, err)
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("%w: arg count: %v", ErrBadHeader, err)
+	}
+	if n > 1<<12 {
+		return nil, fmt.Errorf("%w: %d dist args", ErrBadHeader, n)
+	}
+	h.Args = make([]headerArg, n)
+	for i := range h.Args {
+		a := &h.Args[i]
+		dir, err := d.ReadEnum()
+		if err != nil {
+			return nil, fmt.Errorf("%w: arg %d dir: %v", ErrBadHeader, i, err)
+		}
+		if dir > uint32(InOut) {
+			return nil, fmt.Errorf("%w: arg %d dir %d", ErrBadHeader, i, dir)
+		}
+		a.Dir = Dir(dir)
+		if a.Elem, err = d.ReadString(); err != nil {
+			return nil, fmt.Errorf("%w: arg %d elem: %v", ErrBadHeader, i, err)
+		}
+		if a.Dir == Out {
+			if a.Spec, err = dist.DecodeSpec(d); err != nil {
+				return nil, fmt.Errorf("%w: arg %d spec: %v", ErrBadHeader, i, err)
+			}
+		} else {
+			if a.Layout, err = dist.DecodeLayout(d); err != nil {
+				return nil, fmt.Errorf("%w: arg %d layout: %v", ErrBadHeader, i, err)
+			}
+		}
+		if h.Method == Centralized && a.Dir != Out {
+			if a.Data, err = d.ReadOctets(); err != nil {
+				return nil, fmt.Errorf("%w: arg %d data: %v", ErrBadHeader, i, err)
+			}
+		}
+	}
+	return &h, nil
+}
+
+// replyHeader is the SPMD extension of a reply: scalar results plus, per
+// Out/InOut distributed argument, the final length (the client needs it to
+// size Out results) and, in the centralized method, the full result data.
+type replyHeader struct {
+	Scalars []byte
+	Args    []replyArg
+}
+
+type replyArg struct {
+	Dir    Dir
+	Length int
+	Data   []byte // centralized Out/InOut only
+}
+
+func (h *replyHeader) encode(e *cdr.Encoder, method Method) {
+	e.WriteOctets(h.Scalars)
+	e.WriteULong(uint32(len(h.Args)))
+	for _, a := range h.Args {
+		e.WriteEnum(uint32(a.Dir))
+		e.WriteULongLong(uint64(a.Length))
+		if method == Centralized && a.Dir != In {
+			e.WriteOctets(a.Data)
+		}
+	}
+}
+
+func decodeReplyHeader(d *cdr.Decoder, method Method) (*replyHeader, error) {
+	var h replyHeader
+	var err error
+	if h.Scalars, err = d.ReadOctets(); err != nil {
+		return nil, fmt.Errorf("%w: reply scalars: %v", ErrBadHeader, err)
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reply arg count: %v", ErrBadHeader, err)
+	}
+	if n > 1<<12 {
+		return nil, fmt.Errorf("%w: %d reply args", ErrBadHeader, n)
+	}
+	h.Args = make([]replyArg, n)
+	for i := range h.Args {
+		a := &h.Args[i]
+		dir, err := d.ReadEnum()
+		if err != nil {
+			return nil, fmt.Errorf("%w: reply arg %d dir: %v", ErrBadHeader, i, err)
+		}
+		if dir > uint32(InOut) {
+			return nil, fmt.Errorf("%w: reply arg %d dir %d", ErrBadHeader, i, dir)
+		}
+		a.Dir = Dir(dir)
+		length, err := d.ReadULongLong()
+		if err != nil {
+			return nil, fmt.Errorf("%w: reply arg %d length: %v", ErrBadHeader, i, err)
+		}
+		if length > 1<<40 {
+			return nil, fmt.Errorf("%w: reply arg %d length %d", ErrBadHeader, i, length)
+		}
+		a.Length = int(length)
+		if method == Centralized && a.Dir != In {
+			if a.Data, err = d.ReadOctets(); err != nil {
+				return nil, fmt.Errorf("%w: reply arg %d data: %v", ErrBadHeader, i, err)
+			}
+		}
+	}
+	return &h, nil
+}

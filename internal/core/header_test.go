@@ -1,0 +1,250 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/dist"
+	"repro/internal/dseq"
+	"repro/internal/orb"
+	"repro/internal/rts"
+)
+
+func mustLayout(t *testing.T, length, ranks int) dist.Layout {
+	t.Helper()
+	l, err := dist.Block{}.Layout(length, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestInvocationHeaderRoundTrip(t *testing.T) {
+	for _, method := range []Method{Centralized, Multiport} {
+		h := &invocationHeader{
+			Op: "diffusion", Method: method, Token: 12345, ClientRanks: 4,
+			Scalars: []byte{1, 2, 3},
+			Args: []headerArg{
+				{Dir: In, Elem: "double", Layout: mustLayout(t, 100, 4), Data: []byte{9, 9}},
+				{Dir: InOut, Elem: "long", Layout: mustLayout(t, 50, 4), Data: []byte{7}},
+				{Dir: Out, Elem: "double", Spec: dist.Proportions{P: []int{1, 2, 3, 4}}},
+			},
+		}
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		h.encode(e)
+		got, err := decodeInvocationHeader(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder))
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if got.Op != h.Op || got.Method != h.Method || got.Token != h.Token || got.ClientRanks != 4 {
+			t.Fatalf("%v: header %+v", method, got)
+		}
+		if !bytes.Equal(got.Scalars, h.Scalars) || len(got.Args) != 3 {
+			t.Fatalf("%v: payloads %+v", method, got)
+		}
+		if got.Args[2].Spec.String() != "proportions(1,2,3,4)" {
+			t.Fatalf("out spec %v", got.Args[2].Spec)
+		}
+		if method == Centralized {
+			if !bytes.Equal(got.Args[0].Data, h.Args[0].Data) {
+				t.Fatalf("centralized lost inline data")
+			}
+		} else if got.Args[0].Data != nil {
+			t.Fatalf("multi-port carried inline data")
+		}
+		if !got.Args[1].Layout.Equal(h.Args[1].Layout) {
+			t.Fatalf("%v: layout mangled", method)
+		}
+	}
+}
+
+func TestReplyHeaderRoundTrip(t *testing.T) {
+	for _, method := range []Method{Centralized, Multiport} {
+		h := &replyHeader{
+			Scalars: []byte{5},
+			Args: []replyArg{
+				{Dir: In, Length: 100},
+				{Dir: InOut, Length: 100, Data: []byte{1, 2, 3}},
+				{Dir: Out, Length: 321, Data: []byte{4}},
+			},
+		}
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		h.encode(e, method)
+		got, err := decodeReplyHeader(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder), method)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if got.Args[2].Length != 321 {
+			t.Fatalf("%v: lengths %+v", method, got.Args)
+		}
+		if method == Centralized && !bytes.Equal(got.Args[1].Data, h.Args[1].Data) {
+			t.Fatal("centralized reply lost data")
+		}
+	}
+}
+
+func TestHeaderDecodeNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		decodeInvocationHeader(cdr.NewDecoder(data, cdr.LittleEndian))
+		decodeReplyHeader(cdr.NewDecoder(data, cdr.LittleEndian), Centralized)
+		decodeReplyHeader(cdr.NewDecoder(data, cdr.LittleEndian), Multiport)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderTruncations(t *testing.T) {
+	h := &invocationHeader{Op: "f", Method: Centralized, Token: 1, ClientRanks: 2,
+		Args: []headerArg{{Dir: In, Elem: "double", Layout: mustLayout(t, 10, 2), Data: []byte{1}}}}
+	e := cdr.NewEncoder(cdr.NativeOrder)
+	h.encode(e)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeInvocationHeader(cdr.NewDecoder(full[:cut], cdr.NativeOrder)); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestMetaErrRoundTrip(t *testing.T) {
+	check := func(in error) error {
+		t.Helper()
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		encodeMetaErr(e, in)
+		out, err := decodeMetaErr(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return out
+	}
+	if check(nil) != nil {
+		t.Fatal("nil error mangled")
+	}
+	if got := check(errors.New("plain problem")); got == nil || got.Error() != "plain problem" {
+		t.Fatalf("plain error %v", got)
+	}
+	var ue *orb.UserException
+	got := check(&orb.UserException{RepoID: "IDL:x:1.0", Message: "boom", Payload: []byte{1}})
+	if !errors.As(got, &ue) || ue.RepoID != "IDL:x:1.0" || ue.Message != "boom" || len(ue.Payload) != 1 {
+		t.Fatalf("user exception %v", got)
+	}
+	var se *orb.SystemException
+	got = check(&orb.SystemException{RepoID: orb.RepoComm, Minor: 7, Message: "net"})
+	if !errors.As(got, &se) || se.Minor != 7 || se.RepoID != orb.RepoComm {
+		t.Fatalf("system exception %v", got)
+	}
+	// Unknown kind byte is rejected.
+	if _, err := decodeMetaErr(cdr.NewDecoder([]byte{99}, cdr.NativeOrder)); err == nil {
+		t.Fatal("unknown meta kind accepted")
+	}
+}
+
+func TestFutureWaitTimeoutAndReady(t *testing.T) {
+	f := newFuture()
+	if f.Ready() {
+		t.Fatal("fresh future ready")
+	}
+	if _, _, ok := f.WaitTimeout(10 * time.Millisecond); ok {
+		t.Fatal("unresolved future reported ready")
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		f.complete([]byte("done"), nil)
+	}()
+	scalars, err, ok := f.WaitTimeout(5 * time.Second)
+	if !ok || err != nil || string(scalars) != "done" {
+		t.Fatalf("%q %v %v", scalars, err, ok)
+	}
+	if !f.Ready() {
+		t.Fatal("resolved future not ready")
+	}
+	select {
+	case <-f.Done():
+	default:
+		t.Fatal("Done channel not closed")
+	}
+}
+
+func TestArgSeqPanicsOnWrongType(t *testing.T) {
+	w := rts.NewWorld(1)
+	defer w.Close()
+	s, err := dseq.New(w.Comm(0), dseq.Float64, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := &ServerCall{Op: "op", Args: []dseq.Transferable{s}}
+	if got := ArgSeq[float64](call, 0); got != s {
+		t.Fatal("ArgSeq returned wrong sequence")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	ArgSeq[int32](call, 0)
+}
+
+func TestSeqArgsFloat64Validation(t *testing.T) {
+	w := rts.NewWorld(2)
+	defer w.Close()
+	descs := []ArgDesc{{Name: "a", Dir: In, Elem: "double"}, {Name: "b", Dir: Out, Elem: "double"}}
+	factory := SeqArgsFloat64(descs)
+	err := w.Run(func(c *rts.Comm) error {
+		args, err := factory(c, []int{10, -1})
+		if err != nil {
+			return err
+		}
+		if len(args) != 2 || args[0].Len() != 10 || args[1].Len() != 0 {
+			t.Errorf("args %v", args)
+		}
+		if _, err := factory(c, []int{1}); !errors.Is(err, ErrArgMismatch) {
+			t.Errorf("length mismatch: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMethodAndDirStrings(t *testing.T) {
+	if Centralized.String() != "centralized" || Multiport.String() != "multi-port" {
+		t.Fatal("method names")
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method name")
+	}
+	if In.String() != "in" || Out.String() != "out" || InOut.String() != "inout" || Dir(9).String() == "" {
+		t.Fatal("dir names")
+	}
+}
+
+func TestOpTableRoundTrip(t *testing.T) {
+	ops := []OpDesc{
+		{Name: "f", Args: []ArgDesc{{Name: "a", Dir: In, Elem: "double", Spec: dist.Cyclic{BlockSize: 2}}}},
+		{Name: "g"},
+	}
+	e := cdr.NewEncoder(cdr.NativeOrder)
+	encodeOpTable(e, ops)
+	got, err := decodeOpTable(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "f" || got[0].Args[0].Spec.String() != "cyclic(2)" {
+		t.Fatalf("table %+v", got)
+	}
+	if len(got[1].Args) != 0 {
+		t.Fatalf("empty op grew args: %+v", got[1])
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dseq"
+	"repro/internal/rts"
+)
+
+// SeqArgsFloat64 builds an Operation.NewArgs factory for an operation whose
+// distributed arguments are all sequences of double (the common case in the
+// paper), using the per-argument server templates from descs. Out arguments
+// (length -1) start empty; the handler sets their length.
+func SeqArgsFloat64(descs []ArgDesc) func(comm *rts.Comm, lengths []int) ([]dseq.Transferable, error) {
+	return func(comm *rts.Comm, lengths []int) ([]dseq.Transferable, error) {
+		if len(lengths) != len(descs) {
+			return nil, fmt.Errorf("%w: %d lengths for %d args", ErrArgMismatch, len(lengths), len(descs))
+		}
+		out := make([]dseq.Transferable, len(descs))
+		for i, d := range descs {
+			n := lengths[i]
+			if n < 0 {
+				n = 0
+			}
+			s, err := dseq.New(comm, dseq.Float64, n, d.specOrBlock())
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+}
+
+// ArgSeq recovers the concrete sequence type inside a handler:
+//
+//	arr := core.ArgSeq[float64](call, 0)
+//
+// It panics on element-type mismatch, which indicates a generated-code bug
+// rather than a runtime condition.
+func ArgSeq[T any](call *ServerCall, i int) *dseq.Seq[T] {
+	s, ok := call.Args[i].(*dseq.Seq[T])
+	if !ok {
+		panic(fmt.Sprintf("core: argument %d of %s is %T", i, call.Op, call.Args[i]))
+	}
+	return s
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/dist"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+// Timing records where a blocking invocation spent its time, as observed by
+// the calling thread (the paper's Tables 1 and 2 report the analogous
+// server- and client-side phases measured on dedicated hardware; the
+// discrete-event models in internal/exp reproduce that full breakdown).
+type Timing struct {
+	Total time.Duration
+	// Gather is the time spent collecting distributed arguments at the
+	// communicating thread (centralized method only).
+	Gather time.Duration
+	// Scatter is the time spent distributing results from the
+	// communicating thread (centralized method only).
+	Scatter time.Duration
+	// Pack is the time spent marshalling this thread's chunks (multi-port)
+	// or the full argument payload (centralized, thread 0).
+	Pack time.Duration
+	// SendRecv spans the remote exchange: request out to reply in.
+	SendRecv time.Duration
+	// Unpack is the time spent storing inbound result chunks (multi-port).
+	Unpack time.Duration
+	// Barrier is the post-invocation synchronization (multi-port).
+	Barrier time.Duration
+}
+
+// tokenCounter seeds invocation tokens; the random base makes collisions
+// between concurrent client processes unlikely.
+var tokenCounter atomic.Uint32
+
+func init() {
+	tokenCounter.Store(rand.Uint32())
+}
+
+// Invoke performs a blocking collective invocation using the binding's
+// default transfer method. scalars is the marshalled non-distributed
+// argument payload (build it with ScalarEncoder); args lists the distributed
+// arguments in the operation's declaration order. It returns the reply's
+// scalar payload (open it with ScalarDecoder). All threads of the binding
+// must call Invoke with equal scalar payloads and compatible sequences.
+func (b *Binding) Invoke(op string, scalars []byte, args []DistArg) ([]byte, error) {
+	return b.InvokeMethod(b.method, op, scalars, args, nil)
+}
+
+// InvokeMethod is Invoke with an explicit transfer method and optional
+// timing collection.
+func (b *Binding) InvokeMethod(method Method, op string, scalars []byte, args []DistArg, timing *Timing) ([]byte, error) {
+	select {
+	case b.invoking <- struct{}{}:
+	default:
+		return nil, ErrBusy
+	}
+	defer func() { <-b.invoking }()
+	return b.invoke(method, op, scalars, args, timing)
+}
+
+func (b *Binding) invoke(method Method, op string, scalars []byte, args []DistArg, timing *Timing) ([]byte, error) {
+	start := time.Now()
+	if timing != nil {
+		*timing = Timing{}
+		defer func() { timing.Total = time.Since(start) }()
+	}
+	desc, ok := b.ops[op]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown operation %q", ErrArgMismatch, op)
+	}
+	if len(args) != len(desc.Args) {
+		return nil, fmt.Errorf("%w: %s takes %d distributed args, got %d", ErrArgMismatch, op, len(desc.Args), len(args))
+	}
+	for i, a := range args {
+		if a.Seq == nil {
+			return nil, fmt.Errorf("%w: arg %d is nil", ErrArgMismatch, i)
+		}
+		if a.Dir != desc.Args[i].Dir {
+			return nil, fmt.Errorf("%w: arg %d is %v, want %v", ErrArgMismatch, i, a.Dir, desc.Args[i].Dir)
+		}
+		if a.Seq.ElemName() != desc.Args[i].Elem {
+			return nil, fmt.Errorf("%w: arg %d has element type %q, want %q", ErrArgMismatch, i, a.Seq.ElemName(), desc.Args[i].Elem)
+		}
+	}
+	if method == Multiport && !b.ref.Multiport() {
+		return nil, ErrNoMultiport
+	}
+
+	// Agree on the invocation token.
+	var tokenBytes []byte
+	if b.comm.Rank() == 0 {
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		e.WriteULong(tokenCounter.Add(1))
+		tokenBytes = e.Bytes()
+	}
+	tokenBytes, err := b.comm.Bcast(0, tokenBytes)
+	if err != nil {
+		return nil, err
+	}
+	token, err := cdr.NewDecoder(tokenBytes, cdr.NativeOrder).ReadULong()
+	if err != nil {
+		return nil, err
+	}
+
+	switch method {
+	case Centralized:
+		return b.invokeCentralized(token, op, scalars, args, desc, timing)
+	case Multiport:
+		return b.invokeMultiport(token, op, scalars, args, desc, timing)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", method)
+	}
+}
+
+// invokeCentralized implements the paper's §3.2 client side: synchronize,
+// gather and marshal at the communicating thread, one request message, then
+// scatter the results.
+func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
+	// Gather the distributed arguments at thread 0.
+	gatherStart := time.Now()
+	payloads := make([][]byte, len(args))
+	for i, a := range args {
+		if a.Dir == Out {
+			continue
+		}
+		p, err := a.Seq.GatherMarshal(0)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	if timing != nil {
+		timing.Gather = time.Since(gatherStart)
+	}
+
+	var meta invokeMeta
+	if b.comm.Rank() == 0 {
+		packStart := time.Now()
+		h := &invocationHeader{
+			Op: op, Method: Centralized, Token: token,
+			ClientRanks: b.comm.Size(), Scalars: scalars,
+			Args: make([]headerArg, len(args)),
+		}
+		for i, a := range args {
+			h.Args[i] = headerArg{Dir: a.Dir, Elem: a.Seq.ElemName()}
+			if a.Dir == Out {
+				h.Args[i].Spec = a.Seq.Spec()
+			} else {
+				h.Args[i].Layout = a.Seq.Layout()
+				h.Args[i].Data = payloads[i]
+			}
+		}
+		e := orb.NewArgEncoder()
+		h.encode(e)
+		if timing != nil {
+			timing.Pack = time.Since(packStart)
+		}
+		sendStart := time.Now()
+		replyBytes, err := b.client.Invoke(b.ref, op, e.Bytes(), false)
+		if timing != nil {
+			timing.SendRecv = time.Since(sendStart)
+		}
+		meta = metaFromReply(replyBytes, err, Centralized)
+	}
+	if err := b.shareMeta(&meta); err != nil {
+		return nil, err
+	}
+	if meta.err != nil {
+		return nil, meta.err
+	}
+
+	// Scatter the results.
+	scatterStart := time.Now()
+	for i, a := range args {
+		if a.Dir == In {
+			continue
+		}
+		if a.Dir == Out {
+			if err := a.Seq.ResizeAlloc(meta.lengths[i]); err != nil {
+				return nil, err
+			}
+		}
+		var data []byte
+		if b.comm.Rank() == 0 {
+			data = meta.datas[i]
+		}
+		if err := a.Seq.ScatterUnmarshal(0, data); err != nil {
+			return nil, err
+		}
+	}
+	if timing != nil {
+		timing.Scatter = time.Since(scatterStart)
+	}
+	return meta.scalars, nil
+}
+
+// invokeMultiport implements the paper's §3.3 client side: the header is
+// delivered centrally, the argument data flows directly between the owning
+// threads, and the threads synchronize after the invocation.
+func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
+	me := b.comm.Rank()
+	cRanks := b.comm.Size()
+	sRanks := b.ref.Threads
+
+	sink := make(chan *wire.Data, bucketCapacity)
+	b.client.RegisterDataSink(token, sink)
+	defer b.client.UnregisterDataSink(token)
+
+	// Plan the forward flows and figure out which server threads this
+	// thread must attach to for the return flows.
+	type argPlan struct {
+		serverLayout dist.Layout
+		fwdMine      []dist.Move
+	}
+	plans := make([]argPlan, len(args))
+	sendTargets := map[int]bool{}
+	attachTargets := map[int]bool{}
+	for i, a := range args {
+		spec := desc.Args[i].specOrBlock()
+		if a.Dir != Out {
+			sl, err := spec.Layout(a.Seq.Len(), sRanks)
+			if err != nil {
+				return nil, err
+			}
+			plans[i].serverLayout = sl
+			moves, err := dist.Plan(a.Seq.Layout(), sl)
+			if err != nil {
+				return nil, err
+			}
+			plans[i].fwdMine = dist.PlanBySource(moves, cRanks)[me]
+			for _, m := range plans[i].fwdMine {
+				sendTargets[m.DstRank] = true
+			}
+			if a.Dir == InOut {
+				rev, err := dist.Plan(sl, a.Seq.Layout())
+				if err != nil {
+					return nil, err
+				}
+				for _, m := range dist.PlanByDest(rev, cRanks)[me] {
+					attachTargets[m.SrcRank] = true
+				}
+			}
+		} else {
+			// The result length is unknown; conservatively attach to every
+			// server thread so any of them can reach us.
+			for r := 0; r < sRanks; r++ {
+				attachTargets[r] = true
+			}
+		}
+	}
+
+	// The communicating thread launches the request; the header travels
+	// first and alone, as §3.3 prescribes, so concurrent clients contend
+	// only at the communicating thread.
+	type replyResult struct {
+		payload []byte
+		err     error
+	}
+	replyCh := make(chan replyResult, 1)
+	sendStart := time.Now()
+	if me == 0 {
+		h := &invocationHeader{
+			Op: op, Method: Multiport, Token: token,
+			ClientRanks: cRanks, Scalars: scalars,
+			Args: make([]headerArg, len(args)),
+		}
+		for i, a := range args {
+			h.Args[i] = headerArg{Dir: a.Dir, Elem: a.Seq.ElemName()}
+			if a.Dir == Out {
+				h.Args[i].Spec = a.Seq.Spec()
+			} else {
+				h.Args[i].Layout = a.Seq.Layout()
+			}
+		}
+		e := orb.NewArgEncoder()
+		h.encode(e)
+		go func() {
+			payload, err := b.client.Invoke(b.ref, op, e.Bytes(), false)
+			replyCh <- replyResult{payload: payload, err: err}
+		}()
+	}
+
+	// Attach to return-flow sources we are not already sending to.
+	for r := range attachTargets {
+		if sendTargets[r] {
+			continue
+		}
+		attach := &wire.Data{RequestID: token, SrcRank: uint32(me), DstRank: uint32(r), Count: 0}
+		if err := b.client.SendData(b.ref, attach); err != nil {
+			return nil, err
+		}
+	}
+
+	// Send this thread's chunks directly to their owning server threads.
+	packTotal := time.Duration(0)
+	for i, a := range args {
+		if a.Dir == Out {
+			continue
+		}
+		for _, m := range plans[i].fwdMine {
+			packStart := time.Now()
+			payload, err := a.Seq.MarshalRange(m.SrcOff, m.Len)
+			packTotal += time.Since(packStart)
+			if err != nil {
+				return nil, err
+			}
+			msg := &wire.Data{
+				RequestID: token,
+				ArgIndex:  uint32(i),
+				SrcRank:   uint32(me),
+				DstRank:   uint32(m.DstRank),
+				DstOff:    uint64(m.DstOff),
+				Count:     uint64(m.Len),
+				Payload:   payload,
+			}
+			if err := b.client.SendData(b.ref, msg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if timing != nil {
+		timing.Pack = packTotal
+	}
+
+	// The communicating thread collects the reply; everyone shares it.
+	var meta invokeMeta
+	if me == 0 {
+		res := <-replyCh
+		meta = metaFromReply(res.payload, res.err, Multiport)
+	}
+	if timing != nil {
+		timing.SendRecv = time.Since(sendStart)
+	}
+	if err := b.shareMeta(&meta); err != nil {
+		return nil, err
+	}
+	if meta.err != nil {
+		// Keep the threads aligned even on failure.
+		b.comm.Barrier()
+		return nil, meta.err
+	}
+
+	// Receive the return flows.
+	unpackStart := time.Now()
+	for i, a := range args {
+		if a.Dir == In {
+			continue
+		}
+		var clientLayout dist.Layout
+		var serverLayout dist.Layout
+		if a.Dir == Out {
+			if err := a.Seq.ResizeAlloc(meta.lengths[i]); err != nil {
+				return nil, err
+			}
+			clientLayout = a.Seq.Layout()
+			spec := desc.Args[i].specOrBlock()
+			sl, err := spec.Layout(meta.lengths[i], sRanks)
+			if err != nil {
+				return nil, err
+			}
+			serverLayout = sl
+		} else {
+			clientLayout = a.Seq.Layout()
+			serverLayout = plans[i].serverLayout
+		}
+		rev, err := dist.Plan(serverLayout, clientLayout)
+		if err != nil {
+			return nil, err
+		}
+		mine := dist.PlanByDest(rev, cRanks)[me]
+		if err := consumeMoves(sink, nil, b.client.Timeout, uint32(i), true, mine, a.Seq); err != nil {
+			return nil, err
+		}
+	}
+	if timing != nil {
+		timing.Unpack = time.Since(unpackStart)
+	}
+
+	// Post-invocation synchronization (the t_barrier of Table 2).
+	barrierStart := time.Now()
+	if err := b.comm.Barrier(); err != nil {
+		return nil, err
+	}
+	if timing != nil {
+		timing.Barrier = time.Since(barrierStart)
+	}
+	return meta.scalars, nil
+}
+
+// invokeMeta is the invocation outcome the communicating thread shares with
+// the others.
+type invokeMeta struct {
+	err     error
+	scalars []byte
+	lengths []int
+	datas   [][]byte // centralized only; not broadcast (thread 0 scatters)
+}
+
+func metaFromReply(payload []byte, err error, method Method) invokeMeta {
+	if err != nil {
+		return invokeMeta{err: err}
+	}
+	d, derr := orb.ArgDecoder(payload)
+	if derr != nil {
+		return invokeMeta{err: derr}
+	}
+	rh, derr := decodeReplyHeader(d, method)
+	if derr != nil {
+		return invokeMeta{err: derr}
+	}
+	m := invokeMeta{scalars: rh.Scalars, lengths: make([]int, len(rh.Args)), datas: make([][]byte, len(rh.Args))}
+	for i, a := range rh.Args {
+		m.lengths[i] = a.Length
+		m.datas[i] = a.Data
+	}
+	return m
+}
+
+// shareMeta broadcasts thread 0's invocation outcome (status, scalar
+// results, result lengths) to all threads. The centralized data payloads
+// stay at thread 0, which scatters them.
+func (b *Binding) shareMeta(m *invokeMeta) error {
+	var payload []byte
+	if b.comm.Rank() == 0 {
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		encodeMetaErr(e, m.err)
+		e.WriteOctets(m.scalars)
+		e.WriteULong(uint32(len(m.lengths)))
+		for _, l := range m.lengths {
+			e.WriteULongLong(uint64(l))
+		}
+		payload = e.Bytes()
+	}
+	payload, err := b.comm.Bcast(0, payload)
+	if err != nil {
+		return err
+	}
+	if b.comm.Rank() == 0 {
+		return nil
+	}
+	d := cdr.NewDecoder(payload, cdr.NativeOrder)
+	m.err, err = decodeMetaErr(d)
+	if err != nil {
+		return err
+	}
+	if m.scalars, err = d.ReadOctets(); err != nil {
+		return err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	m.lengths = make([]int, n)
+	m.datas = make([][]byte, n)
+	for i := range m.lengths {
+		l, err := d.ReadULongLong()
+		if err != nil {
+			return err
+		}
+		m.lengths[i] = int(l)
+	}
+	return nil
+}
+
+// Error kinds shared between threads.
+const (
+	metaOK byte = iota
+	metaUserExc
+	metaSystemExc
+	metaPlain
+)
+
+func encodeMetaErr(e *cdr.Encoder, err error) {
+	if err == nil {
+		e.WriteOctet(metaOK)
+		return
+	}
+	var ue *orb.UserException
+	if errors.As(err, &ue) {
+		e.WriteOctet(metaUserExc)
+		e.WriteString(ue.RepoID)
+		e.WriteString(ue.Message)
+		e.WriteOctets(ue.Payload)
+		return
+	}
+	var se *orb.SystemException
+	if errors.As(err, &se) {
+		e.WriteOctet(metaSystemExc)
+		e.WriteString(se.RepoID)
+		e.WriteULong(se.Minor)
+		e.WriteString(se.Message)
+		return
+	}
+	e.WriteOctet(metaPlain)
+	e.WriteString(err.Error())
+}
+
+func decodeMetaErr(d *cdr.Decoder) (error, error) {
+	kind, err := d.ReadOctet()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case metaOK:
+		return nil, nil
+	case metaUserExc:
+		var ue orb.UserException
+		if ue.RepoID, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if ue.Message, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if ue.Payload, err = d.ReadOctets(); err != nil {
+			return nil, err
+		}
+		return &ue, nil
+	case metaSystemExc:
+		var se orb.SystemException
+		if se.RepoID, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if se.Minor, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		if se.Message, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		return &se, nil
+	case metaPlain:
+		msg, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		return errors.New(msg), nil
+	default:
+		return nil, fmt.Errorf("%w: meta error kind %d", ErrBadHeader, kind)
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/dist"
+	"repro/internal/dseq"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+// Directive kinds broadcast from the communicating thread to the others.
+const (
+	directiveCall byte = iota
+	directiveStop
+)
+
+// Serve processes requests until an operation handler returns ErrStopServing
+// or Close is called on thread 0. It must be called collectively by all the
+// computing threads of the object — this is the paper's requirement that a
+// request be "delivered to all the computing threads". Serve returns nil on
+// an orderly stop.
+func (o *Object) Serve() error {
+	for {
+		proceed, err := o.Poll(true)
+		if err != nil {
+			return err
+		}
+		if !proceed {
+			return nil
+		}
+	}
+}
+
+// Poll processes at most one pending request, collectively. With block set
+// it waits for a request (or stop); without it, it returns immediately when
+// no request is queued — this is the hook that lets a busy server
+// "interrupt its computation in order to process outstanding requests"
+// (paper §2.1). The boolean result reports whether serving should continue.
+func (o *Object) Poll(block bool) (bool, error) {
+	if o.comm.Rank() == 0 {
+		var call *pendingCall
+		if block {
+			select {
+			case call = <-o.queue:
+			case <-o.stop:
+			}
+		} else {
+			select {
+			case call = <-o.queue:
+			case <-o.stop:
+			default:
+			}
+		}
+		if call == nil {
+			// Either stopping, or a non-blocking poll found nothing.
+			stopping := false
+			select {
+			case <-o.stop:
+				stopping = true
+			default:
+			}
+			if !block && !stopping {
+				// Tell the other threads there is nothing to do. A "none"
+				// verdict reuses the stop directive space with a third value.
+				if _, err := o.comm.Bcast(0, []byte{directiveNone}); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+			if _, err := o.comm.Bcast(0, []byte{directiveStop}); err != nil {
+				return false, err
+			}
+			return false, nil
+		}
+		// Broadcast the call to every thread.
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		e.WriteOctet(directiveCall)
+		call.header.encode(e)
+		if _, err := o.comm.Bcast(0, e.Bytes()); err != nil {
+			call.replyCh <- callResult{err: &orb.SystemException{RepoID: orb.RepoInternal, Message: err.Error()}}
+			return false, err
+		}
+		reply, stop, err := o.processCall(call.header)
+		call.replyCh <- callResult{reply: reply, err: err}
+		// Agree on whether to continue.
+		verdict := byte(0)
+		if stop {
+			verdict = 1
+		}
+		if _, err := o.comm.Bcast(0, []byte{verdict}); err != nil {
+			return false, err
+		}
+		return !stop, nil
+	}
+
+	// Non-communicating threads follow thread 0's directives.
+	dir, err := o.comm.Bcast(0, nil)
+	if err != nil {
+		return false, err
+	}
+	if len(dir) == 0 {
+		return false, fmt.Errorf("%w: empty directive", ErrBadHeader)
+	}
+	switch dir[0] {
+	case directiveStop:
+		return false, nil
+	case directiveNone:
+		return true, nil
+	case directiveCall:
+		d := cdr.NewDecoder(dir, cdr.NativeOrder)
+		if _, err := d.ReadOctet(); err != nil {
+			return false, err
+		}
+		hdr, err := decodeInvocationHeader(d)
+		if err != nil {
+			return false, err
+		}
+		if _, _, err := o.processCall(hdr); err != nil {
+			// Handler errors are reported through thread 0's reply; other
+			// threads keep serving.
+			_ = err
+		}
+		verdict, err := o.comm.Bcast(0, nil)
+		if err != nil {
+			return false, err
+		}
+		if len(verdict) == 1 && verdict[0] == 1 {
+			return false, nil
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: directive %d", ErrBadHeader, dir[0])
+	}
+}
+
+const directiveNone byte = 2
+
+// processCall runs one collective invocation on this computing thread. The
+// returned reply bytes are meaningful on thread 0 only; stop reports whether
+// the handler requested an orderly shutdown.
+func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err error) {
+	op := o.ops[h.Op] // validated on thread 0 before broadcast
+	if op == nil {
+		return nil, false, orb.BadOperation(h.Op)
+	}
+	me := o.comm.Rank()
+	sRanks := o.comm.Size()
+
+	// Build the server-side argument sequences.
+	lengths := make([]int, len(h.Args))
+	for i, a := range h.Args {
+		if a.Dir == Out {
+			lengths[i] = -1
+		} else {
+			lengths[i] = a.Layout.Length
+		}
+	}
+	args, err := op.NewArgs(o.comm, lengths)
+	if err != nil {
+		return nil, false, &orb.SystemException{RepoID: orb.RepoInternal, Message: err.Error()}
+	}
+	if len(args) != len(h.Args) {
+		return nil, false, &orb.SystemException{
+			RepoID:  orb.RepoInternal,
+			Message: fmt.Sprintf("NewArgs built %d sequences for %d args", len(args), len(h.Args)),
+		}
+	}
+
+	bucket := o.bucket(h.Token)
+	defer o.dropBucket(h.Token)
+
+	// Receive the In/InOut argument data.
+	for i, a := range h.Args {
+		if a.Dir == Out {
+			continue
+		}
+		switch h.Method {
+		case Centralized:
+			// Thread 0 holds the full payload; scatter it per the server
+			// layout (collective).
+			if err := args[i].ScatterUnmarshal(0, a.Data); err != nil {
+				return nil, false, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+			}
+		case Multiport:
+			moves, err := dist.Plan(a.Layout, args[i].Layout())
+			if err != nil {
+				return nil, false, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+			}
+			if err := o.receiveMoves(bucket, uint32(i), dist.PlanByDest(moves, sRanks)[me], args[i]); err != nil {
+				return nil, false, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+			}
+		}
+	}
+
+	// The collective upcall.
+	scalars, err := orb.ArgDecoder(h.Scalars)
+	if err != nil {
+		return nil, false, orb.Marshal(err)
+	}
+	out := orb.NewArgEncoder()
+	call := &ServerCall{Comm: o.comm, Op: h.Op, In: scalars, Out: out, Args: args}
+	herr := safeInvoke(op.Handler, call)
+	if herr != nil && errors.Is(herr, ErrStopServing) {
+		stop = true
+		herr = nil
+	}
+	if herr != nil {
+		return nil, stop, herr
+	}
+
+	// Synchronize after the invocation (the paper's post-invocation
+	// synchronization of the server's computing threads).
+	if err := o.comm.Barrier(); err != nil {
+		return nil, stop, err
+	}
+
+	// Return the Out/InOut argument data.
+	rh := &replyHeader{Scalars: out.Bytes(), Args: make([]replyArg, len(h.Args))}
+	for i, a := range h.Args {
+		rh.Args[i] = replyArg{Dir: a.Dir, Length: args[i].Len()}
+		if a.Dir == In {
+			continue
+		}
+		if a.Dir == InOut && args[i].Len() != a.Layout.Length {
+			return nil, stop, &orb.SystemException{
+				RepoID:  orb.RepoMarshal,
+				Message: fmt.Sprintf("handler resized inout arg %d from %d to %d", i, a.Layout.Length, args[i].Len()),
+			}
+		}
+		switch h.Method {
+		case Centralized:
+			payload, err := args[i].GatherMarshal(0)
+			if err != nil {
+				return nil, stop, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+			}
+			rh.Args[i].Data = payload
+		case Multiport:
+			// Compute the client's final layout for this argument.
+			var clientLayout dist.Layout
+			if a.Dir == InOut {
+				clientLayout = a.Layout
+			} else {
+				spec := a.Spec
+				if spec == nil {
+					spec = dist.Block{}
+				}
+				clientLayout, err = spec.Layout(args[i].Len(), h.ClientRanks)
+				if err != nil {
+					return nil, stop, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+				}
+			}
+			moves, err := dist.Plan(args[i].Layout(), clientLayout)
+			if err != nil {
+				return nil, stop, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+			}
+			if err := o.sendMoves(bucket, h.Token, uint32(i), dist.PlanBySource(moves, sRanks)[me], args[i]); err != nil {
+				return nil, stop, &orb.SystemException{RepoID: orb.RepoComm, Message: err.Error()}
+			}
+		}
+	}
+
+	if me == 0 {
+		e := orb.NewArgEncoder()
+		rh.encode(e, h.Method)
+		reply = e.Bytes()
+	}
+	return reply, stop, nil
+}
+
+// receiveMoves consumes the expected inbound transfers for one argument on
+// this computing thread and stores them into seq.
+func (o *Object) receiveMoves(bucket *dataBucket, argIdx uint32, expected []dist.Move, seq dseq.Transferable) error {
+	return consumeMoves(bucket.ch, o.stop, 0, argIdx, false, expected, seq)
+}
+
+// attachTimeout bounds how long a return-flow sender waits for a client
+// attachment that has not yet arrived.
+const attachTimeout = 30 * time.Second
+
+// sendMoves ships this computing thread's outbound transfers for one
+// argument back to the client threads over the connections they attached.
+func (o *Object) sendMoves(bucket *dataBucket, token, argIdx uint32, mine []dist.Move, seq dseq.Transferable) error {
+	for _, m := range mine {
+		payload, err := seq.MarshalRange(m.SrcOff, m.Len)
+		if err != nil {
+			return err
+		}
+		conn, err := bucket.conn(m.DstRank, o.stop, attachTimeout)
+		if err != nil {
+			return err
+		}
+		msg := &wire.Data{
+			RequestID: token,
+			ArgIndex:  argIdx,
+			SrcRank:   uint32(o.comm.Rank()),
+			DstRank:   uint32(m.DstRank),
+			DstOff:    uint64(m.DstOff),
+			Count:     uint64(m.Len),
+			Reply:     true,
+			Payload:   payload,
+		}
+		if err := conn.WriteMessage(msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// safeInvoke contains handler panics.
+func safeInvoke(h func(*ServerCall) error, call *ServerCall) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &orb.SystemException{RepoID: orb.RepoInternal, Message: fmt.Sprint("handler panic: ", p)}
+		}
+	}()
+	return h(call)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/dseq"
+	"repro/internal/wire"
+)
+
+// consumeMoves drains ch until every expected transfer for (argIdx,
+// wantReply) has arrived and been stored into seq. Transfers belonging to
+// other arguments of the same invocation are set aside and requeued.
+// A nil stop channel disables cancellation; a zero timeout disables the
+// deadline.
+func consumeMoves(ch chan *wire.Data, stop <-chan struct{}, timeout time.Duration,
+	argIdx uint32, wantReply bool, expected []dist.Move, seq dseq.Transferable) error {
+
+	want := make(map[uint64]int, len(expected)) // dstOff → element count
+	for _, m := range expected {
+		want[uint64(m.DstOff)] = m.Len
+	}
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	var stashed []*wire.Data
+	for len(want) > 0 {
+		var d *wire.Data
+		for i, m := range stashed {
+			if m.ArgIndex == argIdx && m.Reply == wantReply {
+				d = m
+				stashed = append(stashed[:i], stashed[i+1:]...)
+				break
+			}
+		}
+		if d == nil {
+			select {
+			case d = <-ch:
+			case <-stop:
+				return ErrStopped
+			case <-deadline:
+				return fmt.Errorf("core: timed out awaiting %d transfers for arg %d", len(want), argIdx)
+			}
+			if d.ArgIndex != argIdx || d.Reply != wantReply {
+				stashed = append(stashed, d)
+				if len(stashed) > bucketCapacity {
+					return fmt.Errorf("core: transfer flood: %d unexpected messages", len(stashed))
+				}
+				continue
+			}
+		}
+		n, ok := want[d.DstOff]
+		if !ok {
+			return fmt.Errorf("core: unexpected transfer at offset %d for arg %d", d.DstOff, argIdx)
+		}
+		if int(d.Count) != n {
+			return fmt.Errorf("core: transfer at offset %d has %d elements, want %d", d.DstOff, d.Count, n)
+		}
+		if err := seq.UnmarshalRange(int(d.DstOff), d.Payload); err != nil {
+			return err
+		}
+		delete(want, d.DstOff)
+	}
+	// Requeue transfers that belong to other arguments.
+	for _, d := range stashed {
+		ch <- d
+	}
+	return nil
+}

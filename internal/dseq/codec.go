@@ -1,0 +1,215 @@
+package dseq
+
+import (
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// Codec marshals slices of a sequence's element type. A codec writes a
+// count-prefixed CDR encoding (so truncation is detectable) and decodes it
+// back. Generated code supplies codecs for user-defined IDL types; the
+// predefined codecs below cover the basic types.
+type Codec[T any] struct {
+	// Name identifies the element type in diagnostics ("double", "long"...).
+	Name string
+	// EncodeSlice appends v to the stream.
+	EncodeSlice func(e *cdr.Encoder, v []T)
+	// DecodeSlice reads a slice written by EncodeSlice.
+	DecodeSlice func(d *cdr.Decoder) ([]T, error)
+}
+
+// Float64 is the codec for IDL double, the paper's benchmark element type.
+// It uses the block encoders, the marshalling hot path.
+var Float64 = Codec[float64]{
+	Name:        "double",
+	EncodeSlice: func(e *cdr.Encoder, v []float64) { e.WriteDoubles(v) },
+	DecodeSlice: func(d *cdr.Decoder) ([]float64, error) { return d.ReadDoubles() },
+}
+
+// Int32 is the codec for IDL long.
+var Int32 = Codec[int32]{
+	Name:        "long",
+	EncodeSlice: func(e *cdr.Encoder, v []int32) { e.WriteLongs(v) },
+	DecodeSlice: func(d *cdr.Decoder) ([]int32, error) { return d.ReadLongs() },
+}
+
+// Int64 is the codec for IDL long long.
+var Int64 = Codec[int64]{
+	Name: "long long",
+	EncodeSlice: func(e *cdr.Encoder, v []int64) {
+		e.WriteULong(uint32(len(v)))
+		for _, x := range v {
+			e.WriteLongLong(x)
+		}
+	},
+	DecodeSlice: func(d *cdr.Decoder) ([]int64, error) {
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, 0, minu32(n, 1<<20))
+		for i := uint32(0); i < n; i++ {
+			x, err := d.ReadLongLong()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, x)
+		}
+		return out, nil
+	},
+}
+
+// Float32 is the codec for IDL float.
+var Float32 = Codec[float32]{
+	Name: "float",
+	EncodeSlice: func(e *cdr.Encoder, v []float32) {
+		e.WriteULong(uint32(len(v)))
+		for _, x := range v {
+			e.WriteFloat(x)
+		}
+	},
+	DecodeSlice: func(d *cdr.Decoder) ([]float32, error) {
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float32, 0, minu32(n, 1<<20))
+		for i := uint32(0); i < n; i++ {
+			x, err := d.ReadFloat()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, x)
+		}
+		return out, nil
+	},
+}
+
+// Octet is the codec for IDL octet.
+var Octet = Codec[byte]{
+	Name:        "octet",
+	EncodeSlice: func(e *cdr.Encoder, v []byte) { e.WriteOctets(v) },
+	DecodeSlice: func(d *cdr.Decoder) ([]byte, error) {
+		b, err := d.ReadOctets()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, nil
+	},
+}
+
+// Bool is the codec for IDL boolean.
+var Bool = Codec[bool]{
+	Name: "boolean",
+	EncodeSlice: func(e *cdr.Encoder, v []bool) {
+		e.WriteULong(uint32(len(v)))
+		for _, x := range v {
+			e.WriteBool(x)
+		}
+	},
+	DecodeSlice: func(d *cdr.Decoder) ([]bool, error) {
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]bool, 0, minu32(n, 1<<20))
+		for i := uint32(0); i < n; i++ {
+			x, err := d.ReadBool()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, x)
+		}
+		return out, nil
+	},
+}
+
+// String is the codec for IDL string elements (a dsequence<string>).
+var String = Codec[string]{
+	Name: "string",
+	EncodeSlice: func(e *cdr.Encoder, v []string) {
+		e.WriteULong(uint32(len(v)))
+		for _, s := range v {
+			e.WriteString(s)
+		}
+	},
+	DecodeSlice: func(d *cdr.Decoder) ([]string, error) {
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, 0, minu32(n, 1<<20))
+		for i := uint32(0); i < n; i++ {
+			s, err := d.ReadString()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	},
+}
+
+// StructCodec builds a codec for a user-defined element type from
+// per-element marshal functions, the shape generated skeleton code uses.
+func StructCodec[T any](name string, enc func(*cdr.Encoder, T), dec func(*cdr.Decoder) (T, error)) Codec[T] {
+	return Codec[T]{
+		Name: name,
+		EncodeSlice: func(e *cdr.Encoder, v []T) {
+			e.WriteULong(uint32(len(v)))
+			for _, x := range v {
+				enc(e, x)
+			}
+		},
+		DecodeSlice: func(d *cdr.Decoder) ([]T, error) {
+			n, err := d.ReadULong()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]T, 0, minu32(n, 1<<20))
+			for i := uint32(0); i < n; i++ {
+				x, err := dec(d)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, x)
+			}
+			return out, nil
+		},
+	}
+}
+
+func minu32(n uint32, cap int) int {
+	if int(n) < cap {
+		return int(n)
+	}
+	return cap
+}
+
+// MarshalChunk renders elements as a standalone self-describing payload
+// (leading byte-order octet, like an argument payload), the format carried
+// by wire.Data messages and by centralized request bodies.
+func MarshalChunk[T any](c Codec[T], v []T) []byte {
+	e := cdr.NewEncoder(cdr.NativeOrder)
+	e.WriteOctet(byte(cdr.NativeOrder))
+	c.EncodeSlice(e, v)
+	return e.Bytes()
+}
+
+// UnmarshalChunk parses a payload produced by MarshalChunk.
+func UnmarshalChunk[T any](c Codec[T], payload []byte) ([]T, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("dseq: empty %s chunk", c.Name)
+	}
+	if payload[0] > 1 {
+		return nil, fmt.Errorf("dseq: bad chunk order flag %d", payload[0])
+	}
+	d := cdr.NewDecoder(payload, cdr.ByteOrder(payload[0]))
+	if _, err := d.ReadOctet(); err != nil {
+		return nil, err
+	}
+	return c.DecodeSlice(d)
+}

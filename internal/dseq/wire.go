@@ -1,0 +1,108 @@
+package dseq
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// This file is the bridge between distributed sequences and the PARDIS
+// transfer engines (internal/core). The engines are element-type agnostic:
+// they manipulate sequences through the Transferable view below, moving
+// opaque marshalled chunks whose encoding the sequence's codec owns.
+
+// Transferable is the engine-facing view of a distributed sequence.
+// *Seq[T] implements it for every element type.
+type Transferable interface {
+	// ElemName names the element type for header validation ("double"...).
+	ElemName() string
+	// Len returns the global length.
+	Len() int
+	// Layout returns the current layout.
+	Layout() dist.Layout
+	// Spec returns the distribution law, or nil when the layout was set
+	// explicitly.
+	Spec() dist.Spec
+	// MarshalRange renders local elements [off, off+n) as a chunk payload.
+	MarshalRange(off, n int) ([]byte, error)
+	// UnmarshalRange stores a chunk payload at local offset off.
+	UnmarshalRange(off int, payload []byte) error
+	// GatherMarshal collects the whole sequence at root and renders it as
+	// one chunk payload (nil at other ranks). Collective.
+	GatherMarshal(root int) ([]byte, error)
+	// ScatterUnmarshal distributes a whole-sequence chunk payload
+	// (significant at root) into every rank's local storage. Collective.
+	ScatterUnmarshal(root int, payload []byte) error
+	// ResizeAlloc reallocates the sequence to a new length using its spec
+	// (Block when unset), discarding contents. Not collective: every rank
+	// must call it with the same length.
+	ResizeAlloc(length int) error
+}
+
+// Spec returns the sequence's distribution law (nil if the layout was
+// explicit).
+func (s *Seq[T]) Spec() dist.Spec { return s.spec }
+
+// ElemName implements Transferable.
+func (s *Seq[T]) ElemName() string { return s.codec.Name }
+
+// MarshalRange implements Transferable.
+func (s *Seq[T]) MarshalRange(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(s.local) {
+		return nil, fmt.Errorf("%w: local range [%d,%d) of %d", ErrIndex, off, off+n, len(s.local))
+	}
+	return MarshalChunk(s.codec, s.local[off:off+n]), nil
+}
+
+// UnmarshalRange implements Transferable.
+func (s *Seq[T]) UnmarshalRange(off int, payload []byte) error {
+	vals, err := UnmarshalChunk(s.codec, payload)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(vals) > len(s.local) {
+		return fmt.Errorf("%w: chunk [%d,%d) outside %d local elements", ErrIndex, off, off+len(vals), len(s.local))
+	}
+	copy(s.local[off:], vals)
+	return nil
+}
+
+// GatherMarshal implements Transferable.
+func (s *Seq[T]) GatherMarshal(root int) ([]byte, error) {
+	full, err := s.GatherTo(root)
+	if err != nil {
+		return nil, err
+	}
+	if s.comm.Rank() != root {
+		return nil, nil
+	}
+	return MarshalChunk(s.codec, full), nil
+}
+
+// ScatterUnmarshal implements Transferable.
+func (s *Seq[T]) ScatterUnmarshal(root int, payload []byte) error {
+	var full []T
+	if s.comm.Rank() == root {
+		var err error
+		full, err = UnmarshalChunk(s.codec, payload)
+		if err != nil {
+			return err
+		}
+	}
+	return s.ScatterFrom(root, full)
+}
+
+// ResizeAlloc implements Transferable.
+func (s *Seq[T]) ResizeAlloc(length int) error {
+	spec := s.spec
+	if spec == nil {
+		spec = dist.Block{}
+	}
+	layout, err := spec.Layout(length, s.comm.Size())
+	if err != nil {
+		return err
+	}
+	s.layout = layout
+	s.local = make([]T, layout.Count(s.comm.Rank()))
+	return nil
+}

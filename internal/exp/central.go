@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// SimulateCentralized re-enacts one blocking invocation with a single "in"
+// distributed sequence of elems doubles using the centralized transfer
+// method (§3.2): client threads synchronize and gather the argument at the
+// communicating thread, which marshals and sends it as one (chunked)
+// message; the server's communicating thread receives, unmarshals, and
+// scatters; the reply is one small message.
+func SimulateCentralized(p Platform, c, s, elems int) (Breakdown, error) {
+	if c < 1 || s < 1 || elems < 0 {
+		return Breakdown{}, fmt.Errorf("exp: invalid configuration c=%d s=%d elems=%d", c, s, elems)
+	}
+	nBytes := elems * 8
+	sim := netsim.NewSim()
+	client := p.Client.build()
+	server := p.Server.build()
+	link := &netsim.Link{Bandwidth: p.Link.Bandwidth, Latency: p.Link.Latency, PerMessage: p.Link.PerMessage}
+
+	entry := sim.NewBarrier(c)
+	exit := sim.NewBarrier(c)
+	dataQ := sim.NewQueue(0)   // delivered chunks
+	credits := sim.NewQueue(0) // send window tokens
+	replyQ := sim.NewQueue(0)
+	serverDone := sim.NewWaitGroup(1)
+
+	var bd Breakdown
+
+	// Client computing threads.
+	for i := 0; i < c; i++ {
+		i := i
+		sim.Spawn(fmt.Sprintf("client/%d", i), client, func(pr *netsim.Proc) {
+			entry.Wait(pr)
+			if i != 0 {
+				// Non-communicating threads idle until the invocation
+				// completes; their memory traffic is charged at the root.
+				exit.Wait(pr)
+				return
+			}
+			start := pr.Sim().Now()
+
+			// Gather: the communicating thread receives every other
+			// thread's part over the RTS (one shared-memory message each).
+			g0 := pr.Sim().Now()
+			for r := 1; r < c; r++ {
+				pr.MemCopy(nBytes / c)
+			}
+			bd.Gather = pr.Sim().Now() - g0
+
+			// Marshal and send, pipelined chunk by chunk.
+			s0 := pr.Sim().Now()
+			var packTotal float64
+			for _, chunk := range p.chunks(nBytes) {
+				t0 := pr.Sim().Now()
+				pr.Pack(chunk)
+				packTotal += pr.Sim().Now() - t0
+				pr.Delay(pr.Machine().SyscallDelay())
+				credits.Get(pr)
+				ch := chunk
+				pr.Transmit(link, netsim.ClientToServer, ch, func() { dataQ.PutAsync(ch) })
+			}
+			bd.Pack = packTotal
+			bd.Send = pr.Sim().Now() - s0
+
+			// Await the reply, then release the team.
+			replyQ.Get(pr)
+			exit.Wait(pr)
+			bd.Total = pr.Sim().Now() - start
+		})
+	}
+
+	// Server computing threads.
+	for j := 0; j < s; j++ {
+		j := j
+		sim.Spawn(fmt.Sprintf("server/%d", j), server, func(pr *netsim.Proc) {
+			if j != 0 {
+				serverDone.Wait(pr)
+				return
+			}
+			// Receive and unmarshal the request.
+			r0 := pr.Sim().Now()
+			for range p.chunks(nBytes) {
+				ch := dataQ.Get(pr).(int)
+				pr.Delay(pr.Machine().SyscallDelay())
+				pr.Unpack(ch)
+				credits.PutAsync(struct{}{})
+			}
+			bd.RecvUnpack = pr.Sim().Now() - r0
+
+			// Scatter to the other computing threads over the RTS.
+			sc0 := pr.Sim().Now()
+			for r := 1; r < s; r++ {
+				pr.MemCopy(nBytes / s)
+			}
+			bd.Scatter = pr.Sim().Now() - sc0
+
+			// (The upcall itself is a no-op for the transfer benchmarks.)
+
+			// Reply.
+			pr.Delay(pr.Machine().SyscallDelay())
+			pr.Transmit(link, netsim.ServerToClient, p.HeaderBytes, func() { replyQ.PutAsync(struct{}{}) })
+			serverDone.Done()
+		})
+	}
+
+	// Preload the send window.
+	for i := 0; i < p.Window; i++ {
+		credits.PutAsync(struct{}{})
+	}
+
+	if _, err := sim.Run(); err != nil {
+		return Breakdown{}, err
+	}
+	return bd, nil
+}

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/netsim"
+)
+
+// SimulateMultiport re-enacts one blocking invocation with a single "in"
+// distributed sequence of elems doubles using the multi-port transfer
+// method (§3.3): the invocation header is delivered centrally, then every
+// client thread marshals the parts it owns and sends them directly to the
+// owning server threads; each server thread receives its expected transfers
+// (serving one source at a time, which is what sequentializes concurrent
+// senders when s is small), unmarshals, synchronizes, and the communicating
+// thread replies.
+func SimulateMultiport(p Platform, c, s, elems int) (Breakdown, error) {
+	return simulateMultiportLayouts(p, c, s, elems, nil, nil)
+}
+
+// SimulateMultiportUneven is SimulateMultiport with explicit uneven
+// proportions on either side (nil means uniform blockwise), reproducing the
+// §3.3 uneven-split check.
+func SimulateMultiportUneven(p Platform, c, s, elems int, clientProps, serverProps []int) (Breakdown, error) {
+	var cs, ss dist.Spec
+	if clientProps != nil {
+		cs = dist.Proportions{P: clientProps}
+	}
+	if serverProps != nil {
+		ss = dist.Proportions{P: serverProps}
+	}
+	return simulateMultiportLayouts(p, c, s, elems, cs, ss)
+}
+
+func simulateMultiportLayouts(p Platform, c, s, elems int, clientSpec, serverSpec dist.Spec) (Breakdown, error) {
+	if c < 1 || s < 1 || elems < 0 {
+		return Breakdown{}, fmt.Errorf("exp: invalid configuration c=%d s=%d elems=%d", c, s, elems)
+	}
+	if clientSpec == nil {
+		clientSpec = dist.Block{}
+	}
+	if serverSpec == nil {
+		serverSpec = dist.Block{}
+	}
+	clientLayout, err := clientSpec.Layout(elems, c)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	serverLayout, err := serverSpec.Layout(elems, s)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	// The same redistribution planner the real engine uses drives the
+	// simulated transfers.
+	moves, err := dist.Plan(clientLayout, serverLayout)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	bySrc := dist.PlanBySource(moves, c)
+	byDst := dist.PlanByDest(moves, s)
+
+	sim := netsim.NewSim()
+	client := p.Client.build()
+	server := p.Server.build()
+	link := &netsim.Link{Bandwidth: p.Link.Bandwidth, Latency: p.Link.Latency, PerMessage: p.Link.PerMessage}
+
+	entry := sim.NewBarrier(c)
+	exit := sim.NewBarrier(c)
+	serverSync := sim.NewBarrier(s)
+	headerAt := sim.NewWaitGroup(1)
+	replyQ := sim.NewQueue(0)
+
+	// Per (client, server) flow: a delivery queue and a send window.
+	flowQ := make([][]*netsim.Queue, c)
+	flowCredit := make([][]*netsim.Queue, c)
+	for i := 0; i < c; i++ {
+		flowQ[i] = make([]*netsim.Queue, s)
+		flowCredit[i] = make([]*netsim.Queue, s)
+		for j := 0; j < s; j++ {
+			flowQ[i][j] = sim.NewQueue(0)
+			flowCredit[i][j] = sim.NewQueue(0)
+			for w := 0; w < p.Window; w++ {
+				flowCredit[i][j].PutAsync(struct{}{})
+			}
+		}
+	}
+
+	var bd Breakdown
+	var total float64
+
+	// Client computing threads.
+	for i := 0; i < c; i++ {
+		i := i
+		sim.Spawn(fmt.Sprintf("client/%d", i), client, func(pr *netsim.Proc) {
+			entry.Wait(pr)
+			start := pr.Sim().Now()
+
+			if i == 0 {
+				// The invocation header travels centrally, first and alone.
+				pr.Delay(pr.Machine().SyscallDelay())
+				pr.Transmit(link, netsim.ClientToServer, p.HeaderBytes, func() { headerAt.Done() })
+			}
+
+			// Direct transfers: this thread marshals the parts it owns and
+			// ships them to their owning server threads.
+			s0 := pr.Sim().Now()
+			var packTotal float64
+			for _, m := range bySrc[i] {
+				for _, chunk := range p.chunks(m.Len * 8) {
+					t0 := pr.Sim().Now()
+					pr.Pack(chunk)
+					packTotal += pr.Sim().Now() - t0
+					pr.Delay(pr.Machine().SyscallDelay())
+					flowCredit[i][m.DstRank].Get(pr)
+					ch := chunk
+					q := flowQ[i][m.DstRank]
+					pr.Transmit(link, netsim.ClientToServer, ch, func() { q.PutAsync(ch) })
+				}
+			}
+			sendDur := pr.Sim().Now() - s0
+			if sendDur > bd.Send {
+				bd.Send = sendDur
+			}
+			if packTotal > bd.Pack {
+				bd.Pack = packTotal
+			}
+
+			// Post-invocation synchronization: the communicating thread
+			// waits for the reply; everyone meets in the exit barrier.
+			if i == 0 {
+				replyQ.Get(pr)
+			}
+			b0 := pr.Sim().Now()
+			exit.Wait(pr)
+			if w := pr.Sim().Now() - b0; w > bd.Barrier {
+				bd.Barrier = w
+			}
+			if i == 0 {
+				total = pr.Sim().Now() - start
+			}
+		})
+	}
+
+	// Server computing threads.
+	for j := 0; j < s; j++ {
+		j := j
+		sim.Spawn(fmt.Sprintf("server/%d", j), server, func(pr *netsim.Proc) {
+			headerAt.Wait(pr)
+			// Intra-server delivery of the request header to this thread.
+			pr.Delay(p.Server.MemLatency)
+
+			// Receive the expected transfers, one source at a time — the
+			// blocking-receive discipline whose consequences §3.3 observes.
+			r0 := pr.Sim().Now()
+			for src := 0; src < c; src++ {
+				for _, m := range byDst[j] {
+					if m.SrcRank != src {
+						continue
+					}
+					for range p.chunks(m.Len * 8) {
+						ch := flowQ[src][j].Get(pr).(int)
+						pr.Delay(pr.Machine().SyscallDelay())
+						pr.Unpack(ch)
+						flowCredit[src][j].PutAsync(struct{}{})
+					}
+				}
+			}
+			if d := pr.Sim().Now() - r0; d > bd.RecvUnpack {
+				bd.RecvUnpack = d
+			}
+
+			// Post-invocation synchronization of the server's threads,
+			// then the completion reply from the communicating thread.
+			serverSync.Wait(pr)
+			if j == 0 {
+				pr.Delay(pr.Machine().SyscallDelay())
+				pr.Transmit(link, netsim.ServerToClient, p.HeaderBytes, func() { replyQ.PutAsync(struct{}{}) })
+			}
+		})
+	}
+
+	if _, err := sim.Run(); err != nil {
+		return Breakdown{}, err
+	}
+	bd.Total = total
+	return bd, nil
+}

@@ -1,0 +1,176 @@
+// Package exp reproduces the paper's evaluation: Table 1 (centralized
+// argument transfer), Table 2 (multi-port argument transfer), the §3.3
+// uneven-split check, and Figure 4 (effective bandwidth vs sequence length).
+//
+// Two execution modes are provided for every experiment:
+//
+//   - Simulated (Simulate*): the invocation protocols of internal/core are
+//     re-enacted step by step on the discrete-event platform of
+//     internal/netsim, calibrated to the paper's hardware (4-CPU SGI Onyx
+//     client, 10-CPU SGI Power Challenge server, dedicated ATM link, MPICH
+//     over shared memory). This mode reproduces the paper's breakdown
+//     columns and absolute scale.
+//
+//   - Real (Run* in real.go): the actual PARDIS stack — rts worlds, the ORB,
+//     both transfer engines — runs over loopback TCP and is timed with the
+//     instrumentation of core.Timing. This mode validates that the
+//     implemented system shows the same relative behaviour on real hardware
+//     (absolute values reflect the host machine, not the 1997 testbed).
+package exp
+
+import "repro/internal/netsim"
+
+// MachineSpec parameterizes one host of the platform.
+type MachineSpec struct {
+	Name string
+	// CPUs is the processor count.
+	CPUs int
+	// PackRate and UnpackRate are per-thread marshalling throughputs in
+	// bytes/second.
+	PackRate   float64
+	UnpackRate float64
+	// MemRate and MemLatency model one leg of the RTS gather/scatter over
+	// shared memory.
+	MemRate    float64
+	MemLatency float64
+	// SyscallBase and DescheduleCost model scheduler interference per
+	// network operation (see netsim.Machine).
+	SyscallBase    float64
+	DescheduleCost float64
+}
+
+func (m MachineSpec) build() *netsim.Machine {
+	return &netsim.Machine{
+		Name:           m.Name,
+		CPUs:           m.CPUs,
+		PackRate:       m.PackRate,
+		UnpackRate:     m.UnpackRate,
+		MemRate:        m.MemRate,
+		MemLatency:     m.MemLatency,
+		SyscallBase:    m.SyscallBase,
+		DescheduleCost: m.DescheduleCost,
+	}
+}
+
+// LinkSpec parameterizes the network link between the machines.
+type LinkSpec struct {
+	Bandwidth  float64 // bytes/second per direction
+	Latency    float64 // seconds
+	PerMessage float64 // fixed per-transmission cost, seconds
+}
+
+// Platform is a complete experimental configuration.
+type Platform struct {
+	Client MachineSpec
+	Server MachineSpec
+	Link   LinkSpec
+	// ChunkBytes is the transfer granularity: marshalling and transmission
+	// are pipelined chunk by chunk (NexusLite-style).
+	ChunkBytes int
+	// Window is the per-flow send window in chunks; large sends are
+	// effectively synchronous beyond it (paper §3.1).
+	Window int
+	// HeaderBytes sizes the invocation header message.
+	HeaderBytes int
+}
+
+// PaperPlatform returns the calibration that reproduces the scale of the
+// paper's measurements:
+//
+//   - the client is the 4-CPU SGI Onyx R4400 (experiments oversubscribe it
+//     with up to 8 computing threads, which is what makes scheduler
+//     interference visible);
+//   - the server is the 10-CPU SGI Power Challenge R8000;
+//   - the link is the dedicated ATM connection under LAN emulation. Its
+//     raw capacity is set to 30 MB/s so that the multi-port method's
+//     observed peak lands at the paper's 26.7 MB/s once per-message costs
+//     are paid; the centralized method is then limited by the single
+//     communicating thread's receive path at ≈ 10–12 MB/s, matching the
+//     paper's 12.27 MB/s peak;
+//   - unpacking on the server's communicating thread, plus its per-chunk
+//     scheduler penalty, is calibrated so the centralized totals for a
+//     2^19-double sequence land in the paper's 417–697 ms band.
+func PaperPlatform() Platform {
+	return Platform{
+		Client: MachineSpec{
+			Name:           "sgi-onyx",
+			CPUs:           4,
+			PackRate:       60e6,
+			UnpackRate:     40e6,
+			MemRate:        120e6,
+			MemLatency:     200e-6,
+			SyscallBase:    50e-6,
+			DescheduleCost: 100e-6,
+		},
+		Server: MachineSpec{
+			Name:           "sgi-powerchallenge",
+			CPUs:           10,
+			PackRate:       60e6,
+			UnpackRate:     14e6,
+			MemRate:        150e6,
+			MemLatency:     200e-6,
+			SyscallBase:    50e-6,
+			DescheduleCost: 600e-6,
+		},
+		Link: LinkSpec{
+			Bandwidth:  30e6,
+			Latency:    500e-6,
+			PerMessage: 100e-6,
+		},
+		ChunkBytes:  64 << 10,
+		Window:      16,
+		HeaderBytes: 256,
+	}
+}
+
+// Breakdown is the per-invocation timing decomposition the paper's tables
+// report. All values are in seconds of simulated (or measured) time.
+type Breakdown struct {
+	// Total is the full invocation latency observed by the client's
+	// communicating thread, entry synchronization to exit synchronization.
+	Total float64
+	// Gather is the client-side collection of distributed arguments at the
+	// communicating thread (centralized method).
+	Gather float64
+	// Scatter is the server-side distribution from the communicating
+	// thread (centralized method).
+	Scatter float64
+	// Pack is the marshalling time (maximum over participating threads).
+	Pack float64
+	// Send is the sending time including link serialization and window
+	// stalls (maximum over sending threads).
+	Send float64
+	// RecvUnpack is the receive-plus-unmarshal time (maximum over
+	// receiving threads).
+	RecvUnpack float64
+	// Barrier is the post-invocation synchronization wait (maximum over
+	// the client's threads; §3.3 uses it to diagnose send
+	// sequentialization).
+	Barrier float64
+}
+
+// Bandwidth returns the effective transfer bandwidth for a payload of n
+// bytes: the Figure 4 metric ("effective bandwidth of an `in' argument
+// transfer, including all the invocation overhead").
+func (b Breakdown) Bandwidth(n int) float64 {
+	if b.Total <= 0 {
+		return 0
+	}
+	return float64(n) / b.Total
+}
+
+// chunks splits n bytes into platform chunks, returning the size of each.
+func (p Platform) chunks(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var out []int
+	for off := 0; off < n; off += p.ChunkBytes {
+		c := p.ChunkBytes
+		if off+c > n {
+			c = n - off
+		}
+		out = append(out, c)
+	}
+	return out
+}

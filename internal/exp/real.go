@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dseq"
+	"repro/internal/naming"
+	"repro/internal/rts"
+)
+
+// RealConfig describes one real-stack measurement: a c-thread SPMD client
+// invoking an s-thread SPMD object over loopback TCP with one "in"
+// dsequence<double> of Elems elements, Reps times, using Method.
+type RealConfig struct {
+	C, S   int
+	Elems  int
+	Reps   int
+	Method core.Method
+}
+
+// RunReal executes the configuration on the real PARDIS stack and returns
+// the mean client-side breakdown (communicating thread's view). This is the
+// measured counterpart of the simulated tables: absolute values reflect the
+// host machine rather than the paper's 1997 testbed, but the relative
+// behaviour of the two transfer methods is directly comparable.
+func RunReal(cfg RealConfig) (Breakdown, error) {
+	if cfg.C < 1 || cfg.S < 1 || cfg.Elems < 0 || cfg.Reps < 1 {
+		return Breakdown{}, fmt.Errorf("exp: invalid real config %+v", cfg)
+	}
+	const timeout = 60 * time.Second
+
+	ns, err := naming.NewServer("127.0.0.1:0")
+	if err != nil {
+		return Breakdown{}, err
+	}
+	defer ns.Close()
+
+	xferDesc := core.OpDesc{Name: "xfer", Args: []core.ArgDesc{{Name: "arr", Dir: core.In, Elem: "double"}}}
+	serverW := rts.NewWorld(cfg.S, rts.Options{RecvTimeout: timeout})
+	defer serverW.Close()
+	serverErr := make(chan error, 1)
+	objects := make([]*core.Object, cfg.S)
+	var objMu sync.Mutex
+	ready := make(chan struct{})
+	var once sync.Once
+	go func() {
+		serverErr <- serverW.Run(func(c *rts.Comm) error {
+			obj, err := core.Export(c, core.ExportOptions{
+				TypeID:     "IDL:pardis/bench:1.0",
+				Multiport:  true,
+				Name:       "bench",
+				NameServer: ns.Addr(),
+			}, []core.Operation{{
+				Desc:    xferDesc,
+				NewArgs: core.SeqArgsFloat64(xferDesc.Args),
+				Handler: func(call *core.ServerCall) error { return nil },
+			}})
+			if err != nil {
+				once.Do(func() { close(ready) })
+				return err
+			}
+			objMu.Lock()
+			objects[c.Rank()] = obj
+			objMu.Unlock()
+			if c.Rank() == 0 {
+				once.Do(func() { close(ready) })
+			}
+			return obj.Serve()
+		})
+	}()
+	<-ready
+	defer func() {
+		objMu.Lock()
+		objs := append([]*core.Object(nil), objects...)
+		objMu.Unlock()
+		for _, o := range objs {
+			if o != nil {
+				o.Close()
+			}
+		}
+		<-serverErr
+	}()
+
+	clientW := rts.NewWorld(cfg.C, rts.Options{RecvTimeout: timeout})
+	defer clientW.Close()
+	var mu sync.Mutex
+	var sum Breakdown
+	err = clientW.Run(func(c *rts.Comm) error {
+		b, err := core.SPMDBind(c, "bench", ns.Addr(), core.BindOptions{Method: cfg.Method, Timeout: timeout})
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		arr, err := dseq.New(c, dseq.Float64, cfg.Elems, nil)
+		if err != nil {
+			return err
+		}
+		arr.FillFunc(func(g int) float64 { return float64(g) })
+		args := []core.DistArg{core.InSeq(arr)}
+		// Warm the connections and code paths once, unmeasured.
+		if _, err := b.Invoke("xfer", core.ScalarEncoder().Bytes(), args); err != nil {
+			return err
+		}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			var tm core.Timing
+			if _, err := b.InvokeMethod(cfg.Method, "xfer", core.ScalarEncoder().Bytes(), args, &tm); err != nil {
+				return fmt.Errorf("rep %d: %w", rep, err)
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				sum.Total += tm.Total.Seconds()
+				sum.Gather += tm.Gather.Seconds()
+				sum.Scatter += tm.Scatter.Seconds()
+				sum.Pack += tm.Pack.Seconds()
+				sum.Send += tm.SendRecv.Seconds()
+				sum.RecvUnpack += tm.Unpack.Seconds()
+				sum.Barrier += tm.Barrier.Seconds()
+				mu.Unlock()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Breakdown{}, err
+	}
+	n := float64(cfg.Reps)
+	sum.Total /= n
+	sum.Gather /= n
+	sum.Scatter /= n
+	sum.Pack /= n
+	sum.Send /= n
+	sum.RecvUnpack /= n
+	sum.Barrier /= n
+	return sum, nil
+}
+
+// RunRealComparison measures both methods on the same configuration and
+// reports (centralized, multiport).
+func RunRealComparison(c, s, elems, reps int) (Breakdown, Breakdown, error) {
+	central, err := RunReal(RealConfig{C: c, S: s, Elems: elems, Reps: reps, Method: core.Centralized})
+	if err != nil {
+		return Breakdown{}, Breakdown{}, err
+	}
+	multi, err := RunReal(RealConfig{C: c, S: s, Elems: elems, Reps: reps, Method: core.Multiport})
+	if err != nil {
+		return Breakdown{}, Breakdown{}, err
+	}
+	return central, multi, nil
+}

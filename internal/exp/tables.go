@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PaperElems is the sequence length of Tables 1 and 2: 2^19 doubles (4 MiB).
+const PaperElems = 1 << 19
+
+// Table1ClientCounts and Table1ServerCounts are the configurations of the
+// paper's Table 1.
+var (
+	Table1ClientCounts = []int{1, 2, 4, 8}
+	Table1ServerCounts = []int{4, 8}
+)
+
+// Table2ClientCounts and Table2ServerCounts are the configurations of the
+// paper's Table 2.
+var (
+	Table2ClientCounts = []int{1, 2, 4, 8}
+	Table2ServerCounts = []int{1, 2, 4}
+)
+
+// Figure4Client and Figure4Server fix the figure's configuration: "the most
+// powerful client-server configuration considered" in the method tables.
+const (
+	Figure4Client = 8
+	Figure4Server = 4
+)
+
+// Figure4Lengths is the sweep of Figure 4: 10^1 … 10^7 doubles.
+var Figure4Lengths = func() []int {
+	out := make([]int, 0, 7)
+	n := 10
+	for i := 0; i < 7; i++ {
+		out = append(out, n)
+		n *= 10
+	}
+	return out
+}()
+
+// Row is one table line: a configuration plus its breakdown.
+type Row struct {
+	C, S  int
+	Elems int
+	B     Breakdown
+}
+
+// Table1 regenerates the centralized-method table on the given platform.
+func Table1(p Platform) ([]Row, error) {
+	var rows []Row
+	for _, s := range Table1ServerCounts {
+		for _, c := range Table1ClientCounts {
+			b, err := SimulateCentralized(p, c, s, PaperElems)
+			if err != nil {
+				return nil, fmt.Errorf("table 1 c=%d s=%d: %w", c, s, err)
+			}
+			rows = append(rows, Row{C: c, S: s, Elems: PaperElems, B: b})
+		}
+	}
+	return rows, nil
+}
+
+// Table2 regenerates the multi-port-method table on the given platform.
+func Table2(p Platform) ([]Row, error) {
+	var rows []Row
+	for _, s := range Table2ServerCounts {
+		for _, c := range Table2ClientCounts {
+			b, err := SimulateMultiport(p, c, s, PaperElems)
+			if err != nil {
+				return nil, fmt.Errorf("table 2 c=%d s=%d: %w", c, s, err)
+			}
+			rows = append(rows, Row{C: c, S: s, Elems: PaperElems, B: b})
+		}
+	}
+	return rows, nil
+}
+
+// UnevenSplit reproduces the §3.3 check that an unevenly split sequence
+// costs about the same as an even split: it returns the even and uneven
+// multi-port breakdowns for a c=3, s=5 configuration.
+func UnevenSplit(p Platform) (even, uneven Breakdown, err error) {
+	even, err = SimulateMultiport(p, 3, 5, PaperElems)
+	if err != nil {
+		return
+	}
+	uneven, err = SimulateMultiportUneven(p, 3, 5, PaperElems, []int{1, 4, 2}, []int{2, 1, 3, 1, 2})
+	return
+}
+
+// FigurePoint is one x-position of Figure 4.
+type FigurePoint struct {
+	Elems       int
+	Centralized Breakdown
+	Multiport   Breakdown
+}
+
+// CentralBW returns the centralized effective bandwidth in bytes/second.
+func (f FigurePoint) CentralBW() float64 { return f.Centralized.Bandwidth(f.Elems * 8) }
+
+// MultiBW returns the multi-port effective bandwidth in bytes/second.
+func (f FigurePoint) MultiBW() float64 { return f.Multiport.Bandwidth(f.Elems * 8) }
+
+// Figure4 regenerates the bandwidth-versus-length comparison.
+func Figure4(p Platform) ([]FigurePoint, error) {
+	return Figure4At(p, Figure4Client, Figure4Server, Figure4Lengths)
+}
+
+// Figure4At is Figure4 with an explicit configuration and sweep.
+func Figure4At(p Platform, c, s int, lengths []int) ([]FigurePoint, error) {
+	var pts []FigurePoint
+	for _, n := range lengths {
+		bc, err := SimulateCentralized(p, c, s, n)
+		if err != nil {
+			return nil, fmt.Errorf("figure 4 centralized n=%d: %w", n, err)
+		}
+		bm, err := SimulateMultiport(p, c, s, n)
+		if err != nil {
+			return nil, fmt.Errorf("figure 4 multi-port n=%d: %w", n, err)
+		}
+		pts = append(pts, FigurePoint{Elems: n, Centralized: bc, Multiport: bm})
+	}
+	return pts, nil
+}
+
+func ms(v float64) string { return fmt.Sprintf("%7.1f", v*1e3) }
+
+// FormatTable1 renders Table 1 in the paper's arrangement (times in
+// milliseconds; one "in" dsequence<double, 2^19>).
+func FormatTable1(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — centralized argument transfer, %d doubles (times in ms)\n", PaperElems)
+	fmt.Fprintf(&b, "%3s %3s | %7s %7s %7s %7s %7s %7s\n", "c", "s", "total", "gather", "pack", "send", "recvunp", "scatter")
+	sep := strings.Repeat("-", 66)
+	last := -1
+	for _, r := range rows {
+		if r.S != last {
+			fmt.Fprintln(&b, sep)
+			last = r.S
+		}
+		fmt.Fprintf(&b, "%3d %3d | %s %s %s %s %s %s\n",
+			r.C, r.S, ms(r.B.Total), ms(r.B.Gather), ms(r.B.Pack), ms(r.B.Send), ms(r.B.RecvUnpack), ms(r.B.Scatter))
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2 in the paper's arrangement.
+func FormatTable2(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — multi-port argument transfer, %d doubles (times in ms)\n", PaperElems)
+	fmt.Fprintf(&b, "%3s %3s | %7s %7s %7s %7s %7s\n", "c", "s", "total", "pack", "send", "recvunp", "barrier")
+	sep := strings.Repeat("-", 56)
+	last := -1
+	for _, r := range rows {
+		if r.S != last {
+			fmt.Fprintln(&b, sep)
+			last = r.S
+		}
+		fmt.Fprintf(&b, "%3d %3d | %s %s %s %s %s\n",
+			r.C, r.S, ms(r.B.Total), ms(r.B.Pack), ms(r.B.Send), ms(r.B.RecvUnpack), ms(r.B.Barrier))
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders the figure's data series as a table of effective
+// bandwidths in MB/s.
+func FormatFigure4(pts []FigurePoint, c, s int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — effective bandwidth vs sequence length (c=%d, s=%d)\n", c, s)
+	fmt.Fprintf(&b, "%12s | %12s %12s\n", "doubles", "centralized", "multi-port")
+	fmt.Fprintln(&b, strings.Repeat("-", 42))
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%12d | %9.2f MB/s %6.2f MB/s\n", p.Elems, p.CentralBW()/1e6, p.MultiBW()/1e6)
+	}
+	return b.String()
+}

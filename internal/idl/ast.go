@@ -1,0 +1,246 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec is a parsed IDL specification (one compilation unit).
+type Spec struct {
+	File string
+	Defs []Def
+}
+
+// Def is a top-level or module-level definition.
+type Def interface {
+	DefName() string
+	DefPos() Pos
+}
+
+// Module groups definitions under a scope.
+type Module struct {
+	Name string
+	Pos  Pos
+	Defs []Def
+}
+
+func (m *Module) DefName() string { return m.Name }
+func (m *Module) DefPos() Pos     { return m.Pos }
+
+// Interface is an object type declaration.
+type Interface struct {
+	Name  string
+	Pos   Pos
+	Bases []string // scoped names of inherited interfaces
+	Ops   []*Operation
+	Defs  []Def // nested typedefs/consts/structs/enums/exceptions
+	// RepoID is the repository id, "IDL:<scope>/<name>:1.0".
+	RepoID string
+	// BaseRefs holds the resolved base interfaces (filled by Analyze).
+	BaseRefs []*Interface
+}
+
+func (i *Interface) DefName() string { return i.Name }
+func (i *Interface) DefPos() Pos     { return i.Pos }
+
+// Operation is one interface operation.
+type Operation struct {
+	Name    string
+	Pos     Pos
+	Oneway  bool
+	Returns Type // nil for void
+	Params  []*Param
+	Raises  []string
+	// RaisesRefs holds the resolved exceptions (filled by Analyze).
+	RaisesRefs []*Exception
+}
+
+// Param is one operation parameter.
+type Param struct {
+	Name string
+	Pos  Pos
+	Dir  ParamDir
+	Type Type
+}
+
+// ParamDir is a parameter passing mode.
+type ParamDir int
+
+const (
+	DirIn ParamDir = iota
+	DirOut
+	DirInOut
+)
+
+func (d ParamDir) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	default:
+		return "inout"
+	}
+}
+
+// Typedef aliases a type.
+type Typedef struct {
+	Name string
+	Pos  Pos
+	Type Type
+}
+
+func (t *Typedef) DefName() string { return t.Name }
+func (t *Typedef) DefPos() Pos     { return t.Pos }
+
+// Struct is a value aggregate.
+type Struct struct {
+	Name    string
+	Pos     Pos
+	Members []Member
+}
+
+// Member is one struct/exception field.
+type Member struct {
+	Name string
+	Pos  Pos
+	Type Type
+}
+
+func (s *Struct) DefName() string { return s.Name }
+func (s *Struct) DefPos() Pos     { return s.Pos }
+
+// Enum is an enumeration.
+type Enum struct {
+	Name    string
+	Pos     Pos
+	Members []string
+}
+
+func (e *Enum) DefName() string { return e.Name }
+func (e *Enum) DefPos() Pos     { return e.Pos }
+
+// Const is a constant definition.
+type Const struct {
+	Name  string
+	Pos   Pos
+	Type  Type
+	Value string // literal text (validated against Type)
+}
+
+func (c *Const) DefName() string { return c.Name }
+func (c *Const) DefPos() Pos     { return c.Pos }
+
+// Exception is a user exception type.
+type Exception struct {
+	Name    string
+	Pos     Pos
+	Members []Member
+	RepoID  string
+}
+
+func (e *Exception) DefName() string { return e.Name }
+func (e *Exception) DefPos() Pos     { return e.Pos }
+
+// Type is an IDL type reference.
+type Type interface {
+	TypeName() string
+}
+
+// BasicKind enumerates the builtin types.
+type BasicKind int
+
+const (
+	TVoid BasicKind = iota
+	TShort
+	TUShort
+	TLong
+	TULong
+	TLongLong
+	TULongLong
+	TFloat
+	TDouble
+	TBoolean
+	TChar
+	TOctet
+	TString
+)
+
+var basicNames = map[BasicKind]string{
+	TVoid: "void", TShort: "short", TUShort: "unsigned short",
+	TLong: "long", TULong: "unsigned long",
+	TLongLong: "long long", TULongLong: "unsigned long long",
+	TFloat: "float", TDouble: "double", TBoolean: "boolean",
+	TChar: "char", TOctet: "octet", TString: "string",
+}
+
+// Basic is a builtin type.
+type Basic struct {
+	Kind BasicKind
+}
+
+func (b Basic) TypeName() string { return basicNames[b.Kind] }
+
+// Named refers to a user-defined type by (possibly scoped) name; after
+// semantic analysis, Ref holds the definition.
+type Named struct {
+	Name string
+	Pos  Pos
+	Ref  Def
+}
+
+func (n *Named) TypeName() string { return n.Name }
+
+// Sequence is the conventional CORBA sequence<T[,N]>.
+type Sequence struct {
+	Elem  Type
+	Bound int // 0 = unbounded
+}
+
+func (s *Sequence) TypeName() string {
+	if s.Bound > 0 {
+		return fmt.Sprintf("sequence<%s,%d>", s.Elem.TypeName(), s.Bound)
+	}
+	return fmt.Sprintf("sequence<%s>", s.Elem.TypeName())
+}
+
+// DistKind classifies a dsequence distribution clause.
+type DistKind int
+
+const (
+	DistUnspecified DistKind = iota
+	DistBlock
+	DistCyclic
+	DistProportions
+)
+
+// DSequence is the PARDIS distributed sequence dsequence<T[,N][,dist]>
+// (paper §2.2). Bound 0 means unbounded (run-time length).
+type DSequence struct {
+	Elem        Type
+	Bound       int
+	Dist        DistKind
+	CyclicBlock int
+	Proportions []int
+}
+
+func (d *DSequence) TypeName() string {
+	var parts []string
+	parts = append(parts, d.Elem.TypeName())
+	if d.Bound > 0 {
+		parts = append(parts, fmt.Sprint(d.Bound))
+	}
+	switch d.Dist {
+	case DistBlock:
+		parts = append(parts, "block")
+	case DistCyclic:
+		parts = append(parts, fmt.Sprintf("cyclic(%d)", d.CyclicBlock))
+	case DistProportions:
+		ps := make([]string, len(d.Proportions))
+		for i, p := range d.Proportions {
+			ps[i] = fmt.Sprint(p)
+		}
+		parts = append(parts, "proportions("+strings.Join(ps, ",")+")")
+	}
+	return "dsequence<" + strings.Join(parts, ",") + ">"
+}

@@ -1,0 +1,21 @@
+// Package idl implements the front end of the PARDIS IDL compiler: a lexer,
+// a recursive-descent parser, and a semantic analyzer for the CORBA IDL
+// subset PARDIS uses, extended with the distributed sequence type
+// constructor of paper §2.2:
+//
+//	typedef dsequence<double, 1024> diff_array;
+//
+//	interface diff_object {
+//	    void diffusion(in long timestep, inout diff_array darray);
+//	};
+//
+// The dsequence type accepts an optional length bound and an optional
+// distribution clause (block, cyclic(B), or proportions(p0,p1,...)); leaving
+// the distribution unspecified "allows interacting objects to trade
+// sequences of different distributions at client and server", and leaving
+// the length unspecified "allows the objects to grow and shrink sequences
+// between interactions".
+//
+// internal/idlgen translates the analyzed AST into Go stubs and skeletons
+// over internal/core, playing the role of the paper's IDL-to-HPC++ compiler.
+package idl

@@ -1,0 +1,328 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+const diffIDL = `
+// The paper's running example (§2.1/§2.2).
+typedef dsequence<double, 1024> diff_array;
+
+interface diff_object {
+    void diffusion(in long timestep, inout diff_array darray);
+};
+`
+
+func parseOK(t *testing.T, src string) *Spec {
+	t.Helper()
+	spec, err := Parse("test.idl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := MustAnalyze(spec); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return spec
+}
+
+func TestPaperExample(t *testing.T) {
+	spec := parseOK(t, diffIDL)
+	ifaces := spec.Interfaces()
+	if len(ifaces) != 1 || ifaces[0].Name != "diff_object" {
+		t.Fatalf("interfaces %v", ifaces)
+	}
+	iface := ifaces[0]
+	if iface.RepoID != "IDL:diff_object:1.0" {
+		t.Fatalf("repo id %q", iface.RepoID)
+	}
+	if len(iface.Ops) != 1 {
+		t.Fatalf("%d ops", len(iface.Ops))
+	}
+	op := iface.Ops[0]
+	if op.Name != "diffusion" || op.Returns != nil || len(op.Params) != 2 {
+		t.Fatalf("op %+v", op)
+	}
+	if op.Params[0].Dir != DirIn || op.Params[0].Type.TypeName() != "long" {
+		t.Fatalf("param 0 %+v", op.Params[0])
+	}
+	if op.Params[1].Dir != DirInOut {
+		t.Fatalf("param 1 %+v", op.Params[1])
+	}
+	ds := ResolveDSequence(op.Params[1].Type)
+	if ds == nil {
+		t.Fatal("darray is not a dsequence after alias resolution")
+	}
+	if ds.Bound != 1024 || ds.Elem.TypeName() != "double" {
+		t.Fatalf("dsequence %+v", ds)
+	}
+}
+
+func TestDSequenceVariants(t *testing.T) {
+	src := `
+typedef dsequence<double> ds_plain;
+typedef dsequence<double, 4096> ds_bounded;
+typedef dsequence<double, 4096, block> ds_block;
+typedef dsequence<long, cyclic(8)> ds_cyclic;
+typedef dsequence<float, 100, proportions(2,4,2,4)> ds_props;
+typedef dsequence<string> ds_strings;
+`
+	spec := parseOK(t, src)
+	byName := map[string]*DSequence{}
+	for _, d := range spec.Defs {
+		td := d.(*Typedef)
+		byName[td.Name] = ResolveDSequence(td.Type)
+	}
+	if byName["ds_plain"].Bound != 0 || byName["ds_plain"].Dist != DistUnspecified {
+		t.Errorf("ds_plain %+v", byName["ds_plain"])
+	}
+	if byName["ds_bounded"].Bound != 4096 {
+		t.Errorf("ds_bounded %+v", byName["ds_bounded"])
+	}
+	if byName["ds_block"].Dist != DistBlock {
+		t.Errorf("ds_block %+v", byName["ds_block"])
+	}
+	if c := byName["ds_cyclic"]; c.Dist != DistCyclic || c.CyclicBlock != 8 {
+		t.Errorf("ds_cyclic %+v", c)
+	}
+	p := byName["ds_props"]
+	if p.Dist != DistProportions || len(p.Proportions) != 4 || p.Proportions[1] != 4 {
+		t.Errorf("ds_props %+v", p)
+	}
+	if got := p.TypeName(); !strings.Contains(got, "proportions(2,4,2,4)") {
+		t.Errorf("TypeName %q", got)
+	}
+}
+
+func TestModulesAndScoping(t *testing.T) {
+	src := `
+module pardis {
+    struct Point { long x, y; };
+    module inner {
+        typedef sequence<Point> Points;
+        interface shapes {
+            Point centroid(in Points ps);
+        };
+    };
+};
+`
+	spec := parseOK(t, src)
+	ifaces := spec.Interfaces()
+	if len(ifaces) != 1 {
+		t.Fatalf("%d interfaces", len(ifaces))
+	}
+	if ifaces[0].RepoID != "IDL:pardis/inner/shapes:1.0" {
+		t.Fatalf("repo id %q", ifaces[0].RepoID)
+	}
+}
+
+func TestInterfaceInheritanceAndMembers(t *testing.T) {
+	src := `
+interface base {
+    void ping();
+};
+exception Overflow { long limit; };
+interface derived : base {
+    const long MAX = 100;
+    enum Mode { FAST, SAFE };
+    long compute(in Mode m, in double x) raises (Overflow);
+    oneway void notify(in string msg);
+    dsequence<double> tail(in long n);
+};
+`
+	spec := parseOK(t, src)
+	var derived *Interface
+	for _, iface := range spec.Interfaces() {
+		if iface.Name == "derived" {
+			derived = iface
+		}
+	}
+	if derived == nil || len(derived.Bases) != 1 || derived.Bases[0] != "base" {
+		t.Fatalf("derived %+v", derived)
+	}
+	if len(derived.Ops) != 3 {
+		t.Fatalf("%d ops", len(derived.Ops))
+	}
+	if !derived.Ops[1].Oneway {
+		t.Fatal("notify not oneway")
+	}
+	if derived.Ops[0].Raises[0] != "Overflow" {
+		t.Fatalf("raises %v", derived.Ops[0].Raises)
+	}
+	if ResolveDSequence(derived.Ops[2].Returns) == nil {
+		t.Fatal("distributed return type lost")
+	}
+}
+
+func TestAllBasicTypes(t *testing.T) {
+	src := `
+struct everything {
+    short a; unsigned short b;
+    long c; unsigned long d;
+    long long e; unsigned long long f;
+    float g; double h;
+    boolean i; char j; octet k; string l;
+};
+`
+	spec := parseOK(t, src)
+	st := spec.Defs[0].(*Struct)
+	if len(st.Members) != 12 {
+		t.Fatalf("%d members", len(st.Members))
+	}
+	wants := []string{"short", "unsigned short", "long", "unsigned long",
+		"long long", "unsigned long long", "float", "double", "boolean", "char", "octet", "string"}
+	for i, w := range wants {
+		if st.Members[i].Type.TypeName() != w {
+			t.Errorf("member %d: %q want %q", i, st.Members[i].Type.TypeName(), w)
+		}
+	}
+}
+
+func TestConstants(t *testing.T) {
+	src := `
+const long ANSWER = 42;
+const double PI = 3.14;
+const string NAME = "pardis";
+const boolean ON = TRUE;
+const long NEG = -7;
+const long HEX = 0x1F;
+`
+	spec := parseOK(t, src)
+	if len(spec.Defs) != 6 {
+		t.Fatalf("%d consts", len(spec.Defs))
+	}
+	if spec.Defs[4].(*Const).Value != "-7" {
+		t.Fatalf("NEG value %q", spec.Defs[4].(*Const).Value)
+	}
+	if spec.Defs[5].(*Const).Value != "0x1F" {
+		t.Fatalf("HEX value %q", spec.Defs[5].(*Const).Value)
+	}
+}
+
+func TestCommentsAndPreprocessor(t *testing.T) {
+	src := `
+#include "other.idl"
+// line comment
+/* block
+   comment */
+interface c { void op(); };
+`
+	spec := parseOK(t, src)
+	if len(spec.Interfaces()) != 1 {
+		t.Fatal("definitions lost around comments")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"interface x { void f(in long); };", "expected identifier"},
+		{"interface x { void f(long a); };", "expected parameter direction"},
+		{"typedef dsequence<dsequence<double>> t;", "non-distributed"},
+		{"interface x { oneway long f(); };", "must return void"},
+		{"struct s { void v; };", "void is only valid as a return type"},
+		{"module m { interface i { void f(); };", "unterminated module"},
+		{"const long x = ;", "expected literal"},
+		{"typedef sequence<double q;", `expected ">"`},
+		{"typedef unsigned double x;", "expected short or long"},
+		{"interface x { void f() raises (); };", "expected identifier"},
+		{"typedef dsequence<double, block, 10> t;", "length must precede"},
+		{"typedef dsequence<double, block, cyclic(2)> t;", "duplicate distribution"},
+		{"typedef dsequence<double, 0> t;", "invalid positive integer"},
+		{"enum e { };", "expected identifier"},
+		{"@", "unexpected character"},
+		{`const string s = "unclosed;`, "unterminated string"},
+		{"/* never closed", "unterminated block comment"},
+	}
+	for _, c := range cases {
+		_, err := Parse("bad.idl", c.src)
+		if err == nil {
+			t.Errorf("accepted %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"interface a { void f(); }; interface a { void g(); };", "duplicate definition"},
+		{"interface a { void f(); void f(); };", "duplicate operation"},
+		{"interface a { void f(in nosuch x); };", "unknown type"},
+		{"interface a : ghost { void f(); };", "unknown base interface"},
+		{"typedef long t; interface a : t { void f(); };", "is not an interface"},
+		{"interface a { void f(in long x, in long x); };", "duplicate parameter"},
+		{"interface a { void f() raises (ghost); };", "unknown exception"},
+		{"struct s { long x; }; interface a { void f() raises (s); };", "is not an exception"},
+		{"struct s { long x, x; };", "duplicate member"},
+		{"enum e { A, A };", "duplicate enumerator"},
+		{"typedef dsequence<double> d; struct s { d field; };", "cannot be a distributed sequence"},
+		{"typedef dsequence<double> d; typedef sequence<d> s;", "cannot be distributed"},
+		{"const nosuch x = 1;", "unknown type"},
+	}
+	for _, c := range cases {
+		spec, err := Parse("bad.idl", c.src)
+		if err != nil {
+			t.Errorf("%q: parse failed early: %v", c.src, err)
+			continue
+		}
+		errs := Analyze(spec)
+		if len(errs) == 0 {
+			t.Errorf("accepted %q", c.src)
+			continue
+		}
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q: errors %v do not mention %q", c.src, errs, c.want)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	src := "interface x {\n  void f(in long);\n};"
+	_, err := Parse("pos.idl", src)
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	if !strings.Contains(err.Error(), "pos.idl:2:") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+}
+
+func TestAnalyzeReportsMultipleErrors(t *testing.T) {
+	src := `
+interface a { void f(in nosuch1 x); void g(in nosuch2 y); };
+`
+	spec, err := Parse("multi.idl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Analyze(spec)
+	if len(errs) < 2 {
+		t.Fatalf("want ≥2 errors, got %v", errs)
+	}
+}
+
+func TestTokenizeRoundTripStability(t *testing.T) {
+	toks, err := Tokenize("t.idl", diffIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Fatal("missing EOF token")
+	}
+	// Spot checks.
+	if toks[0].Kind != TokKeyword || toks[0].Text != "typedef" {
+		t.Fatalf("first token %+v", toks[0])
+	}
+}

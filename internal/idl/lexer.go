@@ -1,0 +1,267 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Error is a positioned compilation diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer tokenizes IDL source. It handles //, /* */ comments and the #
+// preprocessor lines commonly found in IDL files (skipped verbatim, since
+// the subset needs no preprocessing).
+type Lexer struct {
+	file string
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer builds a lexer over src; file names diagnostics.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{file: file, src: []rune(src), line: 1, col: 1}
+}
+
+func (l *Lexer) at() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		switch {
+		case unicode.IsSpace(l.peek()):
+			l.advance()
+		case l.peek() == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case l.peek() == '/' && l.peek2() == '*':
+			start := l.at()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(start, "unterminated block comment")
+			}
+		case l.peek() == '#' && l.col == 1:
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.at()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		text := sb.String()
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	case unicode.IsDigit(r):
+		return l.number(pos)
+	case r == '"':
+		return l.stringLit(pos)
+	case r == '\'':
+		return l.charLit(pos)
+	case r == ':':
+		l.advance()
+		if l.peek() == ':' {
+			l.advance()
+			return Token{Kind: TokPunct, Text: "::", Pos: pos}, nil
+		}
+		return Token{Kind: TokPunct, Text: ":", Pos: pos}, nil
+	case strings.ContainsRune("{}()<>[];,=-+", r):
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(r), Pos: pos}, nil
+	default:
+		return Token{}, errAt(pos, "unexpected character %q", r)
+	}
+}
+
+func (l *Lexer) number(pos Pos) (Token, error) {
+	var sb strings.Builder
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		sb.WriteRune(l.advance())
+		sb.WriteRune(l.advance())
+		for l.pos < len(l.src) && isHex(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		if sb.Len() == 2 {
+			return Token{}, errAt(pos, "malformed hex literal")
+		}
+		return Token{Kind: TokIntLit, Text: sb.String(), Pos: pos}, nil
+	}
+	for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	if l.peek() == '.' {
+		isFloat = true
+		sb.WriteRune(l.advance())
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		isFloat = true
+		sb.WriteRune(l.advance())
+		if l.peek() == '+' || l.peek() == '-' {
+			sb.WriteRune(l.advance())
+		}
+		if !unicode.IsDigit(l.peek()) {
+			return Token{}, errAt(pos, "malformed exponent")
+		}
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+	}
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: sb.String(), Pos: pos}, nil
+}
+
+func isHex(r rune) bool {
+	return unicode.IsDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+func (l *Lexer) stringLit(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) || l.peek() == '\n' {
+			return Token{}, errAt(pos, "unterminated string literal")
+		}
+		r := l.advance()
+		if r == '"' {
+			return Token{Kind: TokStringLit, Text: sb.String(), Pos: pos}, nil
+		}
+		if r == '\\' {
+			if l.pos >= len(l.src) {
+				return Token{}, errAt(pos, "unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteRune('\n')
+			case 't':
+				sb.WriteRune('\t')
+			case '\\', '"':
+				sb.WriteRune(e)
+			default:
+				return Token{}, errAt(pos, "unknown escape \\%c", e)
+			}
+			continue
+		}
+		sb.WriteRune(r)
+	}
+}
+
+func (l *Lexer) charLit(pos Pos) (Token, error) {
+	l.advance()
+	if l.pos >= len(l.src) {
+		return Token{}, errAt(pos, "unterminated char literal")
+	}
+	r := l.advance()
+	if r == '\\' {
+		e := l.advance()
+		switch e {
+		case 'n':
+			r = '\n'
+		case 't':
+			r = '\t'
+		case '\\', '\'':
+			r = e
+		default:
+			return Token{}, errAt(pos, "unknown escape \\%c", e)
+		}
+	}
+	if l.pos >= len(l.src) || l.advance() != '\'' {
+		return Token{}, errAt(pos, "unterminated char literal")
+	}
+	return Token{Kind: TokCharLit, Text: string(r), Pos: pos}, nil
+}
+
+// Tokenize lexes the whole input.
+func Tokenize(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,595 @@
+package idl
+
+import (
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for the PARDIS IDL subset.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse tokenizes and parses one compilation unit.
+func Parse(file, src string) (*Spec, error) {
+	toks, err := Tokenize(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	spec := &Spec{File: file}
+	for !p.atEOF() {
+		d, err := p.definition()
+		if err != nil {
+			return nil, err
+		}
+		spec.Defs = append(spec.Defs, d)
+	}
+	return spec, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == kw
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) isPunct(s string) bool {
+	return p.cur().Kind == TokPunct && p.cur().Text == s
+}
+
+func (p *Parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return errAt(p.cur().Pos, "expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	if p.cur().Kind != TokIdent {
+		return Token{}, errAt(p.cur().Pos, "expected identifier, found %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) definition() (Def, error) {
+	switch {
+	case p.isKeyword("module"):
+		return p.module()
+	case p.isKeyword("interface"):
+		return p.interfaceDef()
+	case p.isKeyword("typedef"):
+		return p.typedef()
+	case p.isKeyword("struct"):
+		return p.structDef()
+	case p.isKeyword("enum"):
+		return p.enumDef()
+	case p.isKeyword("const"):
+		return p.constDef()
+	case p.isKeyword("exception"):
+		return p.exceptionDef()
+	default:
+		return nil, errAt(p.cur().Pos, "expected definition, found %s", p.cur())
+	}
+}
+
+func (p *Parser) module() (Def, error) {
+	pos := p.next().Pos // module
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.Text, Pos: pos}
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, errAt(pos, "unterminated module %s", name.Text)
+		}
+		d, err := p.definition()
+		if err != nil {
+			return nil, err
+		}
+		m.Defs = append(m.Defs, d)
+	}
+	p.next() // }
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *Parser) interfaceDef() (Def, error) {
+	pos := p.next().Pos
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	iface := &Interface{Name: name.Text, Pos: pos}
+	if p.acceptPunct(":") {
+		for {
+			base, err := p.scopedName()
+			if err != nil {
+				return nil, err
+			}
+			iface.Bases = append(iface.Bases, base)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, errAt(pos, "unterminated interface %s", name.Text)
+		}
+		switch {
+		case p.isKeyword("typedef"), p.isKeyword("struct"), p.isKeyword("enum"),
+			p.isKeyword("const"), p.isKeyword("exception"):
+			d, err := p.definition()
+			if err != nil {
+				return nil, err
+			}
+			iface.Defs = append(iface.Defs, d)
+		default:
+			op, err := p.operation()
+			if err != nil {
+				return nil, err
+			}
+			iface.Ops = append(iface.Ops, op)
+		}
+	}
+	p.next() // }
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return iface, nil
+}
+
+func (p *Parser) operation() (*Operation, error) {
+	op := &Operation{Pos: p.cur().Pos}
+	if p.acceptKeyword("oneway") {
+		op.Oneway = true
+	}
+	ret, err := p.typeSpec(true)
+	if err != nil {
+		return nil, err
+	}
+	if b, ok := ret.(Basic); !ok || b.Kind != TVoid {
+		op.Returns = ret
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	op.Name = name.Text
+	if op.Oneway && op.Returns != nil {
+		return nil, errAt(op.Pos, "oneway operation %s must return void", op.Name)
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.isPunct(")") {
+		if len(op.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		op.Params = append(op.Params, param)
+	}
+	p.next() // )
+	if p.acceptKeyword("raises") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			n, err := p.scopedName()
+			if err != nil {
+				return nil, err
+			}
+			op.Raises = append(op.Raises, n)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func (p *Parser) param() (*Param, error) {
+	pos := p.cur().Pos
+	var dir ParamDir
+	switch {
+	case p.acceptKeyword("in"):
+		dir = DirIn
+	case p.acceptKeyword("out"):
+		dir = DirOut
+	case p.acceptKeyword("inout"):
+		dir = DirInOut
+	default:
+		return nil, errAt(pos, "expected parameter direction (in/out/inout), found %s", p.cur())
+	}
+	t, err := p.typeSpec(false)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &Param{Name: name.Text, Pos: pos, Dir: dir, Type: t}, nil
+}
+
+func (p *Parser) typedef() (Def, error) {
+	pos := p.next().Pos
+	t, err := p.typeSpec(false)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &Typedef{Name: name.Text, Pos: pos, Type: t}, nil
+}
+
+func (p *Parser) structDef() (Def, error) {
+	pos := p.next().Pos
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	members, err := p.memberList(name.Text)
+	if err != nil {
+		return nil, err
+	}
+	return &Struct{Name: name.Text, Pos: pos, Members: members}, nil
+}
+
+func (p *Parser) exceptionDef() (Def, error) {
+	pos := p.next().Pos
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	members, err := p.memberList(name.Text)
+	if err != nil {
+		return nil, err
+	}
+	return &Exception{Name: name.Text, Pos: pos, Members: members}, nil
+}
+
+func (p *Parser) memberList(owner string) ([]Member, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var members []Member
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, errAt(p.cur().Pos, "unterminated body of %s", owner)
+		}
+		t, err := p.typeSpec(false)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, Member{Name: name.Text, Pos: name.Pos, Type: t})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return members, nil
+}
+
+func (p *Parser) enumDef() (Def, error) {
+	pos := p.next().Pos
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	e := &Enum{Name: name.Text, Pos: pos}
+	for {
+		m, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		e.Members = append(e.Members, m.Text)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *Parser) constDef() (Def, error) {
+	pos := p.next().Pos
+	t, err := p.typeSpec(false)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	// Constant expressions in the subset are single (possibly negated)
+	// literals.
+	neg := p.acceptPunct("-")
+	v := p.cur()
+	switch v.Kind {
+	case TokIntLit, TokFloatLit, TokStringLit, TokCharLit:
+		p.next()
+	case TokKeyword:
+		if v.Text != "TRUE" && v.Text != "FALSE" {
+			return nil, errAt(v.Pos, "expected literal, found %s", v)
+		}
+		p.next()
+	default:
+		return nil, errAt(v.Pos, "expected literal, found %s", v)
+	}
+	text := v.Text
+	if neg {
+		text = "-" + text
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &Const{Name: name.Text, Pos: pos, Type: t, Value: text}, nil
+}
+
+func (p *Parser) scopedName() (string, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	full := name.Text
+	for p.acceptPunct("::") {
+		part, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		full += "::" + part.Text
+	}
+	return full, nil
+}
+
+// typeSpec parses a type. allowVoid permits the void return type.
+func (p *Parser) typeSpec(allowVoid bool) (Type, error) {
+	pos := p.cur().Pos
+	switch {
+	case p.acceptKeyword("void"):
+		if !allowVoid {
+			return nil, errAt(pos, "void is only valid as a return type")
+		}
+		return Basic{Kind: TVoid}, nil
+	case p.acceptKeyword("short"):
+		return Basic{Kind: TShort}, nil
+	case p.acceptKeyword("long"):
+		if p.acceptKeyword("long") {
+			return Basic{Kind: TLongLong}, nil
+		}
+		return Basic{Kind: TLong}, nil
+	case p.acceptKeyword("unsigned"):
+		switch {
+		case p.acceptKeyword("short"):
+			return Basic{Kind: TUShort}, nil
+		case p.acceptKeyword("long"):
+			if p.acceptKeyword("long") {
+				return Basic{Kind: TULongLong}, nil
+			}
+			return Basic{Kind: TULong}, nil
+		default:
+			return nil, errAt(p.cur().Pos, "expected short or long after unsigned")
+		}
+	case p.acceptKeyword("float"):
+		return Basic{Kind: TFloat}, nil
+	case p.acceptKeyword("double"):
+		return Basic{Kind: TDouble}, nil
+	case p.acceptKeyword("boolean"):
+		return Basic{Kind: TBoolean}, nil
+	case p.acceptKeyword("char"):
+		return Basic{Kind: TChar}, nil
+	case p.acceptKeyword("octet"):
+		return Basic{Kind: TOctet}, nil
+	case p.acceptKeyword("string"):
+		return Basic{Kind: TString}, nil
+	case p.isKeyword("sequence"):
+		return p.sequenceType()
+	case p.isKeyword("dsequence"):
+		return p.dsequenceType()
+	case p.cur().Kind == TokIdent:
+		name, err := p.scopedName()
+		if err != nil {
+			return nil, err
+		}
+		return &Named{Name: name, Pos: pos}, nil
+	default:
+		return nil, errAt(pos, "expected type, found %s", p.cur())
+	}
+}
+
+func (p *Parser) sequenceType() (Type, error) {
+	p.next() // sequence
+	if err := p.expectPunct("<"); err != nil {
+		return nil, err
+	}
+	elem, err := p.typeSpec(false)
+	if err != nil {
+		return nil, err
+	}
+	seq := &Sequence{Elem: elem}
+	if p.acceptPunct(",") {
+		n, err := p.positiveInt()
+		if err != nil {
+			return nil, err
+		}
+		seq.Bound = n
+	}
+	if err := p.expectPunct(">"); err != nil {
+		return nil, err
+	}
+	return seq, nil
+}
+
+// dsequenceType parses the PARDIS extension:
+//
+//	dsequence<T>
+//	dsequence<T, 1024>
+//	dsequence<T, 1024, block>
+//	dsequence<T, cyclic(4)>
+//	dsequence<T, 1024, proportions(2,4,2,4)>
+//
+// "Both the length and distribution are optional in the definition of the
+// sequence" (§2.2).
+func (p *Parser) dsequenceType() (Type, error) {
+	p.next() // dsequence
+	if err := p.expectPunct("<"); err != nil {
+		return nil, err
+	}
+	elem, err := p.typeSpec(false)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := elem.(*DSequence); ok {
+		return nil, errAt(p.cur().Pos, "dsequence elements must be non-distributed types")
+	}
+	ds := &DSequence{Elem: elem}
+	for p.acceptPunct(",") {
+		switch {
+		case p.cur().Kind == TokIntLit:
+			if ds.Bound != 0 || ds.Dist != DistUnspecified {
+				return nil, errAt(p.cur().Pos, "length must precede the distribution")
+			}
+			n, err := p.positiveInt()
+			if err != nil {
+				return nil, err
+			}
+			ds.Bound = n
+		case p.acceptKeyword("block"):
+			if ds.Dist != DistUnspecified {
+				return nil, errAt(p.cur().Pos, "duplicate distribution clause")
+			}
+			ds.Dist = DistBlock
+		case p.acceptKeyword("cyclic"):
+			if ds.Dist != DistUnspecified {
+				return nil, errAt(p.cur().Pos, "duplicate distribution clause")
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			n, err := p.positiveInt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			ds.Dist = DistCyclic
+			ds.CyclicBlock = n
+		case p.acceptKeyword("proportions"):
+			if ds.Dist != DistUnspecified {
+				return nil, errAt(p.cur().Pos, "duplicate distribution clause")
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			for {
+				n, err := p.positiveInt()
+				if err != nil {
+					return nil, err
+				}
+				ds.Proportions = append(ds.Proportions, n)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			ds.Dist = DistProportions
+		default:
+			return nil, errAt(p.cur().Pos, "expected length or distribution, found %s", p.cur())
+		}
+	}
+	if err := p.expectPunct(">"); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func (p *Parser) positiveInt() (int, error) {
+	t := p.cur()
+	if t.Kind != TokIntLit {
+		return 0, errAt(t.Pos, "expected integer, found %s", t)
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.Text, 0, 64)
+	if err != nil || n <= 0 || n > 1<<40 {
+		return 0, errAt(t.Pos, "invalid positive integer %q", t.Text)
+	}
+	return int(n), nil
+}

@@ -1,0 +1,279 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Analyze performs semantic analysis on a parsed specification: it checks
+// for duplicate names, resolves every Named type reference to its
+// definition, validates dsequence element types and raises clauses, and
+// assigns repository ids. It returns positioned errors for every problem
+// found (not just the first).
+func Analyze(spec *Spec) []error {
+	a := &analyzer{global: newScope(nil, "")}
+	a.collect(a.global, spec.Defs)
+	a.resolveAll(a.global, spec.Defs)
+	return a.errs
+}
+
+// MustAnalyze is Analyze for callers that treat any error as fatal.
+func MustAnalyze(spec *Spec) error {
+	if errs := Analyze(spec); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return fmt.Errorf("%s", strings.Join(msgs, "\n"))
+	}
+	return nil
+}
+
+type scope struct {
+	parent *scope
+	prefix string // "" at global, "M/" inside module M, etc.
+	names  map[string]Def
+	kids   map[string]*scope
+}
+
+func newScope(parent *scope, prefix string) *scope {
+	return &scope{parent: parent, prefix: prefix, names: map[string]Def{}, kids: map[string]*scope{}}
+}
+
+type analyzer struct {
+	global *scope
+	errs   []error
+}
+
+func (a *analyzer) errorf(pos Pos, format string, args ...any) {
+	a.errs = append(a.errs, errAt(pos, format, args...))
+}
+
+// collect builds the symbol tables.
+func (a *analyzer) collect(sc *scope, defs []Def) {
+	for _, d := range defs {
+		name := d.DefName()
+		if prev, dup := sc.names[name]; dup {
+			a.errorf(d.DefPos(), "duplicate definition of %s (previous at %s)", name, prev.DefPos())
+			continue
+		}
+		sc.names[name] = d
+		switch t := d.(type) {
+		case *Module:
+			kid := newScope(sc, sc.prefix+t.Name+"/")
+			sc.kids[t.Name] = kid
+			a.collect(kid, t.Defs)
+		case *Interface:
+			t.RepoID = "IDL:" + sc.prefix + t.Name + ":1.0"
+			kid := newScope(sc, sc.prefix+t.Name+"/")
+			sc.kids[t.Name] = kid
+			a.collect(kid, t.Defs)
+			seen := map[string]Pos{}
+			for _, op := range t.Ops {
+				if prev, dup := seen[op.Name]; dup {
+					a.errorf(op.Pos, "duplicate operation %s (previous at %s)", op.Name, prev)
+				}
+				seen[op.Name] = op.Pos
+			}
+		case *Exception:
+			t.RepoID = "IDL:" + sc.prefix + t.Name + ":1.0"
+		}
+	}
+}
+
+// lookup resolves a possibly scoped name from sc outward.
+func (a *analyzer) lookup(sc *scope, name string) Def {
+	parts := strings.Split(name, "::")
+	for s := sc; s != nil; s = s.parent {
+		if d := lookupIn(s, parts); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+func lookupIn(sc *scope, parts []string) Def {
+	cur := sc
+	for i, part := range parts {
+		if i == len(parts)-1 {
+			return cur.names[part]
+		}
+		next, ok := cur.kids[part]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return nil
+}
+
+// resolveAll walks definitions resolving type references.
+func (a *analyzer) resolveAll(sc *scope, defs []Def) {
+	for _, d := range defs {
+		switch t := d.(type) {
+		case *Module:
+			a.resolveAll(sc.kids[t.Name], t.Defs)
+		case *Interface:
+			kid := sc.kids[t.Name]
+			a.resolveAll(kid, t.Defs)
+			for _, base := range t.Bases {
+				bd := a.lookup(sc, base)
+				if bd == nil {
+					a.errorf(t.Pos, "unknown base interface %s", base)
+				} else if bi, ok := bd.(*Interface); !ok {
+					a.errorf(t.Pos, "%s is not an interface", base)
+				} else {
+					t.BaseRefs = append(t.BaseRefs, bi)
+				}
+			}
+			for _, op := range t.Ops {
+				if op.Returns != nil {
+					a.resolveType(kid, op.Pos, op.Returns)
+					if a.isDistributed(kid, op.Returns) {
+						// The paper: "the distribution of return values is
+						// always assumed to be blockwise" — allowed.
+						_ = op
+					}
+				}
+				seen := map[string]Pos{}
+				for _, param := range op.Params {
+					if prev, dup := seen[param.Name]; dup {
+						a.errorf(param.Pos, "duplicate parameter %s (previous at %s)", param.Name, prev)
+					}
+					seen[param.Name] = param.Pos
+					a.resolveType(kid, param.Pos, param.Type)
+				}
+				for _, r := range op.Raises {
+					rd := a.lookup(kid, r)
+					if rd == nil {
+						a.errorf(op.Pos, "unknown exception %s in raises clause", r)
+					} else if re, ok := rd.(*Exception); !ok {
+						a.errorf(op.Pos, "%s in raises clause is not an exception", r)
+					} else {
+						op.RaisesRefs = append(op.RaisesRefs, re)
+					}
+				}
+			}
+		case *Typedef:
+			a.resolveType(sc, t.Pos, t.Type)
+		case *Struct:
+			a.resolveMembers(sc, t.Members, "struct "+t.Name)
+		case *Exception:
+			a.resolveMembers(sc, t.Members, "exception "+t.Name)
+		case *Enum:
+			seen := map[string]bool{}
+			for _, m := range t.Members {
+				if seen[m] {
+					a.errorf(t.Pos, "duplicate enumerator %s in enum %s", m, t.Name)
+				}
+				seen[m] = true
+			}
+		case *Const:
+			a.resolveType(sc, t.Pos, t.Type)
+		}
+	}
+}
+
+func (a *analyzer) resolveMembers(sc *scope, members []Member, owner string) {
+	seen := map[string]Pos{}
+	for _, m := range members {
+		if prev, dup := seen[m.Name]; dup {
+			a.errorf(m.Pos, "duplicate member %s in %s (previous at %s)", m.Name, owner, prev)
+		}
+		seen[m.Name] = m.Pos
+		a.resolveType(sc, m.Pos, m.Type)
+		if a.isDistributed(sc, m.Type) {
+			a.errorf(m.Pos, "member %s of %s cannot be a distributed sequence", m.Name, owner)
+		}
+	}
+}
+
+func (a *analyzer) resolveType(sc *scope, pos Pos, t Type) {
+	switch ty := t.(type) {
+	case Basic:
+	case *Named:
+		d := a.lookup(sc, ty.Name)
+		if d == nil {
+			a.errorf(ty.Pos, "unknown type %s", ty.Name)
+			return
+		}
+		switch d.(type) {
+		case *Typedef, *Struct, *Enum, *Interface:
+			ty.Ref = d
+		default:
+			a.errorf(ty.Pos, "%s is not a type", ty.Name)
+		}
+	case *Sequence:
+		a.resolveType(sc, pos, ty.Elem)
+		if a.isDistributed(sc, ty.Elem) {
+			a.errorf(pos, "sequence elements cannot be distributed sequences")
+		}
+	case *DSequence:
+		a.resolveType(sc, pos, ty.Elem)
+		if a.isDistributed(sc, ty.Elem) {
+			a.errorf(pos, "dsequence elements must be non-distributed types")
+		}
+		if ty.Dist == DistProportions && len(ty.Proportions) == 0 {
+			a.errorf(pos, "proportions clause needs at least one value")
+		}
+	}
+}
+
+// isDistributed reports whether t is (an alias of) a dsequence.
+func (a *analyzer) isDistributed(sc *scope, t Type) bool {
+	switch ty := t.(type) {
+	case *DSequence:
+		return true
+	case *Named:
+		d := ty.Ref
+		if d == nil {
+			d = a.lookup(sc, ty.Name)
+		}
+		if td, ok := d.(*Typedef); ok {
+			return a.isDistributed(sc, td.Type)
+		}
+	}
+	return false
+}
+
+// ResolveDSequence follows typedef aliases down to the underlying
+// distributed sequence, or nil if t is not one. Usable after Analyze.
+func ResolveDSequence(t Type) *DSequence {
+	switch ty := t.(type) {
+	case *DSequence:
+		return ty
+	case *Named:
+		if td, ok := ty.Ref.(*Typedef); ok {
+			return ResolveDSequence(td.Type)
+		}
+	}
+	return nil
+}
+
+// ResolveAlias follows typedef aliases down to a concrete type.
+func ResolveAlias(t Type) Type {
+	if n, ok := t.(*Named); ok {
+		if td, ok := n.Ref.(*Typedef); ok {
+			return ResolveAlias(td.Type)
+		}
+	}
+	return t
+}
+
+// Interfaces returns every interface in the spec, depth first.
+func (s *Spec) Interfaces() []*Interface {
+	var out []*Interface
+	var walk func(defs []Def)
+	walk = func(defs []Def) {
+		for _, d := range defs {
+			switch t := d.(type) {
+			case *Module:
+				walk(t.Defs)
+			case *Interface:
+				out = append(out, t)
+			}
+		}
+	}
+	walk(s.Defs)
+	return out
+}

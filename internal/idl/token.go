@@ -1,0 +1,67 @@
+package idl
+
+import "fmt"
+
+// TokenKind classifies lexical tokens of the PARDIS IDL.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokFloatLit
+	TokStringLit
+	TokCharLit
+	TokPunct // one of { } ( ) < > [ ] ; , : = ::
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokKeyword: "keyword",
+	TokIntLit: "integer literal", TokFloatLit: "float literal",
+	TokStringLit: "string literal", TokCharLit: "char literal", TokPunct: "punctuation",
+}
+
+func (k TokenKind) String() string { return kindNames[k] }
+
+// Pos locates a token in the source.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords of the supported IDL subset. "dsequence" is the PARDIS
+// extension (§2.2).
+var keywords = map[string]bool{
+	"module": true, "interface": true, "typedef": true, "struct": true,
+	"enum": true, "const": true, "exception": true, "raises": true,
+	"oneway": true, "in": true, "out": true, "inout": true,
+	"void": true, "short": true, "long": true, "unsigned": true,
+	"float": true, "double": true, "boolean": true, "char": true,
+	"octet": true, "string": true, "sequence": true, "dsequence": true,
+	"TRUE": true, "FALSE": true,
+	"block": true, "cyclic": true, "proportions": true,
+	"readonly": true, "attribute": true,
+}

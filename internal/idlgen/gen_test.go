@@ -1,0 +1,253 @@
+package idlgen
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/idl"
+)
+
+func generate(t *testing.T, src string) string {
+	t.Helper()
+	spec, err := idl.Parse("test.idl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := idl.MustAnalyze(spec); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	code, err := Generate(spec, Options{Package: "testpkg", Source: "test.idl"})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return string(code)
+}
+
+func TestGoldenDiffusionExample(t *testing.T) {
+	// The committed generated file for the paper's diffusion example must
+	// match what the generator produces today — the file's compilation is
+	// covered by the ordinary build.
+	src, err := os.ReadFile("../../examples/diffusion/diff.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := idl.Parse("diff.idl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idl.MustAnalyze(spec); err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(spec, Options{Package: "diffgen", Source: "diff.idl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("../../examples/diffusion/diffgen/diff_generated.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(code) != string(golden) {
+		t.Error("generated code differs from the committed examples/diffusion/diffgen/diff_generated.go; regenerate with cmd/pardisc")
+	}
+}
+
+func TestPaperInterfaceSurface(t *testing.T) {
+	code := generate(t, `
+typedef dsequence<double, 1024> diff_array;
+interface diff_object {
+    void diffusion(in long timestep, inout diff_array darray);
+};
+`)
+	for _, want := range []string{
+		"type DiffArray = dseq.Seq[float64]",
+		"func NewDiffArray(comm *rts.Comm, length int)",
+		"length %d exceeds bound 1024",
+		"type DiffObjectClient struct",
+		"func SPMDBindDiffObject(comm *rts.Comm, objName, nameServer string",
+		"func BindDiffObject(objName, nameServer string",
+		"func (c DiffObjectClient) Diffusion(timestep int32, darray *dseq.Seq[float64]) (err error)",
+		"func (c DiffObjectClient) DiffusionNB(timestep int32, darray *dseq.Seq[float64]) *core.Future",
+		"type DiffObjectImpl interface",
+		"Diffusion(call *core.ServerCall, timestep int32, darray *dseq.Seq[float64]) (err error)",
+		"func ExportDiffObject(comm *rts.Comm, impl DiffObjectImpl, opts core.ExportOptions)",
+		`const RepoDiffObject = "IDL:diff_object:1.0"`,
+		`{Name: "darray", Dir: core.InOut, Elem: "double", Spec: nil}`,
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code lacks %q", want)
+		}
+	}
+}
+
+func TestScalarDirections(t *testing.T) {
+	code := generate(t, `
+interface calc {
+    double mix(in long a, inout double b, out string c);
+};
+`)
+	for _, want := range []string{
+		// inout as pointer parameter, out and return as results.
+		"func (c CalcClient) Mix(a int32, b *float64) (c_ string, result float64, err error)",
+		"Mix(call *core.ServerCall, a int32, b *float64) (c_ string, result float64, err error)",
+		// wire order: inout, out, then return.
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code lacks %q\n----\n%s", want, code)
+		}
+	}
+}
+
+func TestStructEnumConstException(t *testing.T) {
+	code := generate(t, `
+struct Sample { long id; double value; string tag; };
+enum Mode { FAST, SAFE };
+const long LIMIT = 64;
+exception Overflow { long limit; };
+interface sampler {
+    Sample get(in Mode m) raises (Overflow);
+    void put(in sequence<Sample> batch);
+};
+`)
+	for _, want := range []string{
+		"type Sample struct",
+		"func EncodeSample(e *cdr.Encoder, v Sample)",
+		"func DecodeSample(d *cdr.Decoder) (Sample, error)",
+		"type Mode uint32",
+		"ModeFAST Mode = iota",
+		"const LIMIT = 64",
+		"type Overflow struct",
+		`const RepoOverflow = "IDL:Overflow:1.0"`,
+		"func (e *Overflow) Error() string",
+		"toUserException",
+		"decodeOverflow",
+		"func (c SamplerClient) Get(m Mode) (result Sample, err error)",
+		"func (c SamplerClient) Put(batch []Sample) (err error)",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code lacks %q", want)
+		}
+	}
+}
+
+func TestModulesFlattenWithPrefix(t *testing.T) {
+	code := generate(t, `
+module pardis {
+    module demo {
+        interface thing { void go(); };
+    };
+};
+`)
+	for _, want := range []string{
+		"type PardisDemoThingClient struct",
+		`const RepoPardisDemoThing = "IDL:pardis/demo/thing:1.0"`,
+		// "go" is a Go keyword as a local but fine as exported method name.
+		"func (c PardisDemoThingClient) Go() (err error)",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code lacks %q", want)
+		}
+	}
+}
+
+func TestInheritedOperationsIncluded(t *testing.T) {
+	code := generate(t, `
+interface base { void ping(); };
+interface derived : base { void pong(); };
+`)
+	if !strings.Contains(code, "func (c DerivedClient) Ping() (err error)") {
+		t.Error("inherited operation missing from derived stub")
+	}
+	if !strings.Contains(code, "Ping(call *core.ServerCall) (err error)") {
+		t.Error("inherited operation missing from derived impl interface")
+	}
+}
+
+func TestDistributedReturn(t *testing.T) {
+	code := generate(t, `
+interface gen {
+    dsequence<double> make(in long n);
+};
+`)
+	for _, want := range []string{
+		"func (c GenClient) Make(n int32) (result *dseq.Seq[float64], err error)",
+		`{Name: "_return", Dir: core.Out, Elem: "double", Spec: nil}`,
+		"Make(call *core.ServerCall, n int32, result *dseq.Seq[float64]) (err error)",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code lacks %q", want)
+		}
+	}
+}
+
+func TestDistributionClausesCarryOver(t *testing.T) {
+	code := generate(t, `
+typedef dsequence<double, proportions(2,4,2,4)> props;
+typedef dsequence<long, cyclic(8)> wheel;
+interface o {
+    void f(in props p, in wheel w);
+};
+`)
+	for _, want := range []string{
+		"dist.Proportions{P: []int{2, 4, 2, 4}}",
+		"dist.Cyclic{BlockSize: 8}",
+		`Elem: "long"`,
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code lacks %q", want)
+		}
+	}
+}
+
+func TestUnsupportedConstructsFail(t *testing.T) {
+	cases := []string{
+		// dsequence of struct needs a custom codec.
+		"struct S { long x; }; typedef dsequence<S> t; interface i { void f(in t a); };",
+		// interface-typed parameter (object references as arguments are
+		// outside the subset).
+		"interface a { void f(); }; interface b { void g(in a obj); };",
+	}
+	for _, src := range cases {
+		spec, err := idl.Parse("bad.idl", src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if err := idl.MustAnalyze(spec); err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if _, err := Generate(spec, Options{Package: "x"}); err == nil {
+			t.Errorf("generator accepted %q", src)
+		}
+	}
+}
+
+func TestGoNameConversion(t *testing.T) {
+	cases := map[string]string{
+		"diff_object": "DiffObject",
+		"x":           "X",
+		"already":     "Already",
+		"two_words":   "TwoWords",
+		"__odd__":     "Odd",
+	}
+	for in, want := range cases {
+		if got := goName(in); got != want {
+			t.Errorf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if goLocal("type") != "type_" || goLocal("range") != "range_" {
+		t.Error("keyword locals not escaped")
+	}
+	if goLocal("value") != "value" {
+		t.Errorf("goLocal(value) = %q", goLocal("value"))
+	}
+}
+
+func TestGeneratedCodeIsDeterministic(t *testing.T) {
+	src := `
+interface a { void f(in long x); };
+interface b { void g(in double y); };
+`
+	if generate(t, src) != generate(t, src) {
+		t.Fatal("generation is not deterministic")
+	}
+}

@@ -1,0 +1,367 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Client is the PARDIS client-side engine for one computing thread: it
+// caches connections per endpoint, multiplexes concurrent requests over
+// them, matches replies by request id, and routes inbound Data messages
+// (multi-port return transfers) to registered sinks.
+type Client struct {
+	// Principal identifies this client in request headers (informational).
+	Principal string
+	// Timeout bounds each blocking invocation; zero means no bound.
+	Timeout time.Duration
+	// MaxForwards bounds LOCATION_FORWARD chains.
+	MaxForwards int
+
+	nextID atomic.Uint32
+
+	mu     sync.Mutex
+	conns  map[string]*clientConn
+	closed bool
+
+	sinkMu sync.Mutex
+	sinks  map[uint32]chan *wire.Data
+}
+
+// NewClient returns a ready client engine.
+func NewClient() *Client {
+	return &Client{
+		MaxForwards: 3,
+		conns:       make(map[string]*clientConn),
+		sinks:       make(map[uint32]chan *wire.Data),
+	}
+}
+
+// clientConn is one cached connection with its reply demultiplexer.
+type clientConn struct {
+	conn    *transport.Conn
+	client  *Client
+	addr    string
+	mu      sync.Mutex
+	pending map[uint32]chan *wire.Reply
+	err     error
+	done    chan struct{}
+}
+
+// Errors reported by the client engine.
+var (
+	ErrClientClosed  = errors.New("orb: client closed")
+	ErrForwardLoop   = errors.New("orb: too many location forwards")
+	ErrConnBroken    = errors.New("orb: connection broken")
+	ErrInvokeTimeout = errors.New("orb: invocation timed out")
+	ErrLocateFailed  = errors.New("orb: object not located")
+)
+
+// NextRequestID allocates a fresh request id, unique within this client.
+func (c *Client) NextRequestID() uint32 {
+	return c.nextID.Add(1)
+}
+
+// conn returns (dialing if necessary) the cached connection to addr.
+func (c *Client) conn(addr string) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	if cc, ok := c.conns[addr]; ok {
+		cc.mu.Lock()
+		broken := cc.err != nil
+		cc.mu.Unlock()
+		if !broken {
+			return cc, nil
+		}
+		delete(c.conns, addr)
+	}
+	tc, err := transport.Dial(addr, nil)
+	if err != nil {
+		return nil, &SystemException{RepoID: RepoComm, Message: err.Error()}
+	}
+	cc := &clientConn{
+		conn:    tc,
+		client:  c,
+		addr:    addr,
+		pending: make(map[uint32]chan *wire.Reply),
+		done:    make(chan struct{}),
+	}
+	c.conns[addr] = cc
+	go cc.readLoop()
+	return cc, nil
+}
+
+func (cc *clientConn) readLoop() {
+	defer close(cc.done)
+	for {
+		msg, err := cc.conn.ReadMessage()
+		if err != nil {
+			cc.fail(fmt.Errorf("%w: %v", ErrConnBroken, err))
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Reply:
+			cc.mu.Lock()
+			ch, ok := cc.pending[m.RequestID]
+			delete(cc.pending, m.RequestID)
+			cc.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		case *wire.Data:
+			cc.client.routeData(m)
+		case *wire.LocateReply:
+			cc.mu.Lock()
+			ch, ok := cc.pending[m.RequestID]
+			delete(cc.pending, m.RequestID)
+			cc.mu.Unlock()
+			if ok {
+				// Tunnel the locate reply through the reply channel.
+				ch <- &wire.Reply{RequestID: m.RequestID, Status: wire.ReplyStatus(m.Status), Args: []byte(m.IOR)}
+			}
+		case *wire.CloseConnection:
+			cc.fail(ErrConnBroken)
+			return
+		case *wire.MessageError:
+			cc.fail(fmt.Errorf("%w: peer reported message error", ErrConnBroken))
+			return
+		default:
+			// Servers do not send other message types to clients.
+			cc.fail(fmt.Errorf("%w: unexpected %v from server", ErrConnBroken, m.Type()))
+			return
+		}
+	}
+}
+
+// fail poisons the connection and unblocks every waiter.
+func (cc *clientConn) fail(err error) {
+	cc.conn.Close()
+	cc.mu.Lock()
+	cc.err = err
+	for id, ch := range cc.pending {
+		delete(cc.pending, id)
+		close(ch)
+	}
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) register(id uint32) (chan *wire.Reply, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return nil, cc.err
+	}
+	ch := make(chan *wire.Reply, 1)
+	cc.pending[id] = ch
+	return ch, nil
+}
+
+func (cc *clientConn) unregister(id uint32) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+// RegisterDataSink routes inbound Data messages for the given request id to
+// ch. The caller must register before the request is sent and must
+// UnregisterDataSink afterwards. The channel should be buffered for the
+// expected number of transfers.
+func (c *Client) RegisterDataSink(requestID uint32, ch chan *wire.Data) {
+	c.sinkMu.Lock()
+	c.sinks[requestID] = ch
+	c.sinkMu.Unlock()
+}
+
+// UnregisterDataSink removes the sink for requestID.
+func (c *Client) UnregisterDataSink(requestID uint32) {
+	c.sinkMu.Lock()
+	delete(c.sinks, requestID)
+	c.sinkMu.Unlock()
+}
+
+func (c *Client) routeData(d *wire.Data) {
+	c.sinkMu.Lock()
+	ch, ok := c.sinks[d.RequestID]
+	c.sinkMu.Unlock()
+	if ok {
+		ch <- d
+	}
+}
+
+// InvokeAddr performs a request/reply exchange with the object key at an
+// explicit endpoint address. It returns the reply's argument payload.
+// Exceptional replies are returned as *UserException or *SystemException.
+func (c *Client) InvokeAddr(addr string, key []byte, op string, args []byte, oneway bool) ([]byte, error) {
+	return c.invokeAddr(addr, key, op, args, oneway, 0, 0)
+}
+
+// InvokeAddrID is InvokeAddr with a caller-chosen request id, which the
+// multi-port engine needs: the id ties Data transfers to the request.
+func (c *Client) InvokeAddrID(requestID uint32, addr string, key []byte, op string, args []byte, oneway bool) ([]byte, error) {
+	return c.invokeAddr(addr, key, op, args, oneway, requestID, 0)
+}
+
+func (c *Client) invokeAddr(addr string, key []byte, op string, args []byte, oneway bool, requestID uint32, depth int) ([]byte, error) {
+	if depth > c.MaxForwards {
+		return nil, ErrForwardLoop
+	}
+	cc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	id := requestID
+	if id == 0 {
+		id = c.NextRequestID()
+	}
+	req := &wire.Request{
+		RequestID:        id,
+		ResponseExpected: !oneway,
+		ObjectKey:        key,
+		Operation:        op,
+		Principal:        c.Principal,
+		Args:             args,
+	}
+	if oneway {
+		return nil, cc.conn.WriteMessage(req)
+	}
+	ch, err := cc.register(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.conn.WriteMessage(req); err != nil {
+		cc.unregister(id)
+		return nil, &SystemException{RepoID: RepoComm, Message: err.Error()}
+	}
+	reply, err := c.await(cc, ch, id)
+	if err != nil {
+		return nil, err
+	}
+	switch reply.Status {
+	case wire.ReplyNoException:
+		return reply.Args, nil
+	case wire.ReplyLocationForward:
+		fwd, perr := ParseIOR(string(reply.Args))
+		if perr != nil {
+			return nil, perr
+		}
+		ep, perr := fwd.Primary()
+		if perr != nil {
+			return nil, perr
+		}
+		return c.invokeAddr(ep.Addr(), fwd.Key, op, args, oneway, 0, depth+1)
+	default:
+		return nil, decodeException(reply.Status, reply.Args)
+	}
+}
+
+func (c *Client) await(cc *clientConn, ch chan *wire.Reply, id uint32) (*wire.Reply, error) {
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			cc.mu.Lock()
+			err := cc.err
+			cc.mu.Unlock()
+			if err == nil {
+				err = ErrConnBroken
+			}
+			return nil, err
+		}
+		return reply, nil
+	case <-timeout:
+		cc.unregister(id)
+		return nil, fmt.Errorf("%w: request %d after %v", ErrInvokeTimeout, id, c.Timeout)
+	}
+}
+
+// Invoke performs a request on the object's primary endpoint.
+func (c *Client) Invoke(ref IOR, op string, args []byte, oneway bool) ([]byte, error) {
+	ep, err := ref.Primary()
+	if err != nil {
+		return nil, err
+	}
+	return c.InvokeAddr(ep.Addr(), ref.Key, op, args, oneway)
+}
+
+// InvokeRank performs a request on the endpoint serving a specific
+// computing thread of an SPMD object.
+func (c *Client) InvokeRank(ref IOR, rank int, op string, args []byte, oneway bool) ([]byte, error) {
+	ep, err := ref.EndpointFor(rank)
+	if err != nil {
+		return nil, err
+	}
+	return c.InvokeAddr(ep.Addr(), ref.Key, op, args, oneway)
+}
+
+// SendData ships one multi-port argument transfer to the endpoint serving
+// the destination computing thread.
+func (c *Client) SendData(ref IOR, d *wire.Data) error {
+	ep, err := ref.EndpointFor(int(d.DstRank))
+	if err != nil {
+		return err
+	}
+	cc, err := c.conn(ep.Addr())
+	if err != nil {
+		return err
+	}
+	return cc.conn.WriteMessage(d)
+}
+
+// Locate asks the primary endpoint whether it serves ref's object key.
+func (c *Client) Locate(ref IOR) (bool, error) {
+	ep, err := ref.Primary()
+	if err != nil {
+		return false, err
+	}
+	cc, err := c.conn(ep.Addr())
+	if err != nil {
+		return false, err
+	}
+	id := c.NextRequestID()
+	ch, err := cc.register(id)
+	if err != nil {
+		return false, err
+	}
+	if err := cc.conn.WriteMessage(&wire.LocateRequest{RequestID: id, ObjectKey: ref.Key}); err != nil {
+		cc.unregister(id)
+		return false, &SystemException{RepoID: RepoComm, Message: err.Error()}
+	}
+	reply, err := c.await(cc, ch, id)
+	if err != nil {
+		return false, err
+	}
+	return wire.LocateStatus(reply.Status) == wire.LocateHere, nil
+}
+
+// Close tears down all cached connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := make([]*clientConn, 0, len(c.conns))
+	for _, cc := range c.conns {
+		conns = append(conns, cc)
+	}
+	c.conns = map[string]*clientConn{}
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.fail(ErrClientClosed)
+		<-cc.done
+	}
+}

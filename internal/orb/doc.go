@@ -1,0 +1,13 @@
+// Package orb implements the PARDIS request broker core: object references,
+// the object adapter (Server), the client-side invocation engine (Client),
+// argument payload conventions, and the CORBA-style exception model.
+//
+// The division of labour mirrors figure 1 of the paper: generated stub code
+// (internal/idlgen) marshals arguments with internal/cdr and calls this
+// package to move requests; this package in turn speaks PGIOP
+// (internal/wire) over internal/transport connections. SPMD-specific
+// machinery — collective delivery, distributed argument transfer — lives one
+// layer up in internal/core and uses the Server/Client primitives here, in
+// particular the Data message routing hooks (Server.SetDataHandler,
+// Client.RegisterDataSink).
+package orb

@@ -1,0 +1,135 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cdr"
+	"repro/internal/wire"
+)
+
+// UserException is an application-defined exception declared in IDL. A
+// servant returns one from Dispatch to produce a USER_EXCEPTION reply; the
+// client-side stub rebuilds it from the reply body. Payload carries any
+// exception members marshalled by generated code.
+type UserException struct {
+	RepoID  string // repository id of the exception type
+	Message string
+	Payload []byte
+}
+
+func (e *UserException) Error() string {
+	if e.Message == "" {
+		return e.RepoID
+	}
+	return fmt.Sprintf("%s: %s", e.RepoID, e.Message)
+}
+
+// SystemException mirrors CORBA system exceptions: raised by the ORB (or by
+// a servant for infrastructure failures) and reported as SYSTEM_EXCEPTION
+// replies.
+type SystemException struct {
+	RepoID  string // e.g. "IDL:PARDIS/BAD_OPERATION:1.0"
+	Minor   uint32
+	Message string
+}
+
+func (e *SystemException) Error() string {
+	return fmt.Sprintf("%s (minor %d): %s", e.RepoID, e.Minor, e.Message)
+}
+
+// Well-known system exception repository ids.
+const (
+	RepoBadOperation   = "IDL:PARDIS/BAD_OPERATION:1.0"
+	RepoObjectNotExist = "IDL:PARDIS/OBJECT_NOT_EXIST:1.0"
+	RepoMarshal        = "IDL:PARDIS/MARSHAL:1.0"
+	RepoInternal       = "IDL:PARDIS/INTERNAL:1.0"
+	RepoComm           = "IDL:PARDIS/COMM_FAILURE:1.0"
+	RepoTimeout        = "IDL:PARDIS/TIMEOUT:1.0"
+)
+
+// BadOperation builds the standard exception for an unknown operation name.
+func BadOperation(op string) *SystemException {
+	return &SystemException{RepoID: RepoBadOperation, Message: fmt.Sprintf("unknown operation %q", op)}
+}
+
+// ObjectNotExist builds the standard exception for an unknown object key.
+func ObjectNotExist(key []byte) *SystemException {
+	return &SystemException{RepoID: RepoObjectNotExist, Message: fmt.Sprintf("no servant with key %q", key)}
+}
+
+// Marshal builds the standard exception for argument (de)marshalling
+// failures.
+func Marshal(err error) *SystemException {
+	return &SystemException{RepoID: RepoMarshal, Message: err.Error()}
+}
+
+// ForwardRequest is not an exception: a servant returns it from Dispatch to
+// tell the adapter to answer with LOCATION_FORWARD, redirecting the client
+// to Target. This is how a relocated or migrated object bounces clients to
+// its new endpoints.
+type ForwardRequest struct {
+	Target IOR
+}
+
+func (f *ForwardRequest) Error() string {
+	return fmt.Sprintf("forward to %s", f.Target.TypeID)
+}
+
+// encodeException renders an exception as a reply body.
+func encodeException(e *cdr.Encoder, err error) wire.ReplyStatus {
+	var ue *UserException
+	if errors.As(err, &ue) {
+		e.WriteString(ue.RepoID)
+		e.WriteString(ue.Message)
+		e.WriteOctets(ue.Payload)
+		return wire.ReplyUserException
+	}
+	var se *SystemException
+	if !errors.As(err, &se) {
+		se = &SystemException{RepoID: RepoInternal, Message: err.Error()}
+	}
+	e.WriteString(se.RepoID)
+	e.WriteULong(se.Minor)
+	e.WriteString(se.Message)
+	return wire.ReplySystemException
+}
+
+// decodeException rebuilds the error carried by an exceptional reply. The
+// body is an argument payload (leading byte-order octet).
+func decodeException(status wire.ReplyStatus, body []byte) error {
+	d, err := ArgDecoder(body)
+	if err != nil {
+		return fmt.Errorf("orb: corrupt exception payload: %w", err)
+	}
+	switch status {
+	case wire.ReplyUserException:
+		var ue UserException
+		var err error
+		if ue.RepoID, err = d.ReadString(); err != nil {
+			return fmt.Errorf("orb: corrupt user exception: %w", err)
+		}
+		if ue.Message, err = d.ReadString(); err != nil {
+			return fmt.Errorf("orb: corrupt user exception: %w", err)
+		}
+		if ue.Payload, err = d.ReadOctets(); err != nil {
+			return fmt.Errorf("orb: corrupt user exception: %w", err)
+		}
+		return &ue
+	case wire.ReplySystemException:
+		var se SystemException
+		var err error
+		if se.RepoID, err = d.ReadString(); err != nil {
+			return fmt.Errorf("orb: corrupt system exception: %w", err)
+		}
+		if se.Minor, err = d.ReadULong(); err != nil {
+			return fmt.Errorf("orb: corrupt system exception: %w", err)
+		}
+		if se.Message, err = d.ReadString(); err != nil {
+			return fmt.Errorf("orb: corrupt system exception: %w", err)
+		}
+		return &se
+	default:
+		return fmt.Errorf("orb: unexpected reply status %v", status)
+	}
+}

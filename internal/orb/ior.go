@@ -1,0 +1,172 @@
+package orb
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cdr"
+)
+
+// Endpoint is one network attachment point of an object. A conventional
+// object has exactly one; an SPMD object exporting multi-port transfer has
+// one per computing thread ("these connections become a part of the object
+// reference for this particular object", paper §3.3).
+type Endpoint struct {
+	Host string
+	Port int
+	Rank int // computing thread this endpoint belongs to
+}
+
+// Addr renders the endpoint as host:port.
+func (e Endpoint) Addr() string { return fmt.Sprintf("%s:%d", e.Host, e.Port) }
+
+// IOR is a PARDIS interoperable object reference: everything a client needs
+// to reach an object. Threads records the number of computing threads of an
+// SPMD object (1 for conventional objects); Endpoints lists the reachable
+// ports, always including the communicating thread's endpoint (rank 0)
+// first.
+type IOR struct {
+	TypeID    string // repository id, e.g. "IDL:diff_object:1.0"
+	Key       []byte // object key in the server's adapter
+	Threads   int
+	Endpoints []Endpoint
+}
+
+// Errors reported by reference handling.
+var (
+	ErrBadIOR = errors.New("orb: malformed object reference")
+)
+
+// Nil reports whether the reference is the nil object reference.
+func (r IOR) Nil() bool { return len(r.Endpoints) == 0 }
+
+// Primary returns the communicating thread's endpoint.
+func (r IOR) Primary() (Endpoint, error) {
+	if r.Nil() {
+		return Endpoint{}, fmt.Errorf("%w: nil reference", ErrBadIOR)
+	}
+	return r.Endpoints[0], nil
+}
+
+// EndpointFor returns the endpoint serving the given computing thread, or
+// an error if the reference does not expose one (centralized-only exports
+// expose only rank 0).
+func (r IOR) EndpointFor(rank int) (Endpoint, error) {
+	for _, e := range r.Endpoints {
+		if e.Rank == rank {
+			return e, nil
+		}
+	}
+	return Endpoint{}, fmt.Errorf("%w: no endpoint for computing thread %d", ErrBadIOR, rank)
+}
+
+// Multiport reports whether the reference exposes one endpoint per thread,
+// i.e. supports the multi-port transfer method.
+func (r IOR) Multiport() bool {
+	if r.Threads < 1 || len(r.Endpoints) < r.Threads {
+		return false
+	}
+	seen := make(map[int]bool, r.Threads)
+	for _, e := range r.Endpoints {
+		seen[e.Rank] = true
+	}
+	for t := 0; t < r.Threads; t++ {
+		if !seen[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode writes the reference as a CDR encapsulation.
+func (r IOR) Encode(e *cdr.Encoder) {
+	e.WriteEncapsulation(func(inner *cdr.Encoder) {
+		inner.WriteString(r.TypeID)
+		inner.WriteOctets(r.Key)
+		inner.WriteULong(uint32(r.Threads))
+		inner.WriteULong(uint32(len(r.Endpoints)))
+		for _, ep := range r.Endpoints {
+			inner.WriteString(ep.Host)
+			inner.WriteULong(uint32(ep.Port))
+			inner.WriteULong(uint32(ep.Rank))
+		}
+	})
+}
+
+// DecodeIOR reads a reference written by Encode.
+func DecodeIOR(d *cdr.Decoder) (IOR, error) {
+	inner, err := d.ReadEncapsulation()
+	if err != nil {
+		return IOR{}, fmt.Errorf("%w: %v", ErrBadIOR, err)
+	}
+	var r IOR
+	if r.TypeID, err = inner.ReadString(); err != nil {
+		return IOR{}, fmt.Errorf("%w: type id: %v", ErrBadIOR, err)
+	}
+	if r.Key, err = inner.ReadOctets(); err != nil {
+		return IOR{}, fmt.Errorf("%w: key: %v", ErrBadIOR, err)
+	}
+	threads, err := inner.ReadULong()
+	if err != nil {
+		return IOR{}, fmt.Errorf("%w: threads: %v", ErrBadIOR, err)
+	}
+	n, err := inner.ReadULong()
+	if err != nil {
+		return IOR{}, fmt.Errorf("%w: endpoint count: %v", ErrBadIOR, err)
+	}
+	if threads > 1<<20 || n > 1<<20 {
+		return IOR{}, fmt.Errorf("%w: implausible sizes (threads=%d endpoints=%d)", ErrBadIOR, threads, n)
+	}
+	r.Threads = int(threads)
+	r.Endpoints = make([]Endpoint, n)
+	for i := range r.Endpoints {
+		if r.Endpoints[i].Host, err = inner.ReadString(); err != nil {
+			return IOR{}, fmt.Errorf("%w: endpoint %d host: %v", ErrBadIOR, i, err)
+		}
+		port, err := inner.ReadULong()
+		if err != nil {
+			return IOR{}, fmt.Errorf("%w: endpoint %d port: %v", ErrBadIOR, i, err)
+		}
+		rank, err := inner.ReadULong()
+		if err != nil {
+			return IOR{}, fmt.Errorf("%w: endpoint %d rank: %v", ErrBadIOR, i, err)
+		}
+		r.Endpoints[i] = Endpoint{Host: r.Endpoints[i].Host, Port: int(port), Rank: int(rank)}
+	}
+	return r, nil
+}
+
+// String renders the stringified reference, "IOR:" + hex, the form users
+// pass between processes (exactly like CORBA's object_to_string).
+func (r IOR) String() string {
+	e := cdr.NewEncoder(cdr.NativeOrder)
+	// The stringified form embeds its own byte-order octet so any process
+	// can parse it.
+	e.WriteOctet(byte(cdr.NativeOrder))
+	r.Encode(e)
+	return "IOR:" + hex.EncodeToString(e.Bytes())
+}
+
+// ParseIOR parses a stringified reference produced by String.
+func ParseIOR(s string) (IOR, error) {
+	if !strings.HasPrefix(s, "IOR:") {
+		return IOR{}, fmt.Errorf("%w: missing IOR: prefix", ErrBadIOR)
+	}
+	raw, err := hex.DecodeString(s[len("IOR:"):])
+	if err != nil {
+		return IOR{}, fmt.Errorf("%w: %v", ErrBadIOR, err)
+	}
+	if len(raw) < 1 {
+		return IOR{}, fmt.Errorf("%w: empty body", ErrBadIOR)
+	}
+	if raw[0] > 1 {
+		return IOR{}, fmt.Errorf("%w: byte-order flag %d", ErrBadIOR, raw[0])
+	}
+	d := cdr.NewDecoder(raw, cdr.ByteOrder(raw[0]))
+	if _, err := d.ReadOctet(); err != nil {
+		return IOR{}, fmt.Errorf("%w: %v", ErrBadIOR, err)
+	}
+	return DecodeIOR(d)
+}

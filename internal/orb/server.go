@@ -1,0 +1,280 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cdr"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Servant is the server-side upcall interface: the object adapter hands a
+// decoded request to the servant, which reads its arguments from in and
+// writes its results to out. Returning a *UserException or *SystemException
+// produces the corresponding exceptional reply; any other error becomes an
+// INTERNAL system exception. Generated skeletons implement Servant by
+// switching on op and delegating to the user's implementation object,
+// mirroring the CORBA C++ inheritance mapping the paper uses (§2.1).
+type Servant interface {
+	Dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) error
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(op string, in *cdr.Decoder, out *cdr.Encoder) error
+
+// Dispatch implements Servant.
+func (f ServantFunc) Dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	return f(op, in, out)
+}
+
+// DataHandler consumes PARDIS Data messages (multi-port argument
+// transfers). The connection is provided so the handler can send return
+// transfers back over the same connection.
+type DataHandler func(d *wire.Data, conn *transport.Conn)
+
+// Server is the PARDIS object adapter plus its network engine: it listens on
+// one endpoint, registers servants under object keys, and dispatches inbound
+// requests. An SPMD object runs one Server per computing thread in the
+// multi-port configuration, or only on the communicating thread in the
+// centralized configuration.
+type Server struct {
+	lis  *transport.Listener
+	host string
+
+	mu       sync.Mutex
+	servants map[string]Servant
+	dataH    DataHandler
+	conns    map[*transport.Conn]struct{}
+	closed   bool
+
+	// wg tracks connection serve loops and the accept loop; reqWg tracks
+	// in-flight request dispatches so Close can let replies drain before
+	// tearing connections down.
+	wg    sync.WaitGroup
+	reqWg sync.WaitGroup
+	// Logf, when set, receives connection-level error reports. It defaults
+	// to a silent logger; tests install t.Logf.
+	Logf func(format string, args ...any)
+}
+
+// NewServer listens on addr ("host:port", port 0 for ephemeral) and starts
+// accepting connections.
+func NewServer(addr string) (*Server, error) {
+	lis, err := transport.Listen(addr, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		lis:      lis,
+		servants: make(map[string]Servant),
+		conns:    make(map[*transport.Conn]struct{}),
+		Logf:     func(string, ...any) {},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Endpoint returns the server's reachable endpoint, labelled with the given
+// computing-thread rank.
+func (s *Server) Endpoint(rank int) Endpoint {
+	host, port := splitHostPort(s.lis.Addr())
+	return Endpoint{Host: host, Port: port, Rank: rank}
+}
+
+func splitHostPort(addr string) (string, int) {
+	host := addr
+	port := 0
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			host = addr[:i]
+			fmt.Sscanf(addr[i+1:], "%d", &port)
+			break
+		}
+	}
+	return host, port
+}
+
+// Register installs a servant under key. Registering an existing key
+// replaces the previous servant (re-registration after restart).
+func (s *Server) Register(key []byte, sv Servant) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.servants[string(key)] = sv
+}
+
+// Unregister removes the servant under key.
+func (s *Server) Unregister(key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.servants, string(key))
+}
+
+// SetDataHandler installs the consumer for multi-port Data messages.
+func (s *Server) SetDataHandler(h DataHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dataH = h
+}
+
+func (s *Server) lookup(key []byte) (Servant, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.servants[string(key)]
+	return sv, ok
+}
+
+func (s *Server) dataHandler() DataHandler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dataH
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn *transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			if !errors.Is(err, transport.ErrClosed) {
+				s.Logf("orb: server read: %v", err)
+				// Tell the peer its stream was unintelligible, then drop it.
+				_ = conn.WriteMessage(&wire.MessageError{})
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Request:
+			// Each request runs on its own goroutine so a long-running
+			// upcall (an SPMD collective invocation coordinating other
+			// ranks) does not block subsequent traffic on the connection.
+			s.reqWg.Add(1)
+			go func() {
+				defer s.reqWg.Done()
+				s.handleRequest(m, conn)
+			}()
+		case *wire.LocateRequest:
+			st := wire.LocateUnknown
+			if _, ok := s.lookup(m.ObjectKey); ok {
+				st = wire.LocateHere
+			}
+			if err := conn.WriteMessage(&wire.LocateReply{RequestID: m.RequestID, Status: st}); err != nil {
+				s.Logf("orb: locate reply: %v", err)
+				return
+			}
+		case *wire.CancelRequest:
+			// Best effort: PARDIS requests are not abortable mid-upcall.
+		case *wire.Data:
+			if h := s.dataHandler(); h != nil {
+				h(m, conn)
+			} else {
+				s.Logf("orb: Data message with no handler (request %d)", m.RequestID)
+				_ = conn.WriteMessage(&wire.MessageError{})
+			}
+		case *wire.CloseConnection:
+			return
+		case *wire.MessageError:
+			s.Logf("orb: peer reported message error")
+			return
+		default:
+			_ = conn.WriteMessage(&wire.MessageError{})
+			return
+		}
+	}
+}
+
+func (s *Server) handleRequest(req *wire.Request, conn *transport.Conn) {
+	out := NewArgEncoder()
+	status := wire.ReplyNoException
+
+	sv, ok := s.lookup(req.ObjectKey)
+	var err error
+	if !ok {
+		err = ObjectNotExist(req.ObjectKey)
+	} else if in, derr := ArgDecoder(req.Args); derr != nil {
+		err = Marshal(derr)
+	} else {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					err = &SystemException{RepoID: RepoInternal, Message: fmt.Sprint("servant panic: ", p)}
+					s.Logf("orb: servant panic in %q: %v", req.Operation, p)
+				}
+			}()
+			err = sv.Dispatch(req.Operation, in, out)
+		}()
+	}
+	if err != nil {
+		var fwd *ForwardRequest
+		if errors.As(err, &fwd) {
+			status = wire.ReplyLocationForward
+			out = cdr.NewEncoder(cdr.NativeOrder)
+			out.WriteRaw([]byte(fwd.Target.String()))
+		} else {
+			out = NewArgEncoder()
+			status = encodeException(out, err)
+		}
+	}
+	if !req.ResponseExpected {
+		return
+	}
+	reply := &wire.Reply{RequestID: req.RequestID, Status: status, Args: out.Bytes()}
+	if werr := conn.WriteMessage(reply); werr != nil {
+		s.Logf("orb: reply write: %v", werr)
+	}
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.lis.Addr() }
+
+// Close stops the listener and tears down all connections, waiting for
+// in-flight dispatches to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	// Let in-flight dispatches write their replies before the connections
+	// go away.
+	s.reqWg.Wait()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

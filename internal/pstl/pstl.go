@@ -1,0 +1,286 @@
+// Package pstl is the direct package mapping the paper's conclusions call
+// for: "we plan to continue our work on direct mapping strategies for
+// concrete packages such as HPC++ [PSTL] and POOMA. This will enable us to
+// test the capabilities of PARDIS on real world applications."
+//
+// HPC++'s Parallel Standard Template Library exposes distributed vectors
+// with parallel algorithms; this package provides the Go equivalent over
+// PARDIS distributed sequences, so that a dsequence argument received from
+// the request broker can be processed in place with data-parallel
+// algorithms instead of hand-written rank loops:
+//
+//	arr := core.ArgSeq[float64](call, 0)
+//	pstl.Transform(arr, func(v float64) float64 { return v * 2 })
+//	total, err := pstl.Reduce(arr, 0, func(a, b float64) float64 { return a + b })
+//
+// All algorithms follow the SPMD discipline of the rest of the system:
+// collective operations must be called by every computing thread of the
+// sequence's communicator; purely local ones are marked as such.
+package pstl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dseq"
+	"repro/internal/rts"
+)
+
+// ErrEmpty is returned by reductions over empty sequences that need at
+// least one element.
+var ErrEmpty = errors.New("pstl: empty sequence")
+
+// Transform applies f to every element in place. Local: each thread
+// processes only its own elements, no communication.
+func Transform[T any](s *dseq.Seq[T], f func(T) T) {
+	local := s.LocalData()
+	for i, v := range local {
+		local[i] = f(v)
+	}
+}
+
+// TransformIndexed is Transform with the element's global index.
+func TransformIndexed[T any](s *dseq.Seq[T], f func(global int, v T) T) {
+	local := s.LocalData()
+	off := 0
+	layout := s.Layout()
+	for _, iv := range layout.Intervals[s.Comm().Rank()] {
+		for j := 0; j < iv.Len; j++ {
+			local[off+j] = f(iv.Start+j, local[off+j])
+		}
+		off += iv.Len
+	}
+}
+
+// ForEach visits every local element. Local.
+func ForEach[T any](s *dseq.Seq[T], f func(T)) {
+	for _, v := range s.LocalData() {
+		f(v)
+	}
+}
+
+// Reduce combines all elements with the associative op, starting from
+// identity, and returns the result on every thread. Collective.
+func Reduce[T any](s *dseq.Seq[T], identity T, op func(T, T) T) (T, error) {
+	acc := identity
+	for _, v := range s.LocalData() {
+		acc = op(acc, v)
+	}
+	// Exchange the per-thread partials through the sequence's codec so the
+	// reduction works for any element type.
+	payload := dseq.MarshalChunk(s.Codec(), []T{acc})
+	parts, err := s.Comm().Allgather(payload)
+	if err != nil {
+		return identity, err
+	}
+	acc = identity
+	for r, p := range parts {
+		vals, err := dseq.UnmarshalChunk(s.Codec(), p)
+		if err != nil {
+			return identity, fmt.Errorf("pstl: partial from thread %d: %w", r, err)
+		}
+		if len(vals) != 1 {
+			return identity, fmt.Errorf("pstl: thread %d sent %d partials", r, len(vals))
+		}
+		acc = op(acc, vals[0])
+	}
+	return acc, nil
+}
+
+// MapReduce applies m to every element and reduces the results with op.
+// Collective.
+func MapReduce[T any, R any](s *dseq.Seq[T], codec dseq.Codec[R], identity R, m func(T) R, op func(R, R) R) (R, error) {
+	acc := identity
+	for _, v := range s.LocalData() {
+		acc = op(acc, m(v))
+	}
+	payload := dseq.MarshalChunk(codec, []R{acc})
+	parts, err := s.Comm().Allgather(payload)
+	if err != nil {
+		return identity, err
+	}
+	acc = identity
+	for r, p := range parts {
+		vals, err := dseq.UnmarshalChunk(codec, p)
+		if err != nil {
+			return identity, fmt.Errorf("pstl: partial from thread %d: %w", r, err)
+		}
+		if len(vals) != 1 {
+			return identity, fmt.Errorf("pstl: thread %d sent %d partials", r, len(vals))
+		}
+		acc = op(acc, vals[0])
+	}
+	return acc, nil
+}
+
+// Count returns the number of elements satisfying pred. Collective.
+func Count[T any](s *dseq.Seq[T], pred func(T) bool) (int, error) {
+	local := int64(0)
+	for _, v := range s.LocalData() {
+		if pred(v) {
+			local++
+		}
+	}
+	out, err := s.Comm().Allreduce(rts.Int64sToBytes([]int64{local}), rts.SumInt64)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := rts.BytesToInt64s(out)
+	if err != nil {
+		return 0, err
+	}
+	return int(vals[0]), nil
+}
+
+// InclusiveScan replaces every element with the inclusive prefix
+// combination of all elements up to and including it (global order).
+// Collective.
+func InclusiveScan[T any](s *dseq.Seq[T], identity T, op func(T, T) T) error {
+	if !blockOrdered(s) {
+		return fmt.Errorf("pstl: InclusiveScan requires a rank-ordered contiguous layout (got %v intervals)", s.Layout().Intervals)
+	}
+	local := s.LocalData()
+	// Local inclusive scan.
+	acc := identity
+	for i, v := range local {
+		acc = op(acc, v)
+		local[i] = acc
+	}
+	// Exclusive prefix of the per-thread totals via the RTS scan.
+	totalPayload := dseq.MarshalChunk(s.Codec(), []T{acc})
+	prefixes, err := s.Comm().Allgather(totalPayload)
+	if err != nil {
+		return err
+	}
+	carry := identity
+	for r := 0; r < s.Comm().Rank(); r++ {
+		vals, err := dseq.UnmarshalChunk(s.Codec(), prefixes[r])
+		if err != nil {
+			return err
+		}
+		if len(vals) != 1 {
+			return fmt.Errorf("pstl: thread %d sent %d totals", r, len(vals))
+		}
+		carry = op(carry, vals[0])
+	}
+	if s.Comm().Rank() > 0 {
+		for i := range local {
+			local[i] = op(carry, local[i])
+		}
+	}
+	return nil
+}
+
+// blockOrdered reports whether each thread owns one contiguous run and the
+// runs appear in rank order — the layout InclusiveScan and Sort rely on.
+func blockOrdered[T any](s *dseq.Seq[T]) bool {
+	next := 0
+	for _, ivs := range s.Layout().Intervals {
+		if len(ivs) > 1 {
+			return false
+		}
+		for _, iv := range ivs {
+			if iv.Start != next {
+				return false
+			}
+			next = iv.End()
+		}
+	}
+	return next == s.Len()
+}
+
+// MinMax returns the global minimum and maximum under less. Collective;
+// fails with ErrEmpty on zero-length sequences.
+func MinMax[T any](s *dseq.Seq[T], less func(a, b T) bool) (min, max T, err error) {
+	local := s.LocalData()
+	payload := []T{}
+	if len(local) > 0 {
+		mn, mx := local[0], local[0]
+		for _, v := range local[1:] {
+			if less(v, mn) {
+				mn = v
+			}
+			if less(mx, v) {
+				mx = v
+			}
+		}
+		payload = []T{mn, mx}
+	}
+	parts, err := s.Comm().Allgather(dseq.MarshalChunk(s.Codec(), payload))
+	if err != nil {
+		return min, max, err
+	}
+	first := true
+	for r, p := range parts {
+		vals, derr := dseq.UnmarshalChunk(s.Codec(), p)
+		if derr != nil {
+			return min, max, fmt.Errorf("pstl: extrema from thread %d: %w", r, derr)
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		if first {
+			min, max = vals[0], vals[1]
+			first = false
+			continue
+		}
+		if less(vals[0], min) {
+			min = vals[0]
+		}
+		if less(max, vals[1]) {
+			max = vals[1]
+		}
+	}
+	if first {
+		return min, max, ErrEmpty
+	}
+	return min, max, nil
+}
+
+// Sort globally sorts the sequence under less, preserving the layout: after
+// Sort, element i of the global order lives wherever global index i lived
+// before. Collective. The current implementation gathers at thread 0 —
+// adequate for the argument sizes PARDIS services exchange; a sample sort
+// is a natural upgrade path.
+func Sort[T any](s *dseq.Seq[T], less func(a, b T) bool) error {
+	full, err := s.GatherTo(0)
+	if err != nil {
+		return err
+	}
+	if s.Comm().Rank() == 0 {
+		sort.Slice(full, func(i, j int) bool { return less(full[i], full[j]) })
+	}
+	return s.ScatterFrom(0, full)
+}
+
+// Fill sets every element to v. Local.
+func Fill[T any](s *dseq.Seq[T], v T) {
+	local := s.LocalData()
+	for i := range local {
+		local[i] = v
+	}
+}
+
+// Copy copies src into dst elementwise. Both sequences must have identical
+// layouts. Local.
+func Copy[T any](dst, src *dseq.Seq[T]) error {
+	if !dst.Layout().Equal(src.Layout()) {
+		return fmt.Errorf("pstl: Copy requires identical layouts")
+	}
+	copy(dst.LocalData(), src.LocalData())
+	return nil
+}
+
+// Zip applies f(a[i], b[i]) into dst[i] for sequences with identical
+// layouts (an n-ary transform, the axpy shape). Local.
+func Zip[T any](dst, a, b *dseq.Seq[T], f func(x, y T) T) error {
+	if !dst.Layout().Equal(a.Layout()) || !dst.Layout().Equal(b.Layout()) {
+		return fmt.Errorf("pstl: Zip requires identical layouts")
+	}
+	dv, av, bv := dst.LocalData(), a.LocalData(), b.LocalData()
+	for i := range dv {
+		dv[i] = f(av[i], bv[i])
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package pstl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/dseq"
+	"repro/internal/rts"
+)
+
+func run(t *testing.T, n int, fn func(c *rts.Comm) error) {
+	t.Helper()
+	w := rts.NewWorld(n, rts.Options{RecvTimeout: 10 * time.Second})
+	t.Cleanup(w.Close)
+	if err := w.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformAndForEach(t *testing.T) {
+	run(t, 4, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Float64, 100, nil)
+		if err != nil {
+			return err
+		}
+		s.FillFunc(func(g int) float64 { return float64(g) })
+		Transform(s, func(v float64) float64 { return v * 2 })
+		sum := 0.0
+		ForEach(s, func(v float64) { sum += v })
+		full, err := s.Collect()
+		if err != nil {
+			return err
+		}
+		for i, v := range full {
+			if v != float64(i)*2 {
+				return fmt.Errorf("full[%d] = %v", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTransformIndexedOnCyclic(t *testing.T) {
+	run(t, 3, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Int32, 40, dist.Cyclic{BlockSize: 3})
+		if err != nil {
+			return err
+		}
+		TransformIndexed(s, func(g int, v int32) int32 { return int32(g * 10) })
+		full, err := s.Collect()
+		if err != nil {
+			return err
+		}
+		for i, v := range full {
+			if v != int32(i*10) {
+				return fmt.Errorf("full[%d] = %d", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestReduce(t *testing.T) {
+	run(t, 5, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Float64, 1000, nil)
+		if err != nil {
+			return err
+		}
+		s.FillFunc(func(g int) float64 { return 1 })
+		total, err := Reduce(s, 0, func(a, b float64) float64 { return a + b })
+		if err != nil {
+			return err
+		}
+		if total != 1000 {
+			return fmt.Errorf("sum = %v", total)
+		}
+		return nil
+	})
+}
+
+func TestMapReduce(t *testing.T) {
+	run(t, 4, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.String, 9, nil)
+		if err != nil {
+			return err
+		}
+		s.FillFunc(func(g int) string { return fmt.Sprintf("%c", 'a'+g) })
+		// Total length of all strings.
+		n, err := MapReduce(s, dseq.Int64, 0, func(v string) int64 { return int64(len(v)) },
+			func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		if n != 9 {
+			return fmt.Errorf("total length %d", n)
+		}
+		return nil
+	})
+}
+
+func TestCount(t *testing.T) {
+	run(t, 3, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Int32, 100, nil)
+		if err != nil {
+			return err
+		}
+		s.FillFunc(func(g int) int32 { return int32(g) })
+		n, err := Count(s, func(v int32) bool { return v%3 == 0 })
+		if err != nil {
+			return err
+		}
+		if n != 34 { // 0,3,...,99
+			return fmt.Errorf("count %d", n)
+		}
+		return nil
+	})
+}
+
+func TestInclusiveScan(t *testing.T) {
+	run(t, 4, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Int64, 37, nil)
+		if err != nil {
+			return err
+		}
+		s.FillFunc(func(g int) int64 { return int64(g + 1) })
+		if err := InclusiveScan(s, 0, func(a, b int64) int64 { return a + b }); err != nil {
+			return err
+		}
+		full, err := s.Collect()
+		if err != nil {
+			return err
+		}
+		for i, v := range full {
+			k := int64(i + 1)
+			if v != k*(k+1)/2 {
+				return fmt.Errorf("prefix[%d] = %d", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestInclusiveScanRejectsCyclic(t *testing.T) {
+	run(t, 2, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Int64, 10, dist.Cyclic{BlockSize: 1})
+		if err != nil {
+			return err
+		}
+		if err := InclusiveScan(s, 0, func(a, b int64) int64 { return a + b }); err == nil {
+			return errors.New("cyclic layout accepted")
+		}
+		return nil
+	})
+}
+
+func TestMinMax(t *testing.T) {
+	run(t, 4, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Float64, 101, nil)
+		if err != nil {
+			return err
+		}
+		s.FillFunc(func(g int) float64 { return float64((g*37)%101) - 50 })
+		mn, mx, err := MinMax(s, func(a, b float64) bool { return a < b })
+		if err != nil {
+			return err
+		}
+		if mn != -50 || mx != 50 {
+			return fmt.Errorf("min %v max %v", mn, mx)
+		}
+		return nil
+	})
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	run(t, 3, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Float64, 0, nil)
+		if err != nil {
+			return err
+		}
+		if _, _, err := MinMax(s, func(a, b float64) bool { return a < b }); !errors.Is(err, ErrEmpty) {
+			return fmt.Errorf("got %v", err)
+		}
+		return nil
+	})
+}
+
+func TestMinMaxWithEmptyRanks(t *testing.T) {
+	// More ranks than elements: some threads own nothing.
+	run(t, 5, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Int32, 3, nil)
+		if err != nil {
+			return err
+		}
+		s.FillFunc(func(g int) int32 { return int32(5 - g) })
+		mn, mx, err := MinMax(s, func(a, b int32) bool { return a < b })
+		if err != nil {
+			return err
+		}
+		if mn != 3 || mx != 5 {
+			return fmt.Errorf("min %d max %d", mn, mx)
+		}
+		return nil
+	})
+}
+
+func TestSort(t *testing.T) {
+	run(t, 4, func(c *rts.Comm) error {
+		s, err := dseq.New(c, dseq.Float64, 200, nil)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(int64(1))) // same on all ranks; only local parts are used
+		_ = rng
+		s.FillFunc(func(g int) float64 { return float64((g * 7919) % 200) })
+		if err := Sort(s, func(a, b float64) bool { return a < b }); err != nil {
+			return err
+		}
+		full, err := s.Collect()
+		if err != nil {
+			return err
+		}
+		if !sort.Float64sAreSorted(full) {
+			return errors.New("not sorted")
+		}
+		if full[0] != 0 || full[199] != 199 {
+			return fmt.Errorf("extremes %v %v", full[0], full[199])
+		}
+		return nil
+	})
+}
+
+func TestFillCopyZip(t *testing.T) {
+	run(t, 3, func(c *rts.Comm) error {
+		a, err := dseq.New(c, dseq.Float64, 60, nil)
+		if err != nil {
+			return err
+		}
+		b, err := dseq.New(c, dseq.Float64, 60, nil)
+		if err != nil {
+			return err
+		}
+		dst, err := dseq.New(c, dseq.Float64, 60, nil)
+		if err != nil {
+			return err
+		}
+		Fill(a, 2)
+		b.FillFunc(func(g int) float64 { return float64(g) })
+		if err := Zip(dst, a, b, func(x, y float64) float64 { return x * y }); err != nil {
+			return err
+		}
+		v, err := dst.At(30)
+		if err != nil {
+			return err
+		}
+		if v != 60 {
+			return fmt.Errorf("dst[30] = %v", v)
+		}
+		cp, err := dseq.New(c, dseq.Float64, 60, nil)
+		if err != nil {
+			return err
+		}
+		if err := Copy(cp, dst); err != nil {
+			return err
+		}
+		v, err = cp.At(30)
+		if err != nil || v != 60 {
+			return fmt.Errorf("copy[30] = %v, %v", v, err)
+		}
+		// Mismatched layouts are rejected.
+		odd, err := dseq.New(c, dseq.Float64, 61, nil)
+		if err != nil {
+			return err
+		}
+		if err := Copy(odd, dst); err == nil {
+			return errors.New("layout mismatch accepted by Copy")
+		}
+		if err := Zip(odd, a, b, func(x, y float64) float64 { return x }); err == nil {
+			return errors.New("layout mismatch accepted by Zip")
+		}
+		return nil
+	})
+}
+
+// Property: Reduce(+) equals the sequential sum for random lengths,
+// distributions and world sizes.
+func TestReduceMatchesSequentialProperty(t *testing.T) {
+	specs := []dist.Spec{nil, dist.Cyclic{BlockSize: 2}, dist.Proportions{P: []int{3, 1, 2}}}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 3
+		length := rng.Intn(200)
+		spec := specs[rng.Intn(len(specs))]
+		vals := make([]int64, length)
+		var want int64
+		for i := range vals {
+			vals[i] = int64(rng.Intn(100) - 50)
+			want += vals[i]
+		}
+		w := rts.NewWorld(ranks, rts.Options{RecvTimeout: 10 * time.Second})
+		defer w.Close()
+		ok := true
+		err := w.Run(func(c *rts.Comm) error {
+			s, err := dseq.New(c, dseq.Int64, length, spec)
+			if err != nil {
+				return err
+			}
+			s.FillFunc(func(g int) int64 { return vals[g] })
+			got, err := Reduce(s, 0, func(a, b int64) int64 { return a + b })
+			if err != nil {
+				return err
+			}
+			if got != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package rts
+
+import (
+	"sync"
+	"time"
+)
+
+// message is a single point-to-point message in flight.
+type message struct {
+	ctx  int // communication context (see Comm.Dup)
+	src  int
+	tag  int
+	data []byte
+}
+
+// mailbox holds the messages destined for one rank. Receives match on
+// (ctx, src, tag) with wildcard support; among messages matching a receive,
+// delivery order equals send order (MPI non-overtaking rule), because the
+// queue is scanned front to back and senders append under the same lock.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrWorldClosed
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Broadcast()
+	return nil
+}
+
+// match reports whether msg satisfies a receive for (ctx, src, tag).
+func match(m message, ctx, src, tag int) bool {
+	if m.ctx != ctx {
+		return false
+	}
+	if src != AnySource && m.src != src {
+		return false
+	}
+	if tag != AnyTag && m.tag != tag {
+		return false
+	}
+	return true
+}
+
+// take removes and returns the first message matching (ctx, src, tag),
+// blocking until one is available or the mailbox is closed.
+func (mb *mailbox) take(ctx, src, tag int) (message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i := range mb.queue {
+			if match(mb.queue[i], ctx, src, tag) {
+				m := mb.queue[i]
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if mb.closed {
+			return message{}, ErrWorldClosed
+		}
+		mb.cond.Wait()
+	}
+}
+
+// takeTimeout is take with a deadline; it returns ErrTimeout if no matching
+// message arrives within d. A non-positive d means block indefinitely.
+func (mb *mailbox) takeTimeout(ctx, src, tag int, d time.Duration) (message, error) {
+	if d <= 0 {
+		return mb.take(ctx, src, tag)
+	}
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i := range mb.queue {
+			if match(mb.queue[i], ctx, src, tag) {
+				m := mb.queue[i]
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if mb.closed {
+			return message{}, ErrWorldClosed
+		}
+		if !time.Now().Before(deadline) {
+			return message{}, ErrTimeout
+		}
+		mb.cond.Wait()
+	}
+}
+
+// probe reports whether a matching message is queued, without removing it.
+// It never blocks.
+func (mb *mailbox) probe(ctx, src, tag int) (Status, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i := range mb.queue {
+		if match(mb.queue[i], ctx, src, tag) {
+			return Status{Source: mb.queue[i].src, Tag: mb.queue[i].tag, Len: len(mb.queue[i].data)}, true
+		}
+	}
+	return Status{}, false
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// pending returns the number of queued messages; used by tests and by
+// World.Close leak checks.
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}

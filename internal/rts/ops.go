@@ -1,0 +1,118 @@
+package rts
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file provides typed views over the []byte message payloads: slice
+// codecs for the numeric types PARDIS arguments use, and elementwise
+// ReduceFuncs built from them.
+
+// Float64sToBytes encodes a []float64 as little-endian IEEE 754 bytes.
+func Float64sToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+// BytesToFloat64s decodes a payload produced by Float64sToBytes.
+func BytesToFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("rts: float64 payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// Int64sToBytes encodes a []int64 as little-endian bytes.
+func Int64sToBytes(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// BytesToInt64s decodes a payload produced by Int64sToBytes.
+func BytesToInt64s(b []byte) ([]int64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("rts: int64 payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+func float64Elementwise(f func(a, b float64) float64) ReduceFunc {
+	return func(a, b []byte) ([]byte, error) {
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("%w: reduce operands %d vs %d bytes", ErrSizes, len(a), len(b))
+		}
+		av, err := BytesToFloat64s(a)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := BytesToFloat64s(b)
+		if err != nil {
+			return nil, err
+		}
+		for i := range av {
+			av[i] = f(av[i], bv[i])
+		}
+		return Float64sToBytes(av), nil
+	}
+}
+
+func int64Elementwise(f func(a, b int64) int64) ReduceFunc {
+	return func(a, b []byte) ([]byte, error) {
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("%w: reduce operands %d vs %d bytes", ErrSizes, len(a), len(b))
+		}
+		av, err := BytesToInt64s(a)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := BytesToInt64s(b)
+		if err != nil {
+			return nil, err
+		}
+		for i := range av {
+			av[i] = f(av[i], bv[i])
+		}
+		return Int64sToBytes(av), nil
+	}
+}
+
+// Prebuilt elementwise reduction operators over float64 and int64 vectors.
+var (
+	SumFloat64 = float64Elementwise(func(a, b float64) float64 { return a + b })
+	MaxFloat64 = float64Elementwise(math.Max)
+	MinFloat64 = float64Elementwise(math.Min)
+	SumInt64   = int64Elementwise(func(a, b int64) int64 { return a + b })
+	MaxInt64   = int64Elementwise(func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	MinInt64 = int64Elementwise(func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	// Concat appends b to a; with Scan it yields rank-ordered prefixes.
+	Concat ReduceFunc = func(a, b []byte) ([]byte, error) {
+		out := make([]byte, 0, len(a)+len(b))
+		return append(append(out, a...), b...), nil
+	}
+)

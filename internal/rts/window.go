@@ -1,0 +1,151 @@
+package rts
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Window is the one-sided run-time system interface the paper lists as
+// future work ("an alternative run-time system interface capturing the
+// functionality of the more flexible one-sided run-time systems"). A window
+// exposes a region of every rank's memory for remote Get/Put/Accumulate
+// without the target's active participation, bracketed by Fence epochs.
+//
+// Creation and Fence are collective; Get/Put/Accumulate may target any rank
+// between fences. Concurrent accesses to the same target are serialized by a
+// per-target lock, mirroring MPI passive-target semantics closely enough for
+// the PARDIS mapping experiments.
+type Window struct {
+	comm    *Comm
+	shared  *windowShared
+	local   []byte
+	rank    int
+	created bool
+}
+
+type windowShared struct {
+	regions []windowRegion
+}
+
+type windowRegion struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// windowRegistry coordinates the collective exchange of window state through
+// an allgather of region identities. Since all ranks share one process, the
+// registry simply ships pointers via the existing collective machinery.
+var windowRegistry sync.Map // key: registryKey → *windowShared
+
+type registryKey struct {
+	world *World
+	ctx   int
+	seq   int
+}
+
+// CreateWindow collectively exposes local as this rank's region of a new
+// window. Every rank must call it with its own (possibly differently sized)
+// buffer. The buffer is shared, not copied: remote Puts become visible to
+// the local rank directly, as with true one-sided hardware.
+func (c *Comm) CreateWindow(local []byte) (*Window, error) {
+	tag := collTag(opFence, c.nextSeq())
+	// Rank 0 allocates the shared structure and publishes its identity;
+	// everyone then installs their region and synchronizes.
+	var key registryKey
+	if c.rank == 0 {
+		key = registryKey{world: c.world, ctx: c.ctx, seq: tag}
+		shared := &windowShared{regions: make([]windowRegion, c.world.size)}
+		windowRegistry.Store(key, shared)
+	}
+	if _, err := c.Bcast(0, nil); err != nil {
+		return nil, err
+	}
+	key = registryKey{world: c.world, ctx: c.ctx, seq: tag}
+	v, ok := windowRegistry.Load(key)
+	if !ok {
+		return nil, fmt.Errorf("rts: window registry desynchronized (ctx %d)", c.ctx)
+	}
+	shared := v.(*windowShared)
+	shared.regions[c.rank].buf = local
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	if c.rank == 0 {
+		windowRegistry.Delete(key)
+	}
+	return &Window{comm: c, shared: shared, local: local, rank: c.rank, created: true}, nil
+}
+
+func (w *Window) region(rank int) (*windowRegion, error) {
+	if rank < 0 || rank >= len(w.shared.regions) {
+		return nil, fmt.Errorf("%w: window target %d", ErrRank, rank)
+	}
+	return &w.shared.regions[rank], nil
+}
+
+// Get copies len(dst) bytes starting at off from rank's region into dst.
+func (w *Window) Get(rank, off int, dst []byte) error {
+	r, err := w.region(rank)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+len(dst) > len(r.buf) {
+		return fmt.Errorf("rts: window Get [%d,%d) outside region of %d bytes on rank %d", off, off+len(dst), len(r.buf), rank)
+	}
+	copy(dst, r.buf[off:])
+	return nil
+}
+
+// Put copies src into rank's region starting at off.
+func (w *Window) Put(rank, off int, src []byte) error {
+	r, err := w.region(rank)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+len(src) > len(r.buf) {
+		return fmt.Errorf("rts: window Put [%d,%d) outside region of %d bytes on rank %d", off, off+len(src), len(r.buf), rank)
+	}
+	copy(r.buf[off:], src)
+	return nil
+}
+
+// Accumulate applies op to rank's region at off with src as the right
+// operand, storing the result in place: region = op(region, src). The
+// element interpretation is the op's concern, as in the message-passing
+// interface.
+func (w *Window) Accumulate(rank, off int, src []byte, op ReduceFunc) error {
+	r, err := w.region(rank)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < 0 || off+len(src) > len(r.buf) {
+		return fmt.Errorf("rts: window Accumulate [%d,%d) outside region of %d bytes on rank %d", off, off+len(src), len(r.buf), rank)
+	}
+	cur := make([]byte, len(src))
+	copy(cur, r.buf[off:off+len(src)])
+	res, err := op(cur, src)
+	if err != nil {
+		return err
+	}
+	if len(res) != len(src) {
+		return fmt.Errorf("%w: accumulate op changed length %d → %d", ErrSizes, len(src), len(res))
+	}
+	copy(r.buf[off:], res)
+	return nil
+}
+
+// Fence collectively closes the current access epoch: after Fence returns,
+// all Get/Put/Accumulate calls issued by any rank before its Fence are
+// complete and visible everywhere.
+func (w *Window) Fence() error {
+	return w.comm.Barrier()
+}
+
+// Local returns this rank's own region.
+func (w *Window) Local() []byte { return w.local }

@@ -1,0 +1,137 @@
+package rts
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestWindowPutGet(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		local := make([]byte, 16)
+		win, err := c.CreateWindow(local)
+		if err != nil {
+			return err
+		}
+		// Every rank puts its rank id into the next rank's region.
+		next := (c.Rank() + 1) % c.Size()
+		if err := win.Put(next, 0, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		prev := (c.Rank() + c.Size() - 1) % c.Size()
+		if local[0] != byte(prev) {
+			return fmt.Errorf("rank %d region has %d, want %d", c.Rank(), local[0], prev)
+		}
+		// Read it back remotely too.
+		got := make([]byte, 1)
+		if err := win.Get(next, 0, got); err != nil {
+			return err
+		}
+		if got[0] != byte(c.Rank()) {
+			return fmt.Errorf("remote get saw %d, want %d", got[0], c.Rank())
+		}
+		return win.Fence()
+	})
+}
+
+func TestWindowAccumulate(t *testing.T) {
+	run(t, 5, func(c *Comm) error {
+		local := Int64sToBytes([]int64{0})
+		win, err := c.CreateWindow(local)
+		if err != nil {
+			return err
+		}
+		// All ranks accumulate their (rank+1) into rank 0's counter.
+		if err := win.Accumulate(0, 0, Int64sToBytes([]int64{int64(c.Rank() + 1)}), SumInt64); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			v, err := BytesToInt64s(win.Local())
+			if err != nil {
+				return err
+			}
+			if v[0] != 15 { // 1+2+3+4+5
+				return fmt.Errorf("accumulated %d, want 15", v[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestWindowBounds(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		win, err := c.CreateWindow(make([]byte, 8))
+		if err != nil {
+			return err
+		}
+		defer win.Fence()
+		if err := win.Put(0, 6, []byte{1, 2, 3}); err == nil {
+			return fmt.Errorf("out-of-bounds Put accepted")
+		}
+		if err := win.Get(1, -1, make([]byte, 1)); err == nil {
+			return fmt.Errorf("negative-offset Get accepted")
+		}
+		if err := win.Put(9, 0, nil); err == nil {
+			return fmt.Errorf("bad-rank Put accepted")
+		}
+		return nil
+	})
+}
+
+func TestWindowSharedVisibility(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		local := make([]byte, 4)
+		win, err := c.CreateWindow(local)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := win.Put(1, 0, []byte("ping")); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 && !bytes.Equal(local, []byte("ping")) {
+			return fmt.Errorf("rank 1 sees %q", local)
+		}
+		return nil
+	})
+}
+
+func TestTwoWindowsIndependent(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		a, err := c.CreateWindow([]byte{0xAA})
+		if err != nil {
+			return err
+		}
+		b, err := c.CreateWindow([]byte{0xBB})
+		if err != nil {
+			return err
+		}
+		got := make([]byte, 1)
+		if err := a.Get(1-c.Rank(), 0, got); err != nil {
+			return err
+		}
+		if got[0] != 0xAA {
+			return fmt.Errorf("window a returned %x", got[0])
+		}
+		if err := b.Get(1-c.Rank(), 0, got); err != nil {
+			return err
+		}
+		if got[0] != 0xBB {
+			return fmt.Errorf("window b returned %x", got[0])
+		}
+		if err := a.Fence(); err != nil {
+			return err
+		}
+		return b.Fence()
+	})
+}

@@ -1,0 +1,328 @@
+// Package transport moves PGIOP messages over byte streams.
+//
+// It provides the network plumbing the paper gets from NexusLite: framed,
+// ordered delivery of wire messages over TCP connections (one per
+// client-thread/server-thread pair in the multi-port method, a single one in
+// the centralized method), plus an in-process pipe transport for tests and
+// co-located components.
+//
+// Large message bodies are transparently split into PGIOP Fragment frames on
+// write and reassembled on read, so higher layers see whole messages
+// regardless of size. Writes from multiple goroutines are serialized per
+// connection; fragments of one message are never interleaved with another
+// message's frames.
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/cdr"
+	"repro/internal/wire"
+)
+
+// Errors reported by this package.
+var (
+	ErrClosed      = errors.New("transport: connection closed")
+	ErrTooLarge    = errors.New("transport: message exceeds size limit")
+	ErrBadFragment = errors.New("transport: fragment sequencing violation")
+)
+
+const (
+	// DefaultFragmentThreshold is the largest body sent in a single frame;
+	// bigger bodies are fragmented. 256 KiB keeps frames small enough to
+	// interleave fairly on a shared link, the property the paper's
+	// multi-port experiments depend on.
+	DefaultFragmentThreshold = 256 << 10
+	// MaxMessageSize bounds a reassembled body. It is deliberately far
+	// above any benchmark's needs (a 2^19-double sequence is 4 MiB).
+	MaxMessageSize = 1 << 30
+)
+
+// maxMessageSize is the enforced limit; tests lower it to exercise the
+// oversize paths without allocating gigabyte buffers.
+var maxMessageSize = MaxMessageSize
+
+// Options configure a Conn.
+type Options struct {
+	// Order is the byte order this side produces. Zero value (BigEndian)
+	// is valid; NewConn defaults to cdr.NativeOrder when Options is nil.
+	Order cdr.ByteOrder
+	// FragmentThreshold overrides DefaultFragmentThreshold when > 0.
+	FragmentThreshold int
+}
+
+// Conn is a framed PGIOP connection over any byte stream. WriteMessage is
+// safe for concurrent use; ReadMessage must be called from one goroutine at
+// a time.
+type Conn struct {
+	rw    io.ReadWriteCloser
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	order cdr.ByteOrder
+	frag  int
+
+	wmu    sync.Mutex
+	closed bool
+	cmu    sync.Mutex
+}
+
+// NewConn wraps a byte stream in PGIOP framing.
+func NewConn(rw io.ReadWriteCloser, opts *Options) *Conn {
+	c := &Conn{
+		rw:    rw,
+		br:    bufio.NewReaderSize(rw, 64<<10),
+		bw:    bufio.NewWriterSize(rw, 64<<10),
+		order: cdr.NativeOrder,
+		frag:  DefaultFragmentThreshold,
+	}
+	if opts != nil {
+		c.order = opts.Order
+		if opts.FragmentThreshold > 0 {
+			c.frag = opts.FragmentThreshold
+		}
+	}
+	return c
+}
+
+// WriteMessage encodes and sends m, fragmenting the body when it exceeds
+// the connection's threshold.
+func (c *Conn) WriteMessage(m wire.Message) error {
+	body := cdr.NewEncoder(c.order)
+	m.EncodeBody(body)
+	b := body.Bytes()
+	if len(b) > maxMessageSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
+	}
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.isClosed() {
+		return ErrClosed
+	}
+
+	writeFrame := func(t wire.MsgType, more bool, chunk []byte) error {
+		h := wire.EncodeHeader(t, c.order, more, len(chunk))
+		if _, err := c.bw.Write(h[:]); err != nil {
+			return err
+		}
+		_, err := c.bw.Write(chunk)
+		return err
+	}
+
+	if len(b) <= c.frag {
+		if err := writeFrame(m.Type(), false, b); err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	}
+	// Leading frame carries the first chunk with the more-fragments flag;
+	// Fragment frames carry the rest.
+	if err := writeFrame(m.Type(), true, b[:c.frag]); err != nil {
+		return err
+	}
+	for off := c.frag; off < len(b); off += c.frag {
+		end := min(off+c.frag, len(b))
+		if err := writeFrame(wire.MsgFragment, end < len(b), b[off:end]); err != nil {
+			return err
+		}
+	}
+	return c.bw.Flush()
+}
+
+// ReadMessage reads the next complete message, reassembling fragments.
+func (c *Conn) ReadMessage() (wire.Message, error) {
+	h, body, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if h.Type == wire.MsgFragment {
+		return nil, fmt.Errorf("%w: unexpected leading fragment", ErrBadFragment)
+	}
+	for more := h.More(); more; {
+		fh, fbody, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		if fh.Type != wire.MsgFragment {
+			return nil, fmt.Errorf("%w: %v interleaved into fragmented message", ErrBadFragment, fh.Type)
+		}
+		if fh.Order() != h.Order() {
+			return nil, fmt.Errorf("%w: fragment changed byte order", ErrBadFragment)
+		}
+		if len(body)+len(fbody) > maxMessageSize {
+			return nil, fmt.Errorf("%w: reassembled body", ErrTooLarge)
+		}
+		body = append(body, fbody...)
+		more = fh.More()
+	}
+	return wire.DecodeBody(h.Type, body, h.Order())
+}
+
+func (c *Conn) readFrame() (wire.Header, []byte, error) {
+	var hb [wire.HeaderLen]byte
+	if _, err := io.ReadFull(c.br, hb[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+			return wire.Header{}, nil, ErrClosed
+		}
+		return wire.Header{}, nil, err
+	}
+	h, err := wire.DecodeHeader(hb[:])
+	if err != nil {
+		return wire.Header{}, nil, err
+	}
+	if int(h.Size) > maxMessageSize {
+		return wire.Header{}, nil, fmt.Errorf("%w: frame body %d", ErrTooLarge, h.Size)
+	}
+	body := make([]byte, h.Size)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return wire.Header{}, nil, fmt.Errorf("transport: truncated frame: %w", err)
+	}
+	return h, body, nil
+}
+
+func (c *Conn) isClosed() bool {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.closed
+}
+
+// Close tears down the connection. It is idempotent.
+func (c *Conn) Close() error {
+	c.cmu.Lock()
+	if c.closed {
+		c.cmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cmu.Unlock()
+	return c.rw.Close()
+}
+
+// Listener accepts PGIOP connections.
+type Listener struct {
+	nl   net.Listener
+	opts *Options
+}
+
+// Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, opts *Options) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl, opts: opts}, nil
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (*Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewConn(nc, l.opts), nil
+}
+
+// Addr returns the listener's bound address ("host:port").
+func (l *Listener) Addr() string { return l.nl.Addr().String() }
+
+// Port returns the listener's bound TCP port.
+func (l *Listener) Port() int {
+	if ta, ok := l.nl.Addr().(*net.TCPAddr); ok {
+		return ta.Port
+	}
+	return 0
+}
+
+// Close stops accepting; established connections are unaffected.
+func (l *Listener) Close() error { return l.nl.Close() }
+
+// Dial connects to a PGIOP endpoint at addr.
+func Dial(addr string, opts *Options) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewConn(nc, opts), nil
+}
+
+// Pipe returns two connected in-process endpoints, one per side, with
+// unbounded buffering (writes never block on the peer's reads). It serves
+// tests and co-located client/server pairs.
+func Pipe(opts *Options) (*Conn, *Conn) {
+	a2b := newPipeBuffer()
+	b2a := newPipeBuffer()
+	a := NewConn(&pipeEnd{r: b2a, w: a2b}, opts)
+	b := NewConn(&pipeEnd{r: a2b, w: b2a}, opts)
+	return a, b
+}
+
+// pipeBuffer is a byte queue usable as one direction of an in-process duplex
+// stream: Write appends, Read blocks until data or close.
+type pipeBuffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newPipeBuffer() *pipeBuffer {
+	b := &pipeBuffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pipeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	b.buf = append(b.buf, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *pipeBuffer) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.buf) == 0 {
+		if b.closed {
+			return 0, io.EOF
+		}
+		b.cond.Wait()
+	}
+	n := copy(p, b.buf)
+	b.buf = b.buf[n:]
+	return n, nil
+}
+
+func (b *pipeBuffer) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// pipeEnd glues a read buffer and a write buffer into one ReadWriteCloser.
+type pipeEnd struct {
+	r, w *pipeBuffer
+}
+
+func (p *pipeEnd) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p *pipeEnd) Write(b []byte) (int, error) { return p.w.Write(b) }
+func (p *pipeEnd) Close() error {
+	p.r.close()
+	p.w.close()
+	return nil
+}

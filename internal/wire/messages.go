@@ -1,0 +1,297 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// Request asks an object to perform an operation. Body layout mirrors the
+// GIOP RequestHeader followed by the marshalled in/inout arguments.
+type Request struct {
+	RequestID        uint32
+	ResponseExpected bool
+	ObjectKey        []byte
+	Operation        string
+	Principal        string // identity of the requester (informational)
+	Args             []byte // CDR-encoded argument payload (opaque here)
+}
+
+func (*Request) Type() MsgType { return MsgRequest }
+
+func (r *Request) EncodeBody(e *cdr.Encoder) {
+	e.WriteULong(r.RequestID)
+	e.WriteBool(r.ResponseExpected)
+	e.WriteOctets(r.ObjectKey)
+	e.WriteString(r.Operation)
+	e.WriteString(r.Principal)
+	e.WriteOctets(r.Args)
+}
+
+func decodeRequest(d *cdr.Decoder) (*Request, error) {
+	var r Request
+	var err error
+	if r.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if r.ResponseExpected, err = d.ReadBool(); err != nil {
+		return nil, err
+	}
+	if r.ObjectKey, err = d.ReadOctets(); err != nil {
+		return nil, err
+	}
+	if r.Operation, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if r.Principal, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if r.Args, err = d.ReadOctets(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Reply answers a Request. For ReplyUserException and ReplySystemException
+// the Args payload carries the marshalled exception; for
+// ReplyLocationForward it carries a stringified object reference.
+type Reply struct {
+	RequestID uint32
+	Status    ReplyStatus
+	Args      []byte
+}
+
+func (*Reply) Type() MsgType { return MsgReply }
+
+func (r *Reply) EncodeBody(e *cdr.Encoder) {
+	e.WriteULong(r.RequestID)
+	e.WriteEnum(uint32(r.Status))
+	e.WriteOctets(r.Args)
+}
+
+func decodeReply(d *cdr.Decoder) (*Reply, error) {
+	var r Reply
+	var err error
+	if r.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	s, err := d.ReadEnum()
+	if err != nil {
+		return nil, err
+	}
+	if s > uint32(ReplyLocationForward) {
+		return nil, fmt.Errorf("%w: reply status %d", ErrBadBody, s)
+	}
+	r.Status = ReplyStatus(s)
+	if r.Args, err = d.ReadOctets(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// CancelRequest withdraws interest in an outstanding request.
+type CancelRequest struct {
+	RequestID uint32
+}
+
+func (*CancelRequest) Type() MsgType { return MsgCancelRequest }
+
+func (c *CancelRequest) EncodeBody(e *cdr.Encoder) { e.WriteULong(c.RequestID) }
+
+func decodeCancelRequest(d *cdr.Decoder) (*CancelRequest, error) {
+	id, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	return &CancelRequest{RequestID: id}, nil
+}
+
+// LocateRequest asks whether the peer serves the given object key.
+type LocateRequest struct {
+	RequestID uint32
+	ObjectKey []byte
+}
+
+func (*LocateRequest) Type() MsgType { return MsgLocateRequest }
+
+func (l *LocateRequest) EncodeBody(e *cdr.Encoder) {
+	e.WriteULong(l.RequestID)
+	e.WriteOctets(l.ObjectKey)
+}
+
+func decodeLocateRequest(d *cdr.Decoder) (*LocateRequest, error) {
+	var l LocateRequest
+	var err error
+	if l.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if l.ObjectKey, err = d.ReadOctets(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// LocateReply answers a LocateRequest; for LocateForward, IOR carries the
+// stringified reference of the object's current location.
+type LocateReply struct {
+	RequestID uint32
+	Status    LocateStatus
+	IOR       string
+}
+
+func (*LocateReply) Type() MsgType { return MsgLocateReply }
+
+func (l *LocateReply) EncodeBody(e *cdr.Encoder) {
+	e.WriteULong(l.RequestID)
+	e.WriteEnum(uint32(l.Status))
+	e.WriteString(l.IOR)
+}
+
+func decodeLocateReply(d *cdr.Decoder) (*LocateReply, error) {
+	var l LocateReply
+	var err error
+	if l.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	s, err := d.ReadEnum()
+	if err != nil {
+		return nil, err
+	}
+	if s > uint32(LocateForward) {
+		return nil, fmt.Errorf("%w: locate status %d", ErrBadBody, s)
+	}
+	l.Status = LocateStatus(s)
+	if l.IOR, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// CloseConnection announces an orderly shutdown of the connection.
+type CloseConnection struct{}
+
+func (*CloseConnection) Type() MsgType           { return MsgCloseConnection }
+func (*CloseConnection) EncodeBody(*cdr.Encoder) {}
+
+// MessageError reports that the peer sent an unintelligible message.
+type MessageError struct{}
+
+func (*MessageError) Type() MsgType           { return MsgMessageError }
+func (*MessageError) EncodeBody(*cdr.Encoder) {}
+
+// Fragment continues the body of the preceding message on this connection.
+// Reassembly is performed by the transport; higher layers never see it.
+type Fragment struct {
+	Payload []byte
+}
+
+func (*Fragment) Type() MsgType { return MsgFragment }
+
+func (f *Fragment) EncodeBody(e *cdr.Encoder) { e.WriteRaw(f.Payload) }
+
+// Data is the PARDIS multi-port extension message: one contiguous piece of
+// one distributed argument of one outstanding request, flowing directly
+// between computing threads. DstOff and Count are in elements; the payload
+// is a packed CDR array of the argument's element type in the sender's byte
+// order (declared by the message header).
+type Data struct {
+	RequestID uint32
+	ArgIndex  uint32 // which distributed argument of the operation
+	SrcRank   uint32 // sending computing thread
+	DstRank   uint32 // receiving computing thread
+	DstOff    uint64 // destination local offset, in elements
+	Count     uint64 // number of elements
+	Reply     bool   // false: client→server ("in" flow); true: server→client
+	Payload   []byte
+}
+
+func (*Data) Type() MsgType { return MsgData }
+
+func (m *Data) EncodeBody(e *cdr.Encoder) {
+	e.WriteULong(m.RequestID)
+	e.WriteULong(m.ArgIndex)
+	e.WriteULong(m.SrcRank)
+	e.WriteULong(m.DstRank)
+	e.WriteULongLong(m.DstOff)
+	e.WriteULongLong(m.Count)
+	e.WriteBool(m.Reply)
+	e.WriteOctets(m.Payload)
+}
+
+func decodeData(d *cdr.Decoder) (*Data, error) {
+	var m Data
+	var err error
+	if m.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if m.ArgIndex, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if m.SrcRank, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if m.DstRank, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if m.DstOff, err = d.ReadULongLong(); err != nil {
+		return nil, err
+	}
+	if m.Count, err = d.ReadULongLong(); err != nil {
+		return nil, err
+	}
+	if m.Reply, err = d.ReadBool(); err != nil {
+		return nil, err
+	}
+	if m.Payload, err = d.ReadOctets(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Encode renders a complete single-frame message (header + body) in the
+// given byte order. The transport uses lower-level primitives when it needs
+// to fragment; Encode is the convenience path and the wire-format oracle for
+// tests and the wiredump tool.
+func Encode(m Message, ord cdr.ByteOrder) []byte {
+	body := cdr.NewEncoder(ord)
+	m.EncodeBody(body)
+	h := EncodeHeader(m.Type(), ord, false, body.Len())
+	out := make([]byte, 0, HeaderLen+body.Len())
+	out = append(out, h[:]...)
+	return append(out, body.Bytes()...)
+}
+
+// DecodeBody parses a message body of the given type.
+func DecodeBody(t MsgType, body []byte, ord cdr.ByteOrder) (Message, error) {
+	d := cdr.NewDecoder(body, ord)
+	var (
+		m   Message
+		err error
+	)
+	switch t {
+	case MsgRequest:
+		m, err = decodeRequest(d)
+	case MsgReply:
+		m, err = decodeReply(d)
+	case MsgCancelRequest:
+		m, err = decodeCancelRequest(d)
+	case MsgLocateRequest:
+		m, err = decodeLocateRequest(d)
+	case MsgLocateReply:
+		m, err = decodeLocateReply(d)
+	case MsgCloseConnection:
+		m = &CloseConnection{}
+	case MsgMessageError:
+		m = &MessageError{}
+	case MsgFragment:
+		m = &Fragment{Payload: body}
+	case MsgData:
+		m, err = decodeData(d)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, t)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("decoding %v: %w", t, err)
+	}
+	return m, nil
+}

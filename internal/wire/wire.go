@@ -1,0 +1,197 @@
+// Package wire defines PGIOP, the PARDIS General Inter-ORB Protocol: the
+// message set exchanged between PARDIS clients, servers and the naming
+// service.
+//
+// PGIOP plays the role GIOP/IIOP plays for CORBA. It keeps GIOP's message
+// vocabulary (Request, Reply, CancelRequest, LocateRequest, LocateReply,
+// CloseConnection, MessageError, Fragment) and adds one PARDIS-specific
+// message, Data, which carries a fragment of a distributed argument directly
+// between a client computing thread and a server computing thread in the
+// multi-port transfer method (paper §3.3). In the centralized method (§3.2)
+// arguments travel entirely inside the Request/Reply bodies, exactly as in
+// CORBA.
+//
+// Every message is a 12-byte header followed by a CDR-encoded body:
+//
+//	offset 0  magic   "PDIS"
+//	offset 4  version 0x01
+//	offset 5  flags   bit 0: body byte order (1 = little endian)
+//	                  bit 1: more fragments follow
+//	offset 6  type    MsgType
+//	offset 7  reserved (0)
+//	offset 8  size    uint32 body length, in the header's byte order
+//
+// Bodies larger than a connection's fragment threshold are split across a
+// leading message and trailing Fragment messages (transport concern; see
+// internal/transport).
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// Protocol constants.
+var Magic = [4]byte{'P', 'D', 'I', 'S'}
+
+const (
+	Version = 1
+	// HeaderLen is the fixed message header size.
+	HeaderLen = 12
+	// FlagLittleEndian marks the body (and header size field) byte order.
+	FlagLittleEndian = 1 << 0
+	// FlagMoreFragments marks that the body continues in Fragment messages.
+	FlagMoreFragments = 1 << 1
+)
+
+// MsgType discriminates PGIOP messages.
+type MsgType byte
+
+const (
+	MsgRequest MsgType = iota
+	MsgReply
+	MsgCancelRequest
+	MsgLocateRequest
+	MsgLocateReply
+	MsgCloseConnection
+	MsgMessageError
+	MsgFragment
+	// MsgData is the PARDIS extension: one contiguous piece of a
+	// distributed argument, addressed to a specific computing thread.
+	MsgData
+	numMsgTypes
+)
+
+var msgTypeNames = [...]string{
+	"Request", "Reply", "CancelRequest", "LocateRequest", "LocateReply",
+	"CloseConnection", "MessageError", "Fragment", "Data",
+}
+
+func (t MsgType) String() string {
+	if int(t) < len(msgTypeNames) {
+		return msgTypeNames[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// Valid reports whether t is a known message type.
+func (t MsgType) Valid() bool { return t < numMsgTypes }
+
+// Errors reported by this package.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrBadBody    = errors.New("wire: malformed message body")
+)
+
+// ReplyStatus mirrors GIOP's reply status values.
+type ReplyStatus uint32
+
+const (
+	ReplyNoException ReplyStatus = iota
+	ReplyUserException
+	ReplySystemException
+	ReplyLocationForward
+)
+
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyNoException:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// LocateStatus mirrors GIOP's locate reply status values.
+type LocateStatus uint32
+
+const (
+	LocateUnknown LocateStatus = iota
+	LocateHere
+	LocateForward
+)
+
+// Message is the interface all PGIOP message bodies implement.
+type Message interface {
+	// Type returns the header discriminant for this body.
+	Type() MsgType
+	// EncodeBody writes the body in CDR.
+	EncodeBody(e *cdr.Encoder)
+}
+
+// Header is a decoded message header.
+type Header struct {
+	Flags byte
+	Type  MsgType
+	Size  uint32
+}
+
+// Order returns the byte order declared by the header flags.
+func (h Header) Order() cdr.ByteOrder {
+	if h.Flags&FlagLittleEndian != 0 {
+		return cdr.LittleEndian
+	}
+	return cdr.BigEndian
+}
+
+// More reports whether Fragment messages follow.
+func (h Header) More() bool { return h.Flags&FlagMoreFragments != 0 }
+
+// EncodeHeader renders a header for a body of the given size in order ord.
+func EncodeHeader(t MsgType, ord cdr.ByteOrder, more bool, size int) [HeaderLen]byte {
+	var b [HeaderLen]byte
+	copy(b[:4], Magic[:])
+	b[4] = Version
+	if ord == cdr.LittleEndian {
+		b[5] |= FlagLittleEndian
+	}
+	if more {
+		b[5] |= FlagMoreFragments
+	}
+	b[6] = byte(t)
+	if ord == cdr.LittleEndian {
+		b[8] = byte(size)
+		b[9] = byte(size >> 8)
+		b[10] = byte(size >> 16)
+		b[11] = byte(size >> 24)
+	} else {
+		b[8] = byte(size >> 24)
+		b[9] = byte(size >> 16)
+		b[10] = byte(size >> 8)
+		b[11] = byte(size)
+	}
+	return b
+}
+
+// DecodeHeader parses and validates a header.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("%w: header %d bytes", cdr.ErrTruncated, len(b))
+	}
+	if [4]byte(b[:4]) != Magic {
+		return Header{}, fmt.Errorf("%w: % x", ErrBadMagic, b[:4])
+	}
+	if b[4] != Version {
+		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, b[4])
+	}
+	h := Header{Flags: b[5], Type: MsgType(b[6])}
+	if !h.Type.Valid() {
+		return Header{}, fmt.Errorf("%w: %d", ErrBadType, b[6])
+	}
+	if h.Flags&FlagLittleEndian != 0 {
+		h.Size = uint32(b[8]) | uint32(b[9])<<8 | uint32(b[10])<<16 | uint32(b[11])<<24
+	} else {
+		h.Size = uint32(b[8])<<24 | uint32(b[9])<<16 | uint32(b[10])<<8 | uint32(b[11])
+	}
+	return h, nil
+}

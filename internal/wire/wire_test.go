@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdr"
+)
+
+var bothOrders = []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian}
+
+func roundTrip(t *testing.T, m Message, ord cdr.ByteOrder) Message {
+	t.Helper()
+	frame := Encode(m, ord)
+	h, err := DecodeHeader(frame[:HeaderLen])
+	if err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if h.Type != m.Type() {
+		t.Fatalf("type %v, want %v", h.Type, m.Type())
+	}
+	if h.Order() != ord {
+		t.Fatalf("order %v, want %v", h.Order(), ord)
+	}
+	if int(h.Size) != len(frame)-HeaderLen {
+		t.Fatalf("size %d, body %d", h.Size, len(frame)-HeaderLen)
+	}
+	if h.More() {
+		t.Fatal("single frame marked fragmented")
+	}
+	got, err := DecodeBody(h.Type, frame[HeaderLen:], h.Order())
+	if err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, ord := range bothOrders {
+		in := &Request{
+			RequestID:        42,
+			ResponseExpected: true,
+			ObjectKey:        []byte{1, 2, 3, 0xFF},
+			Operation:        "diffusion",
+			Principal:        "client@example",
+			Args:             []byte{9, 9, 9},
+		}
+		got := roundTrip(t, in, ord).(*Request)
+		if !reflect.DeepEqual(in, got) {
+			t.Fatalf("%v: %+v != %+v", ord, got, in)
+		}
+	}
+}
+
+func TestRequestEmptyFields(t *testing.T) {
+	in := &Request{Operation: "op"}
+	got := roundTrip(t, in, cdr.NativeOrder).(*Request)
+	if got.Operation != "op" || got.ResponseExpected || len(got.Args) != 0 || len(got.ObjectKey) != 0 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	for _, st := range []ReplyStatus{ReplyNoException, ReplyUserException, ReplySystemException, ReplyLocationForward} {
+		in := &Reply{RequestID: 7, Status: st, Args: []byte("payload")}
+		got := roundTrip(t, in, cdr.BigEndian).(*Reply)
+		if !reflect.DeepEqual(in, got) {
+			t.Fatalf("%v: %+v", st, got)
+		}
+	}
+}
+
+func TestReplyBadStatus(t *testing.T) {
+	e := cdr.NewEncoder(cdr.NativeOrder)
+	(&Reply{RequestID: 1, Status: ReplyStatus(9)}).EncodeBody(e)
+	_, err := DecodeBody(MsgReply, e.Bytes(), cdr.NativeOrder)
+	if !errors.Is(err, ErrBadBody) {
+		t.Fatalf("want ErrBadBody, got %v", err)
+	}
+}
+
+func TestCancelAndLocateRoundTrip(t *testing.T) {
+	c := roundTrip(t, &CancelRequest{RequestID: 99}, cdr.LittleEndian).(*CancelRequest)
+	if c.RequestID != 99 {
+		t.Fatalf("cancel %+v", c)
+	}
+	lr := roundTrip(t, &LocateRequest{RequestID: 5, ObjectKey: []byte("key")}, cdr.BigEndian).(*LocateRequest)
+	if lr.RequestID != 5 || string(lr.ObjectKey) != "key" {
+		t.Fatalf("locate request %+v", lr)
+	}
+	for _, st := range []LocateStatus{LocateUnknown, LocateHere, LocateForward} {
+		lp := roundTrip(t, &LocateReply{RequestID: 6, Status: st, IOR: "IOR:abc"}, cdr.LittleEndian).(*LocateReply)
+		if lp.Status != st || lp.IOR != "IOR:abc" {
+			t.Fatalf("locate reply %+v", lp)
+		}
+	}
+}
+
+func TestControlMessages(t *testing.T) {
+	if _, ok := roundTrip(t, &CloseConnection{}, cdr.NativeOrder).(*CloseConnection); !ok {
+		t.Fatal("close connection")
+	}
+	if _, ok := roundTrip(t, &MessageError{}, cdr.NativeOrder).(*MessageError); !ok {
+		t.Fatal("message error")
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	for _, ord := range bothOrders {
+		in := &Data{
+			RequestID: 1000,
+			ArgIndex:  2,
+			SrcRank:   3,
+			DstRank:   7,
+			DstOff:    1 << 40,
+			Count:     12345,
+			Reply:     true,
+			Payload:   bytes.Repeat([]byte{0xCD}, 100),
+		}
+		got := roundTrip(t, in, ord).(*Data)
+		if !reflect.DeepEqual(in, got) {
+			t.Fatalf("%v: %+v", ord, got)
+		}
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	good := Encode(&CancelRequest{RequestID: 1}, cdr.NativeOrder)
+
+	short := good[:HeaderLen-1]
+	if _, err := DecodeHeader(short); err == nil {
+		t.Fatal("short header accepted")
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+	if _, err := DecodeHeader(badMagic); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 9
+	if _, err := DecodeHeader(badVersion); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	badType := append([]byte(nil), good...)
+	badType[6] = 200
+	if _, err := DecodeHeader(badType); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: %v", err)
+	}
+}
+
+func TestHeaderSizeBothOrders(t *testing.T) {
+	for _, ord := range bothOrders {
+		h := EncodeHeader(MsgReply, ord, true, 0x01020304)
+		got, err := DecodeHeader(h[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Size != 0x01020304 {
+			t.Fatalf("%v: size %#x", ord, got.Size)
+		}
+		if !got.More() {
+			t.Fatalf("%v: more flag lost", ord)
+		}
+	}
+}
+
+func TestTruncatedBodies(t *testing.T) {
+	msgs := []Message{
+		&Request{RequestID: 1, Operation: "op", ObjectKey: []byte("k"), Args: []byte("a")},
+		&Reply{RequestID: 1, Args: []byte("a")},
+		&LocateRequest{RequestID: 1, ObjectKey: []byte("k")},
+		&LocateReply{RequestID: 1, IOR: "x"},
+		&Data{RequestID: 1, Payload: []byte("abc")},
+	}
+	for _, m := range msgs {
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		m.EncodeBody(e)
+		full := e.Bytes()
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := DecodeBody(m.Type(), full[:cut], cdr.NativeOrder); err == nil {
+				t.Fatalf("%v truncated at %d accepted", m.Type(), cut)
+			}
+		}
+	}
+}
+
+func TestDecodeBodyNeverPanics(t *testing.T) {
+	prop := func(tByte byte, body []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		DecodeBody(MsgType(tByte%byte(numMsgTypes)), body, cdr.LittleEndian)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if MsgRequest.String() != "Request" || MsgData.String() != "Data" {
+		t.Fatal("message type names")
+	}
+	if MsgType(99).String() == "" {
+		t.Fatal("unknown type name empty")
+	}
+	if MsgType(99).Valid() {
+		t.Fatal("unknown type valid")
+	}
+	if ReplyUserException.String() != "USER_EXCEPTION" {
+		t.Fatal("reply status name")
+	}
+	if ReplyStatus(12).String() == "" {
+		t.Fatal("unknown reply status empty")
+	}
+}
+
+func TestFuzzDecodeRandomFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		frame := make([]byte, rng.Intn(64))
+		rng.Read(frame)
+		if h, err := DecodeHeader(frame); err == nil {
+			body := frame[HeaderLen:]
+			DecodeBody(h.Type, body, h.Order()) // must not panic
+		}
+	}
+}
