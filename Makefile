@@ -1,0 +1,29 @@
+# Tier-1 verification gate. `make check` is what CI and reviewers run;
+# it must stay green on every commit.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz-smoke
+
+check: vet build test race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target gets a short bounded run; `go test` allows only one
+# -fuzz pattern per invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeHeader$$' -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBody$$' -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzDecoder$$' -fuzztime=$(FUZZTIME) ./internal/cdr
+	$(GO) test -run='^$$' -fuzz='^FuzzReadMessage$$' -fuzztime=$(FUZZTIME) ./internal/transport

@@ -8,6 +8,7 @@ import (
 	"repro/internal/naming"
 	"repro/internal/orb"
 	"repro/internal/rts"
+	"repro/internal/transport"
 )
 
 // BindOptions configure SPMDBind and Bind.
@@ -20,6 +21,21 @@ type BindOptions struct {
 	Method Method
 	// Timeout bounds each blocking remote interaction; zero means no bound.
 	Timeout time.Duration
+	// Transport, when set, configures the binding's connections (frame
+	// limits, byte order, fault-injection wrappers for chaos tests).
+	Transport *transport.Options
+	// Retry is the binding's policy for retrying idempotent client
+	// operations (locate, oneway sends) after connection failures.
+	Retry orb.RetryPolicy
+}
+
+// newClient builds an orb client configured per the options.
+func (o BindOptions) newClient() *orb.Client {
+	cli := orb.NewClient()
+	cli.Timeout = o.Timeout
+	cli.Transport = o.Transport
+	cli.Retry = o.Retry
+	return cli
 }
 
 // Binding is one computing thread's handle on a bound SPMD object. All the
@@ -51,8 +67,7 @@ func SPMDBind(comm *rts.Comm, name, nameServer string, opts ...BindOptions) (*Bi
 	var refStr string
 	var bindErr string
 	if comm.Rank() == 0 {
-		cli := orb.NewClient()
-		cli.Timeout = o.Timeout
+		cli := o.newClient()
 		res := naming.NewResolver(cli, nameServer)
 		ref, err := res.Resolve(name, o.TypeID)
 		cli.Close()
@@ -95,8 +110,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 	if err != nil {
 		return nil, err
 	}
-	client := orb.NewClient()
-	client.Timeout = o.Timeout
+	client := o.newClient()
 	client.Principal = fmt.Sprintf("spmd-client/%d", engine.Rank())
 
 	// Thread 0 fetches the interface description; everyone shares it.

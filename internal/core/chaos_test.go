@@ -1,0 +1,368 @@
+package core
+
+// Chaos tests: drive SPMD invocations through a faulted transport and
+// assert the failure contract — every rank returns the same error within
+// the deadline, no rank hangs in a collective, futures always resolve, and
+// no goroutine leaks.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dseq"
+	"repro/internal/rts"
+	"repro/internal/transport"
+)
+
+// chaosTimeout bounds one faulted invocation as seen by the client; well
+// under testTimeout so a clean failure is distinguishable from a hung
+// collective resolved only by the rts receive timeout.
+const chaosTimeout = 3 * time.Second
+
+// faultRig abstracts the two injection styles used below: schedule-driven
+// FaultPlan wrapping and the deterministic magic-byte corruptor.
+type faultRig interface {
+	Options() *transport.Options
+	Arm()
+}
+
+// armedWrap applies a FaultPlan to dialed streams, but only once armed:
+// binding and interface discovery run clean, and the schedule starts
+// counting at the moment of arming, which pins the faults to the
+// invocation under test.
+type armedWrap struct {
+	plan  *transport.FaultPlan
+	armed atomic.Bool
+}
+
+func (a *armedWrap) Options() *transport.Options {
+	return &transport.Options{Wrap: func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+		return &armedStream{owner: a, inner: rw}
+	}}
+}
+
+func (a *armedWrap) Arm() { a.armed.Store(true) }
+
+type armedStream struct {
+	owner *armedWrap
+	mu    sync.Mutex
+	inner io.ReadWriteCloser
+	inj   io.ReadWriteCloser
+}
+
+func (s *armedStream) target() io.ReadWriteCloser {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.owner.armed.Load() {
+		if s.inj == nil {
+			s.inj = s.owner.plan.Wrap(s.inner)
+		}
+		return s.inj
+	}
+	return s.inner
+}
+
+func (s *armedStream) Read(p []byte) (int, error)  { return s.target().Read(p) }
+func (s *armedStream) Write(p []byte) (int, error) { return s.target().Write(p) }
+func (s *armedStream) Close() error                { return s.inner.Close() }
+
+// magicCorruptor flips a bit in the frame magic of the first write after
+// arming. A flip in payload bytes would be silent (PGIOP carries no
+// checksums), so targeting the magic makes the peer's rejection
+// deterministic: the server kills the connection on the bad header.
+type magicCorruptor struct {
+	armed atomic.Bool
+	hit   atomic.Bool
+}
+
+func (m *magicCorruptor) Options() *transport.Options {
+	return &transport.Options{Wrap: func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+		return &magicStream{owner: m, inner: rw}
+	}}
+}
+
+func (m *magicCorruptor) Arm() { m.armed.Store(true) }
+
+type magicStream struct {
+	owner *magicCorruptor
+	inner io.ReadWriteCloser
+}
+
+func (s *magicStream) Read(p []byte) (int, error) { return s.inner.Read(p) }
+
+func (s *magicStream) Write(p []byte) (int, error) {
+	if len(p) > 0 && s.owner.armed.Load() && s.owner.hit.CompareAndSwap(false, true) {
+		c := append([]byte(nil), p...)
+		c[0] ^= 0x40
+		return s.inner.Write(c)
+	}
+	return s.inner.Write(p)
+}
+
+func (s *magicStream) Close() error { return s.inner.Close() }
+
+// runClientOpts is runClient with explicit bind options (chaos tests pass
+// fault-injecting transports and short timeouts).
+func (tc *testCluster) runClientOpts(t *testing.T, cRanks int, opts BindOptions, fn func(c *rts.Comm, b *Binding) error) {
+	t.Helper()
+	w := rts.NewWorld(cRanks, rts.Options{RecvTimeout: testTimeout})
+	defer w.Close()
+	err := w.Run(func(c *rts.Comm) error {
+		b, err := SPMDBind(c, "example", tc.ns.Addr(), opts)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		return fn(c, b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkGoroutines runs body as a subtest (so its cleanups fall inside the
+// measurement window), then waits for the goroutine count to return to the
+// pre-body level, catching leaked invocation or connection goroutines.
+func checkGoroutines(t *testing.T, name string, body func(t *testing.T)) {
+	before := runtime.NumGoroutine()
+	t.Run(name, body)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// assertCoherentFailure gathers every rank's error at rank 0 and checks
+// they all failed with the very same error.
+func assertCoherentFailure(c *rts.Comm, err error) error {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	all, gerr := c.Gather(0, []byte(msg))
+	if gerr != nil {
+		return gerr
+	}
+	if c.Rank() != 0 {
+		return nil
+	}
+	for r, p := range all {
+		if len(p) == 0 {
+			return fmt.Errorf("rank %d saw no error from the faulted invocation", r)
+		}
+		if !bytes.Equal(p, all[0]) {
+			return fmt.Errorf("incoherent errors: rank 0 %q, rank %d %q", all[0], r, p)
+		}
+	}
+	return nil
+}
+
+func TestChaosInvocationFailsCoherently(t *testing.T) {
+	for _, method := range []Method{Centralized, Multiport} {
+		for _, mode := range []string{"cut-mid-frame", "corrupt-header"} {
+			method, mode := method, mode
+			checkGoroutines(t, fmt.Sprintf("%v/%s", method, mode), func(t *testing.T) {
+				var rig faultRig
+				if mode == "cut-mid-frame" {
+					plan := transport.NewFaultPlan(7)
+					// Well below one rank's data chunk, so the frame that
+					// crosses it is truncated mid-body before the hard close.
+					plan.CutAfterWriteBytes = 700
+					rig = &armedWrap{plan: plan}
+				} else {
+					rig = &magicCorruptor{}
+				}
+				tc := startCluster(t, 2, true, nil)
+				opts := BindOptions{Method: method, Timeout: chaosTimeout, Transport: rig.Options()}
+				tc.runClientOpts(t, 2, opts, func(c *rts.Comm, b *Binding) error {
+					const n = 512
+					arr, err := dseq.New(c, dseq.Float64, n, nil)
+					if err != nil {
+						return err
+					}
+					arr.FillFunc(func(g int) float64 { return float64(g) })
+
+					// A clean invocation first proves the plumbing.
+					if _, err := b.Invoke("scale", scaleScalars(2), []DistArg{InOutSeq(arr)}); err != nil {
+						return fmt.Errorf("pre-fault invoke: %w", err)
+					}
+
+					rig.Arm()
+					start := time.Now()
+					_, err = b.Invoke("scale", scaleScalars(3), []DistArg{InOutSeq(arr)})
+					elapsed := time.Since(start)
+					if err == nil {
+						return errors.New("invocation over faulted transport succeeded")
+					}
+					// Clean failure, not an rts-receive-timeout rescue.
+					if elapsed > testTimeout-5*time.Second {
+						return fmt.Errorf("failure took %v, wanted well under the rts timeout", elapsed)
+					}
+					return assertCoherentFailure(c, err)
+				})
+			})
+		}
+	}
+}
+
+func TestFutureWaitTwice(t *testing.T) {
+	tc := startCluster(t, 2, true, nil)
+	tc.runClient(t, 2, Centralized, func(c *rts.Comm, b *Binding) error {
+		arr, err := dseq.New(c, dseq.Float64, 100, nil)
+		if err != nil {
+			return err
+		}
+		arr.FillFunc(func(int) float64 { return 1 })
+		f := b.InvokeNB("sum", ScalarEncoder().Bytes(), []DistArg{InSeq(arr)})
+		s1, e1 := f.Wait()
+		s2, e2 := f.Wait() // second Wait must return the same result, not hang
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("waits: %v, %v", e1, e2)
+		}
+		if !bytes.Equal(s1, s2) {
+			return errors.New("second Wait returned different scalars")
+		}
+		if s3, e3, ok := f.WaitTimeout(time.Second); !ok || e3 != nil || !bytes.Equal(s1, s3) {
+			return fmt.Errorf("WaitTimeout after Wait: ok=%v err=%v", ok, e3)
+		}
+		return nil
+	})
+}
+
+func TestFutureWaitAfterConnDied(t *testing.T) {
+	checkGoroutines(t, "body", func(t *testing.T) {
+		plan := transport.NewFaultPlan(5)
+		plan.CutAfterWriteBytes = 1 // first armed write kills the stream
+		rig := &armedWrap{plan: plan}
+		tc := startCluster(t, 2, true, nil)
+		opts := BindOptions{Method: Multiport, Timeout: chaosTimeout, Transport: rig.Options()}
+		tc.runClientOpts(t, 2, opts, func(c *rts.Comm, b *Binding) error {
+			arr, err := dseq.New(c, dseq.Float64, 64, nil)
+			if err != nil {
+				return err
+			}
+			rig.Arm()
+			f := b.InvokeNB("scale", scaleScalars(2), []DistArg{InOutSeq(arr)})
+			_, e1, ok := f.WaitTimeout(testTimeout)
+			if !ok {
+				return errors.New("future unresolved after connection death")
+			}
+			if e1 == nil {
+				return errors.New("invocation over dead connection succeeded")
+			}
+			if _, e2 := f.Wait(); e2 == nil || e2.Error() != e1.Error() {
+				return fmt.Errorf("second Wait: %v, first %v", e2, e1)
+			}
+			return assertCoherentFailure(c, e1)
+		})
+	})
+}
+
+func TestFutureOutstandingAtWorldShutdown(t *testing.T) {
+	checkGoroutines(t, "body", func(t *testing.T) {
+		tc := startCluster(t, 2, true, nil)
+		plan := transport.NewFaultPlan(3)
+		plan.CutAfterWriteBytes = 1
+		rig := &armedWrap{plan: plan}
+		const cRanks = 2
+		w := rts.NewWorld(cRanks, rts.Options{RecvTimeout: testTimeout})
+		futs := make([]*Future, cRanks)
+		binds := make([]*Binding, cRanks)
+		err := w.Run(func(c *rts.Comm) error {
+			b, err := SPMDBind(c, "example", tc.ns.Addr(),
+				BindOptions{Method: Centralized, Timeout: chaosTimeout, Transport: rig.Options()})
+			if err != nil {
+				return err
+			}
+			binds[c.Rank()] = b
+			arr, err := dseq.New(c, dseq.Float64, 64, nil)
+			if err != nil {
+				return err
+			}
+			rig.Arm()
+			futs[c.Rank()] = b.InvokeNB("scale", scaleScalars(2), []DistArg{InOutSeq(arr)})
+			return nil // leave the future outstanding
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The world dies under the in-flight invocation; the futures must
+		// still resolve (with errors), not hang.
+		w.Close()
+		for r, f := range futs {
+			if _, ferr, ok := f.WaitTimeout(testTimeout); !ok {
+				t.Fatalf("rank %d future unresolved after world shutdown", r)
+			} else if ferr == nil {
+				t.Errorf("rank %d future succeeded against a cut transport", r)
+			}
+		}
+		for _, b := range binds {
+			if b != nil {
+				b.Close()
+			}
+		}
+	})
+}
+
+// TestChaosServerSurvivesFaultedClient exercises the server half of the
+// degradation story: after a client's multiport invocation dies mid-frame,
+// the same cluster must keep serving fresh, healthy clients.
+func TestChaosServerSurvivesFaultedClient(t *testing.T) {
+	// A short data timeout so the server sheds the faulted invocation
+	// quickly instead of holding the collective loop for the 30s default.
+	tc := startCluster(t, 2, true, nil, func(o *ExportOptions) { o.DataTimeout = 2 * time.Second })
+
+	plan := transport.NewFaultPlan(9)
+	plan.CutAfterWriteBytes = 700
+	rig := &armedWrap{plan: plan}
+	opts := BindOptions{Method: Multiport, Timeout: chaosTimeout, Transport: rig.Options()}
+	tc.runClientOpts(t, 2, opts, func(c *rts.Comm, b *Binding) error {
+		arr, err := dseq.New(c, dseq.Float64, 512, nil)
+		if err != nil {
+			return err
+		}
+		rig.Arm()
+		if _, err := b.Invoke("scale", scaleScalars(2), []DistArg{InOutSeq(arr)}); err == nil {
+			return errors.New("faulted invocation succeeded")
+		}
+		return nil
+	})
+
+	// A fresh client over a clean transport must succeed on the same object.
+	tc.runClient(t, 2, Multiport, func(c *rts.Comm, b *Binding) error {
+		arr, err := dseq.New(c, dseq.Float64, 256, nil)
+		if err != nil {
+			return err
+		}
+		arr.FillFunc(func(int) float64 { return 1 })
+		reply, err := b.Invoke("scale", scaleScalars(4), []DistArg{InOutSeq(arr)})
+		if err != nil {
+			return fmt.Errorf("post-chaos invoke: %w", err)
+		}
+		d, err := ScalarDecoder(reply)
+		if err != nil {
+			return err
+		}
+		if n, err := d.ReadLong(); err != nil || n != 256 {
+			return fmt.Errorf("post-chaos reply: %d, %v", n, err)
+		}
+		return nil
+	})
+}

@@ -123,7 +123,7 @@ type testCluster struct {
 	serverErr chan error
 }
 
-func startCluster(t *testing.T, sRanks int, multiport bool, argSpec dist.Spec) *testCluster {
+func startCluster(t *testing.T, sRanks int, multiport bool, argSpec dist.Spec, tweak ...func(*ExportOptions)) *testCluster {
 	t.Helper()
 	ns, err := naming.NewServer("127.0.0.1:0")
 	if err != nil {
@@ -139,12 +139,16 @@ func startCluster(t *testing.T, sRanks int, multiport bool, argSpec dist.Spec) *
 	var once sync.Once
 	go func() {
 		tc.serverErr <- tc.serverW.Run(func(c *rts.Comm) error {
-			obj, err := Export(c, ExportOptions{
+			opts := ExportOptions{
 				TypeID:     "IDL:diff_object:1.0",
 				Multiport:  multiport,
 				Name:       "example",
 				NameServer: ns.Addr(),
-			}, testObjectOps(argSpec))
+			}
+			for _, f := range tweak {
+				f(&opts)
+			}
+			obj, err := Export(c, opts, testObjectOps(argSpec))
 			if err != nil {
 				once.Do(func() { close(ready) })
 				return err

@@ -67,7 +67,15 @@ type ExportOptions struct {
 	NameServer string
 	// QueueDepth bounds pending requests awaiting the collective loop.
 	QueueDepth int
+	// DataTimeout bounds how long a computing thread waits for one
+	// argument's multi-port transfers from the client threads. A client
+	// that dies mid-transfer then fails the upcall instead of wedging the
+	// collective loop. Defaults to DefaultDataTimeout; negative disables.
+	DataTimeout time.Duration
 }
+
+// DefaultDataTimeout is the default ExportOptions.DataTimeout.
+const DefaultDataTimeout = 30 * time.Second
 
 // Object is one computing thread's handle on an exported SPMD object.
 type Object struct {
@@ -157,6 +165,11 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 	}
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
+	}
+	if opts.DataTimeout == 0 {
+		opts.DataTimeout = DefaultDataTimeout
+	} else if opts.DataTimeout < 0 {
+		opts.DataTimeout = 0
 	}
 	o := &Object{
 		comm:    engine,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cdr"
 	"repro/internal/dist"
 	"repro/internal/orb"
+	"repro/internal/rts"
 	"repro/internal/wire"
 )
 
@@ -177,27 +178,36 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 		return nil, meta.err
 	}
 
-	// Scatter the results.
+	// Scatter the results. The loop's own collectives keep the threads in
+	// step on success; the trailing agreement turns any thread-local
+	// failure (a result resize, a bad scatter payload) into one error seen
+	// identically everywhere instead of a divergent early return.
 	scatterStart := time.Now()
-	for i, a := range args {
-		if a.Dir == In {
-			continue
-		}
-		if a.Dir == Out {
-			if err := a.Seq.ResizeAlloc(meta.lengths[i]); err != nil {
-				return nil, err
+	scatterErr := func() error {
+		for i, a := range args {
+			if a.Dir == In {
+				continue
+			}
+			if a.Dir == Out {
+				if err := a.Seq.ResizeAlloc(meta.lengths[i]); err != nil {
+					return err
+				}
+			}
+			var data []byte
+			if b.comm.Rank() == 0 {
+				data = meta.datas[i]
+			}
+			if err := a.Seq.ScatterUnmarshal(0, data); err != nil {
+				return err
 			}
 		}
-		var data []byte
-		if b.comm.Rank() == 0 {
-			data = meta.datas[i]
-		}
-		if err := a.Seq.ScatterUnmarshal(0, data); err != nil {
-			return nil, err
-		}
-	}
+		return nil
+	}()
 	if timing != nil {
 		timing.Scatter = time.Since(scatterStart)
+	}
+	if agreed := b.agreeError(scatterErr); agreed != nil {
+		return nil, agreed
 	}
 	return meta.scalars, nil
 }
@@ -205,6 +215,13 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 // invokeMultiport implements the paper's §3.3 client side: the header is
 // delivered centrally, the argument data flows directly between the owning
 // threads, and the threads synchronize after the invocation.
+//
+// The function is a fixed collective skeleton: every thread executes the
+// same sequence of collectives (shareMeta, then two agreeError exchanges)
+// no matter where its local work fails. Local errors are captured and fed
+// into the agreement instead of returned early, so a thread whose data
+// connection was cut mid-frame cannot strand the others in a collective
+// they entered and it skipped.
 func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
 	me := b.comm.Rank()
 	cRanks := b.comm.Size()
@@ -214,125 +231,134 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 	b.client.RegisterDataSink(token, sink)
 	defer b.client.UnregisterDataSink(token)
 
-	// Plan the forward flows and figure out which server threads this
-	// thread must attach to for the return flows.
 	type argPlan struct {
 		serverLayout dist.Layout
 		fwdMine      []dist.Move
 	}
 	plans := make([]argPlan, len(args))
-	sendTargets := map[int]bool{}
-	attachTargets := map[int]bool{}
-	for i, a := range args {
-		spec := desc.Args[i].specOrBlock()
-		if a.Dir != Out {
-			sl, err := spec.Layout(a.Seq.Len(), sRanks)
-			if err != nil {
-				return nil, err
-			}
-			plans[i].serverLayout = sl
-			moves, err := dist.Plan(a.Seq.Layout(), sl)
-			if err != nil {
-				return nil, err
-			}
-			plans[i].fwdMine = dist.PlanBySource(moves, cRanks)[me]
-			for _, m := range plans[i].fwdMine {
-				sendTargets[m.DstRank] = true
-			}
-			if a.Dir == InOut {
-				rev, err := dist.Plan(sl, a.Seq.Layout())
-				if err != nil {
-					return nil, err
-				}
-				for _, m := range dist.PlanByDest(rev, cRanks)[me] {
-					attachTargets[m.SrcRank] = true
-				}
-			}
-		} else {
-			// The result length is unknown; conservatively attach to every
-			// server thread so any of them can reach us.
-			for r := 0; r < sRanks; r++ {
-				attachTargets[r] = true
-			}
-		}
-	}
 
-	// The communicating thread launches the request; the header travels
-	// first and alone, as §3.3 prescribes, so concurrent clients contend
-	// only at the communicating thread.
 	type replyResult struct {
 		payload []byte
 		err     error
 	}
 	replyCh := make(chan replyResult, 1)
-	sendStart := time.Now()
-	if me == 0 {
-		h := &invocationHeader{
-			Op: op, Method: Multiport, Token: token,
-			ClientRanks: cRanks, Scalars: scalars,
-			Args: make([]headerArg, len(args)),
-		}
-		for i, a := range args {
-			h.Args[i] = headerArg{Dir: a.Dir, Elem: a.Seq.ElemName()}
-			if a.Dir == Out {
-				h.Args[i].Spec = a.Seq.Spec()
-			} else {
-				h.Args[i].Layout = a.Seq.Layout()
-			}
-		}
-		e := orb.NewArgEncoder()
-		h.encode(e)
-		go func() {
-			payload, err := b.client.Invoke(b.ref, op, e.Bytes(), false)
-			replyCh <- replyResult{payload: payload, err: err}
-		}()
-	}
-
-	// Attach to return-flow sources we are not already sending to.
-	for r := range attachTargets {
-		if sendTargets[r] {
-			continue
-		}
-		attach := &wire.Data{RequestID: token, SrcRank: uint32(me), DstRank: uint32(r), Count: 0}
-		if err := b.client.SendData(b.ref, attach); err != nil {
-			return nil, err
-		}
-	}
-
-	// Send this thread's chunks directly to their owning server threads.
+	launched := false
 	packTotal := time.Duration(0)
-	for i, a := range args {
-		if a.Dir == Out {
-			continue
+	sendStart := time.Now()
+
+	// Forward phase (purely local): plan the flows, launch the header from
+	// the communicating thread, attach for return flows, and send this
+	// thread's chunks directly to their owning server threads.
+	localErr := func() error {
+		sendTargets := map[int]bool{}
+		attachTargets := map[int]bool{}
+		for i, a := range args {
+			spec := desc.Args[i].specOrBlock()
+			if a.Dir != Out {
+				sl, err := spec.Layout(a.Seq.Len(), sRanks)
+				if err != nil {
+					return err
+				}
+				plans[i].serverLayout = sl
+				moves, err := dist.Plan(a.Seq.Layout(), sl)
+				if err != nil {
+					return err
+				}
+				plans[i].fwdMine = dist.PlanBySource(moves, cRanks)[me]
+				for _, m := range plans[i].fwdMine {
+					sendTargets[m.DstRank] = true
+				}
+				if a.Dir == InOut {
+					rev, err := dist.Plan(sl, a.Seq.Layout())
+					if err != nil {
+						return err
+					}
+					for _, m := range dist.PlanByDest(rev, cRanks)[me] {
+						attachTargets[m.SrcRank] = true
+					}
+				}
+			} else {
+				// The result length is unknown; conservatively attach to every
+				// server thread so any of them can reach us.
+				for r := 0; r < sRanks; r++ {
+					attachTargets[r] = true
+				}
+			}
 		}
-		for _, m := range plans[i].fwdMine {
-			packStart := time.Now()
-			payload, err := a.Seq.MarshalRange(m.SrcOff, m.Len)
-			packTotal += time.Since(packStart)
-			if err != nil {
-				return nil, err
+
+		// The communicating thread launches the request; the header travels
+		// first and alone, as §3.3 prescribes, so concurrent clients contend
+		// only at the communicating thread.
+		if me == 0 {
+			h := &invocationHeader{
+				Op: op, Method: Multiport, Token: token,
+				ClientRanks: cRanks, Scalars: scalars,
+				Args: make([]headerArg, len(args)),
 			}
-			msg := &wire.Data{
-				RequestID: token,
-				ArgIndex:  uint32(i),
-				SrcRank:   uint32(me),
-				DstRank:   uint32(m.DstRank),
-				DstOff:    uint64(m.DstOff),
-				Count:     uint64(m.Len),
-				Payload:   payload,
+			for i, a := range args {
+				h.Args[i] = headerArg{Dir: a.Dir, Elem: a.Seq.ElemName()}
+				if a.Dir == Out {
+					h.Args[i].Spec = a.Seq.Spec()
+				} else {
+					h.Args[i].Layout = a.Seq.Layout()
+				}
 			}
-			if err := b.client.SendData(b.ref, msg); err != nil {
-				return nil, err
+			e := orb.NewArgEncoder()
+			h.encode(e)
+			launched = true
+			go func() {
+				payload, err := b.client.Invoke(b.ref, op, e.Bytes(), false)
+				replyCh <- replyResult{payload: payload, err: err}
+			}()
+		}
+
+		// Attach to return-flow sources we are not already sending to.
+		for r := range attachTargets {
+			if sendTargets[r] {
+				continue
+			}
+			attach := &wire.Data{RequestID: token, SrcRank: uint32(me), DstRank: uint32(r), Count: 0}
+			if err := b.client.SendData(b.ref, attach); err != nil {
+				return err
 			}
 		}
-	}
+
+		for i, a := range args {
+			if a.Dir == Out {
+				continue
+			}
+			for _, m := range plans[i].fwdMine {
+				packStart := time.Now()
+				payload, err := a.Seq.MarshalRange(m.SrcOff, m.Len)
+				packTotal += time.Since(packStart)
+				if err != nil {
+					return err
+				}
+				msg := &wire.Data{
+					RequestID: token,
+					ArgIndex:  uint32(i),
+					SrcRank:   uint32(me),
+					DstRank:   uint32(m.DstRank),
+					DstOff:    uint64(m.DstOff),
+					Count:     uint64(m.Len),
+					Payload:   payload,
+				}
+				if err := b.client.SendData(b.ref, msg); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}()
 	if timing != nil {
 		timing.Pack = packTotal
 	}
 
-	// The communicating thread collects the reply; everyone shares it.
+	// The communicating thread collects the reply (bounded by the client
+	// timeout even when another thread's sends failed and the server never
+	// answers); everyone shares it.
 	var meta invokeMeta
-	if me == 0 {
+	if me == 0 && launched {
 		res := <-replyCh
 		meta = metaFromReply(res.payload, res.err, Multiport)
 	}
@@ -342,58 +368,112 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 	if err := b.shareMeta(&meta); err != nil {
 		return nil, err
 	}
-	if meta.err != nil {
-		// Keep the threads aligned even on failure.
-		b.comm.Barrier()
-		return nil, meta.err
+	phaseErr := localErr
+	if phaseErr == nil {
+		phaseErr = meta.err
+	}
+	if agreed := b.agreeError(phaseErr); agreed != nil {
+		return nil, agreed
 	}
 
-	// Receive the return flows.
+	// Receive the return flows (purely local; bounded by the client
+	// timeout).
 	unpackStart := time.Now()
-	for i, a := range args {
-		if a.Dir == In {
-			continue
-		}
-		var clientLayout dist.Layout
-		var serverLayout dist.Layout
-		if a.Dir == Out {
-			if err := a.Seq.ResizeAlloc(meta.lengths[i]); err != nil {
-				return nil, err
+	recvErr := func() error {
+		for i, a := range args {
+			if a.Dir == In {
+				continue
 			}
-			clientLayout = a.Seq.Layout()
-			spec := desc.Args[i].specOrBlock()
-			sl, err := spec.Layout(meta.lengths[i], sRanks)
+			var clientLayout dist.Layout
+			var serverLayout dist.Layout
+			if a.Dir == Out {
+				if err := a.Seq.ResizeAlloc(meta.lengths[i]); err != nil {
+					return err
+				}
+				clientLayout = a.Seq.Layout()
+				spec := desc.Args[i].specOrBlock()
+				sl, err := spec.Layout(meta.lengths[i], sRanks)
+				if err != nil {
+					return err
+				}
+				serverLayout = sl
+			} else {
+				clientLayout = a.Seq.Layout()
+				serverLayout = plans[i].serverLayout
+			}
+			rev, err := dist.Plan(serverLayout, clientLayout)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			serverLayout = sl
-		} else {
-			clientLayout = a.Seq.Layout()
-			serverLayout = plans[i].serverLayout
+			mine := dist.PlanByDest(rev, cRanks)[me]
+			if err := consumeMoves(sink, nil, b.client.Timeout, uint32(i), true, mine, a.Seq); err != nil {
+				return err
+			}
 		}
-		rev, err := dist.Plan(serverLayout, clientLayout)
-		if err != nil {
-			return nil, err
-		}
-		mine := dist.PlanByDest(rev, cRanks)[me]
-		if err := consumeMoves(sink, nil, b.client.Timeout, uint32(i), true, mine, a.Seq); err != nil {
-			return nil, err
-		}
-	}
+		return nil
+	}()
 	if timing != nil {
 		timing.Unpack = time.Since(unpackStart)
 	}
 
-	// Post-invocation synchronization (the t_barrier of Table 2).
+	// Post-invocation synchronization (the t_barrier of Table 2), fused
+	// with error agreement so a thread whose return flows failed cannot
+	// leave the others in a hung barrier.
 	barrierStart := time.Now()
-	if err := b.comm.Barrier(); err != nil {
-		return nil, err
-	}
+	agreed := b.agreeError(recvErr)
 	if timing != nil {
 		timing.Barrier = time.Since(barrierStart)
 	}
+	if agreed != nil {
+		return nil, agreed
+	}
 	return meta.scalars, nil
 }
+
+// agreeError merges per-thread outcomes into one collective verdict: every
+// thread contributes its local error (nil when clean) and all threads
+// return the same agreed error, the lowest failing rank's. The
+// gather+broadcast doubles as a synchronization point, which is what lets
+// the invocation and upcall paths replace bare barriers with it: a faulted
+// thread reports instead of disappearing, so no thread waits on a
+// collective its peers will never enter.
+func agreeError(comm *rts.Comm, local error) error {
+	e := cdr.NewEncoder(cdr.NativeOrder)
+	encodeMetaErr(e, local)
+	all, err := comm.Gather(0, e.Bytes())
+	if err != nil {
+		return err
+	}
+	var payload []byte
+	if comm.Rank() == 0 {
+		var chosen error
+		for r, p := range all {
+			rerr, derr := decodeMetaErr(cdr.NewDecoder(p, cdr.NativeOrder))
+			if derr != nil {
+				// Never return early here: the other threads are already
+				// waiting in the broadcast below.
+				rerr = fmt.Errorf("core: thread %d outcome undecodable: %v", r, derr)
+			}
+			if chosen == nil && rerr != nil {
+				chosen = rerr
+			}
+		}
+		ec := cdr.NewEncoder(cdr.NativeOrder)
+		encodeMetaErr(ec, chosen)
+		payload = ec.Bytes()
+	}
+	payload, err = comm.Bcast(0, payload)
+	if err != nil {
+		return err
+	}
+	agreed, derr := decodeMetaErr(cdr.NewDecoder(payload, cdr.NativeOrder))
+	if derr != nil {
+		return derr
+	}
+	return agreed
+}
+
+func (b *Binding) agreeError(local error) error { return agreeError(b.comm, local) }
 
 // invokeMeta is the invocation outcome the communicating thread shares with
 // the others.

@@ -173,94 +173,112 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 	bucket := o.bucket(h.Token)
 	defer o.dropBucket(h.Token)
 
-	// Receive the In/InOut argument data.
-	for i, a := range h.Args {
-		if a.Dir == Out {
-			continue
+	// Receive the In/InOut argument data. Failures are captured, not
+	// returned: every thread must reach the agreement below so a client
+	// that died mid-transfer (this thread's receive timed out) fails the
+	// upcall coherently everywhere instead of wedging the collective loop.
+	recvErr := func() error {
+		for i, a := range h.Args {
+			if a.Dir == Out {
+				continue
+			}
+			switch h.Method {
+			case Centralized:
+				// Thread 0 holds the full payload; scatter it per the server
+				// layout (collective).
+				if err := args[i].ScatterUnmarshal(0, a.Data); err != nil {
+					return &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+				}
+			case Multiport:
+				moves, err := dist.Plan(a.Layout, args[i].Layout())
+				if err != nil {
+					return &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+				}
+				if err := o.receiveMoves(bucket, uint32(i), dist.PlanByDest(moves, sRanks)[me], args[i]); err != nil {
+					return &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+				}
+			}
 		}
-		switch h.Method {
-		case Centralized:
-			// Thread 0 holds the full payload; scatter it per the server
-			// layout (collective).
-			if err := args[i].ScatterUnmarshal(0, a.Data); err != nil {
-				return nil, false, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
-			}
-		case Multiport:
-			moves, err := dist.Plan(a.Layout, args[i].Layout())
-			if err != nil {
-				return nil, false, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
-			}
-			if err := o.receiveMoves(bucket, uint32(i), dist.PlanByDest(moves, sRanks)[me], args[i]); err != nil {
-				return nil, false, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
-			}
-		}
+		return nil
+	}()
+	if agreed := agreeError(o.comm, recvErr); agreed != nil {
+		// No thread runs the handler; thread 0 replies with the agreed
+		// error and serving continues.
+		return nil, false, agreed
 	}
 
 	// The collective upcall.
-	scalars, err := orb.ArgDecoder(h.Scalars)
-	if err != nil {
-		return nil, false, orb.Marshal(err)
-	}
 	out := orb.NewArgEncoder()
-	call := &ServerCall{Comm: o.comm, Op: h.Op, In: scalars, Out: out, Args: args}
-	herr := safeInvoke(op.Handler, call)
+	herr := func() error {
+		scalars, err := orb.ArgDecoder(h.Scalars)
+		if err != nil {
+			return orb.Marshal(err)
+		}
+		call := &ServerCall{Comm: o.comm, Op: h.Op, In: scalars, Out: out, Args: args}
+		return safeInvoke(op.Handler, call)
+	}()
 	if herr != nil && errors.Is(herr, ErrStopServing) {
 		stop = true
 		herr = nil
 	}
-	if herr != nil {
-		return nil, stop, herr
-	}
-
 	// Synchronize after the invocation (the paper's post-invocation
-	// synchronization of the server's computing threads).
-	if err := o.comm.Barrier(); err != nil {
-		return nil, stop, err
+	// synchronization of the server's computing threads), fused with error
+	// agreement: a handler failure on any thread — previously invisible to
+	// the client unless it was thread 0's — fails the upcall everywhere.
+	if agreed := agreeError(o.comm, herr); agreed != nil {
+		return nil, stop, agreed
 	}
 
 	// Return the Out/InOut argument data.
 	rh := &replyHeader{Scalars: out.Bytes(), Args: make([]replyArg, len(h.Args))}
-	for i, a := range h.Args {
-		rh.Args[i] = replyArg{Dir: a.Dir, Length: args[i].Len()}
-		if a.Dir == In {
-			continue
-		}
-		if a.Dir == InOut && args[i].Len() != a.Layout.Length {
-			return nil, stop, &orb.SystemException{
-				RepoID:  orb.RepoMarshal,
-				Message: fmt.Sprintf("handler resized inout arg %d from %d to %d", i, a.Layout.Length, args[i].Len()),
+	sendErr := func() error {
+		for i, a := range h.Args {
+			rh.Args[i] = replyArg{Dir: a.Dir, Length: args[i].Len()}
+			if a.Dir == In {
+				continue
 			}
-		}
-		switch h.Method {
-		case Centralized:
-			payload, err := args[i].GatherMarshal(0)
-			if err != nil {
-				return nil, stop, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
-			}
-			rh.Args[i].Data = payload
-		case Multiport:
-			// Compute the client's final layout for this argument.
-			var clientLayout dist.Layout
-			if a.Dir == InOut {
-				clientLayout = a.Layout
-			} else {
-				spec := a.Spec
-				if spec == nil {
-					spec = dist.Block{}
+			if a.Dir == InOut && args[i].Len() != a.Layout.Length {
+				return &orb.SystemException{
+					RepoID:  orb.RepoMarshal,
+					Message: fmt.Sprintf("handler resized inout arg %d from %d to %d", i, a.Layout.Length, args[i].Len()),
 				}
-				clientLayout, err = spec.Layout(args[i].Len(), h.ClientRanks)
+			}
+			switch h.Method {
+			case Centralized:
+				payload, err := args[i].GatherMarshal(0)
 				if err != nil {
-					return nil, stop, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+					return &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+				}
+				rh.Args[i].Data = payload
+			case Multiport:
+				// Compute the client's final layout for this argument.
+				var clientLayout dist.Layout
+				if a.Dir == InOut {
+					clientLayout = a.Layout
+				} else {
+					spec := a.Spec
+					if spec == nil {
+						spec = dist.Block{}
+					}
+					cl, err := spec.Layout(args[i].Len(), h.ClientRanks)
+					if err != nil {
+						return &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+					}
+					clientLayout = cl
+				}
+				moves, err := dist.Plan(args[i].Layout(), clientLayout)
+				if err != nil {
+					return &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
+				}
+				if err := o.sendMoves(bucket, h.Token, uint32(i), dist.PlanBySource(moves, sRanks)[me], args[i]); err != nil {
+					return &orb.SystemException{RepoID: orb.RepoComm, Message: err.Error()}
 				}
 			}
-			moves, err := dist.Plan(args[i].Layout(), clientLayout)
-			if err != nil {
-				return nil, stop, &orb.SystemException{RepoID: orb.RepoMarshal, Message: err.Error()}
-			}
-			if err := o.sendMoves(bucket, h.Token, uint32(i), dist.PlanBySource(moves, sRanks)[me], args[i]); err != nil {
-				return nil, stop, &orb.SystemException{RepoID: orb.RepoComm, Message: err.Error()}
-			}
 		}
+		return nil
+	}()
+	if agreed := agreeError(o.comm, sendErr); agreed != nil {
+		return nil, stop, agreed
 	}
 
 	if me == 0 {
@@ -272,9 +290,11 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 }
 
 // receiveMoves consumes the expected inbound transfers for one argument on
-// this computing thread and stores them into seq.
+// this computing thread and stores them into seq. The wait is bounded by
+// the object's DataTimeout so a client thread that died mid-transfer fails
+// this upcall instead of blocking the collective loop until Close.
 func (o *Object) receiveMoves(bucket *dataBucket, argIdx uint32, expected []dist.Move, seq dseq.Transferable) error {
-	return consumeMoves(bucket.ch, o.stop, 0, argIdx, false, expected, seq)
+	return consumeMoves(bucket.ch, o.stop, o.opts.DataTimeout, argIdx, false, expected, seq)
 }
 
 // attachTimeout bounds how long a return-flow sender waits for a client

@@ -292,3 +292,98 @@ func (r *Resolver) List() ([]string, error) {
 	}
 	return names, nil
 }
+
+// Stale reports whether err looks like a stale object reference: the
+// endpoint is gone, the connection died, or the object key is no longer
+// served there. These are the failures where re-resolving the name through
+// the naming domain can transparently recover (the server re-registered
+// after moving hosts or restarting on a new port).
+func Stale(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, orb.ErrConnBroken) || errors.Is(err, orb.ErrInvokeTimeout) {
+		return true
+	}
+	var se *orb.SystemException
+	if errors.As(err, &se) {
+		switch se.RepoID {
+		case orb.RepoComm, orb.RepoObjectNotExist:
+			return true
+		}
+	}
+	return false
+}
+
+// Rebinder is a self-healing handle on named objects: it resolves names
+// lazily, caches the resulting references, and when an invocation fails in
+// a way that suggests the cached IOR went stale (Stale), it re-resolves the
+// name and retries the invocation once against the fresh reference. This is
+// the client-side half of server mobility: a server that re-registers its
+// name after restarting on a new endpoint is picked up without client
+// involvement.
+type Rebinder struct {
+	res *Resolver
+
+	mu    sync.Mutex
+	cache map[string]orb.IOR
+}
+
+// NewRebinder builds a rebinder over the name server at addr using the
+// given client engine (shared with the Resolver and the invocations).
+func NewRebinder(client *orb.Client, addr string) *Rebinder {
+	return &Rebinder{res: NewResolver(client, addr), cache: make(map[string]orb.IOR)}
+}
+
+// Resolve returns the cached reference for name, consulting the name
+// server only on a cache miss.
+func (rb *Rebinder) Resolve(name, wantType string) (orb.IOR, error) {
+	rb.mu.Lock()
+	ref, ok := rb.cache[name]
+	rb.mu.Unlock()
+	if ok {
+		return ref, nil
+	}
+	return rb.refresh(name, wantType)
+}
+
+// refresh re-resolves name and replaces the cache entry.
+func (rb *Rebinder) refresh(name, wantType string) (orb.IOR, error) {
+	ref, err := rb.res.Resolve(name, wantType)
+	if err != nil {
+		return orb.IOR{}, err
+	}
+	rb.mu.Lock()
+	rb.cache[name] = ref
+	rb.mu.Unlock()
+	return ref, nil
+}
+
+// Invalidate drops the cached reference for name, forcing the next Resolve
+// to consult the name server.
+func (rb *Rebinder) Invalidate(name string) {
+	rb.mu.Lock()
+	delete(rb.cache, name)
+	rb.mu.Unlock()
+}
+
+// Invoke performs a request/reply invocation on the named object,
+// re-resolving and retrying once when the cached reference is stale.
+func (rb *Rebinder) Invoke(name, wantType, op string, args []byte) ([]byte, error) {
+	ref, err := rb.Resolve(name, wantType)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := rb.res.client.Invoke(ref, op, args, false)
+	if !Stale(err) {
+		return reply, err
+	}
+	// The reference may be stale; rebind through the naming domain and
+	// retry once. A second failure is the caller's problem.
+	rb.Invalidate(name)
+	fresh, rerr := rb.refresh(name, wantType)
+	if rerr != nil || fresh.String() == ref.String() {
+		return nil, err
+	}
+	return rb.res.client.Invoke(fresh, op, args, false)
+}

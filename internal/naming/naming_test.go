@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cdr"
 	"repro/internal/orb"
 )
 
@@ -205,5 +206,107 @@ func TestSplitHostPort(t *testing.T) {
 	h, p = splitHostPort("nohost")
 	if h != "nohost" || p != 0 {
 		t.Fatalf("%q %d", h, p)
+	}
+}
+
+// echoServer hosts one echo object under key and returns (server, ref).
+func echoServer(t *testing.T, key []byte, typeID string) (*orb.Server, orb.IOR) {
+	t.Helper()
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register(key, orb.ServantFunc(func(op string, in *cdr.Decoder, out *cdr.Encoder) error {
+		msg, err := in.ReadString()
+		if err != nil {
+			return orb.Marshal(err)
+		}
+		out.WriteString(msg)
+		return nil
+	}))
+	ref := orb.IOR{TypeID: typeID, Key: key, Threads: 1, Endpoints: []orb.Endpoint{srv.Endpoint(0)}}
+	return srv, ref
+}
+
+func TestRebinderRecoversFromStaleIOR(t *testing.T) {
+	ns, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	const typeID = "IDL:test/echo:1.0"
+	key := []byte("echo")
+	srvA, refA := echoServer(t, key, typeID)
+	if err := ns.Bind("echo", refA, false); err != nil {
+		t.Fatal(err)
+	}
+
+	client := orb.NewClient()
+	client.Timeout = 5 * time.Second
+	defer client.Close()
+	rb := NewRebinder(client, ns.Addr())
+
+	call := func(msg string) (string, error) {
+		args := orb.NewArgEncoder()
+		args.WriteString(msg)
+		reply, err := rb.Invoke("echo", typeID, "echo", args.Bytes())
+		if err != nil {
+			return "", err
+		}
+		d, err := orb.ArgDecoder(reply)
+		if err != nil {
+			return "", err
+		}
+		return d.ReadString()
+	}
+
+	if got, err := call("one"); err != nil || got != "one" {
+		t.Fatalf("first call: %q, %v", got, err)
+	}
+
+	// The server "moves": old endpoint dies, a replacement comes up on a
+	// fresh port and re-registers the name.
+	srvA.Close()
+	srvB, refB := echoServer(t, key, typeID)
+	defer srvB.Close()
+	if err := ns.Bind("echo", refB, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebinder's cached IOR is now stale; the invocation must recover
+	// transparently via re-resolution.
+	if got, err := call("two"); err != nil || got != "two" {
+		t.Fatalf("post-move call: %q, %v", got, err)
+	}
+}
+
+func TestRebinderDoesNotMaskUserErrors(t *testing.T) {
+	ns, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	srv, err2 := orb.NewServer("127.0.0.1:0")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	defer srv.Close()
+	key := []byte("grumpy")
+	srv.Register(key, orb.ServantFunc(func(op string, in *cdr.Decoder, out *cdr.Encoder) error {
+		return &orb.UserException{RepoID: "IDL:test/No:1.0", Message: "no"}
+	}))
+	ref := orb.IOR{TypeID: "IDL:test/grumpy:1.0", Key: key, Threads: 1, Endpoints: []orb.Endpoint{srv.Endpoint(0)}}
+	if err := ns.Bind("grumpy", ref, false); err != nil {
+		t.Fatal(err)
+	}
+	client := orb.NewClient()
+	client.Timeout = 5 * time.Second
+	defer client.Close()
+	rb := NewRebinder(client, ns.Addr())
+	_, err = rb.Invoke("grumpy", "", "poke", orb.NewArgEncoder().Bytes())
+	var ue *orb.UserException
+	if !errors.As(err, &ue) || ue.RepoID != "IDL:test/No:1.0" {
+		t.Fatalf("user exception lost: %v", err)
 	}
 }

@@ -19,9 +19,19 @@ type Client struct {
 	// Principal identifies this client in request headers (informational).
 	Principal string
 	// Timeout bounds each blocking invocation; zero means no bound.
+	// Per-invocation deadlines (InvokeOptions.Deadline) tighten it further.
 	Timeout time.Duration
 	// MaxForwards bounds LOCATION_FORWARD chains.
 	MaxForwards int
+	// Retry bounds automatic reconnect-and-retry of idempotent operations
+	// (Locate, oneway sends). The zero value disables retries.
+	Retry RetryPolicy
+	// Transport, when set, configures dialed connections (byte order,
+	// frame limits, fault-injection wrappers).
+	Transport *transport.Options
+	// Dialer overrides how connections are established; nil uses
+	// transport.Dial. Tests substitute in-process or faulty dialers.
+	Dialer func(addr string, opts *transport.Options) (*transport.Conn, error)
 
 	nextID atomic.Uint32
 
@@ -40,6 +50,88 @@ func NewClient() *Client {
 		conns:       make(map[string]*clientConn),
 		sinks:       make(map[uint32]chan *wire.Data),
 	}
+}
+
+// RetryPolicy bounds the automatic retries the client performs for
+// idempotent operations, and shapes the capped exponential backoff between
+// reconnect attempts. Retries never apply to request/reply invocations,
+// whose effects may not be idempotent.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included);
+	// values <= 1 disable retrying.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// retry. Zero defaults to 2ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry delay. Zero defaults to 250ms.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before the retryth retry (retry >= 1).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	cap := p.MaxBackoff
+	if cap <= 0 {
+		cap = 250 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	return min(d, cap)
+}
+
+// InvokeOptions refine one invocation.
+type InvokeOptions struct {
+	// Oneway suppresses the reply; the call returns once the request is
+	// written (and, under Retry, re-sent after a reconnect if needed).
+	Oneway bool
+	// RequestID, when non-zero, is the caller-chosen request id (the
+	// multi-port engine ties Data transfers to it).
+	RequestID uint32
+	// Deadline bounds this invocation, including connection establishment
+	// and any retries; the zero time leaves Client.Timeout alone in charge.
+	Deadline time.Time
+}
+
+// retryable reports whether err indicates a broken or unreachable
+// connection, the class of failure a fresh dial may fix.
+func retryable(err error) bool {
+	if errors.Is(err, ErrConnBroken) || errors.Is(err, transport.ErrClosed) {
+		return true
+	}
+	var se *SystemException
+	return errors.As(err, &se) && se.RepoID == RepoComm
+}
+
+// sleepBackoff waits out the backoff before the retryth retry, bounded by
+// the deadline. It reports false when the deadline has expired.
+func (c *Client) sleepBackoff(retry int, deadline time.Time) bool {
+	d := c.Retry.backoff(retry)
+	if !deadline.IsZero() {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return false
+		}
+		if d > rem {
+			d = rem
+		}
+	}
+	time.Sleep(d)
+	return deadline.IsZero() || time.Now().Before(deadline)
 }
 
 // clientConn is one cached connection with its reply demultiplexer.
@@ -83,7 +175,11 @@ func (c *Client) conn(addr string) (*clientConn, error) {
 		}
 		delete(c.conns, addr)
 	}
-	tc, err := transport.Dial(addr, nil)
+	dial := c.Dialer
+	if dial == nil {
+		dial = transport.Dial
+	}
+	tc, err := dial(addr, c.Transport)
 	if err != nil {
 		return nil, &SystemException{RepoID: RepoComm, Message: err.Error()}
 	}
@@ -200,37 +296,72 @@ func (c *Client) routeData(d *wire.Data) {
 // explicit endpoint address. It returns the reply's argument payload.
 // Exceptional replies are returned as *UserException or *SystemException.
 func (c *Client) InvokeAddr(addr string, key []byte, op string, args []byte, oneway bool) ([]byte, error) {
-	return c.invokeAddr(addr, key, op, args, oneway, 0, 0)
+	return c.InvokeAddrOpts(addr, key, op, args, InvokeOptions{Oneway: oneway})
 }
 
 // InvokeAddrID is InvokeAddr with a caller-chosen request id, which the
 // multi-port engine needs: the id ties Data transfers to the request.
 func (c *Client) InvokeAddrID(requestID uint32, addr string, key []byte, op string, args []byte, oneway bool) ([]byte, error) {
-	return c.invokeAddr(addr, key, op, args, oneway, requestID, 0)
+	return c.InvokeAddrOpts(addr, key, op, args, InvokeOptions{Oneway: oneway, RequestID: requestID})
 }
 
-func (c *Client) invokeAddr(addr string, key []byte, op string, args []byte, oneway bool, requestID uint32, depth int) ([]byte, error) {
+// InvokeAddrOpts is the fully-optioned invocation entry point.
+func (c *Client) InvokeAddrOpts(addr string, key []byte, op string, args []byte, o InvokeOptions) ([]byte, error) {
+	return c.invokeAddr(addr, key, op, args, o, 0)
+}
+
+// sendOneway writes a request that expects no reply, reconnecting and
+// re-sending under the retry policy: a oneway carries no server-visible
+// completion, so re-sending after a broken write is safe.
+func (c *Client) sendOneway(addr string, req *wire.Request, deadline time.Time) error {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		cc, err := c.conn(addr)
+		if err == nil {
+			err = cc.conn.WriteMessage(req)
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, transport.ErrTooLarge) {
+				// A failed write leaves the stream unusable; poison the
+				// connection so the next attempt redials.
+				cc.fail(fmt.Errorf("%w: %v", ErrConnBroken, err))
+				err = &SystemException{RepoID: RepoComm, Message: err.Error()}
+			}
+		}
+		lastErr = err
+		if attempt >= c.Retry.attempts() || !retryable(err) {
+			return lastErr
+		}
+		if !c.sleepBackoff(attempt, deadline) {
+			return fmt.Errorf("%w: oneway %q past deadline after %d attempts (%v)",
+				ErrInvokeTimeout, req.Operation, attempt, lastErr)
+		}
+	}
+}
+
+func (c *Client) invokeAddr(addr string, key []byte, op string, args []byte, o InvokeOptions, depth int) ([]byte, error) {
 	if depth > c.MaxForwards {
 		return nil, ErrForwardLoop
 	}
-	cc, err := c.conn(addr)
-	if err != nil {
-		return nil, err
-	}
-	id := requestID
+	id := o.RequestID
 	if id == 0 {
 		id = c.NextRequestID()
 	}
 	req := &wire.Request{
 		RequestID:        id,
-		ResponseExpected: !oneway,
+		ResponseExpected: !o.Oneway,
 		ObjectKey:        key,
 		Operation:        op,
 		Principal:        c.Principal,
 		Args:             args,
 	}
-	if oneway {
-		return nil, cc.conn.WriteMessage(req)
+	if o.Oneway {
+		return nil, c.sendOneway(addr, req, o.Deadline)
+	}
+	cc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
 	}
 	ch, err := cc.register(id)
 	if err != nil {
@@ -238,9 +369,12 @@ func (c *Client) invokeAddr(addr string, key []byte, op string, args []byte, one
 	}
 	if err := cc.conn.WriteMessage(req); err != nil {
 		cc.unregister(id)
+		if !errors.Is(err, transport.ErrTooLarge) {
+			cc.fail(fmt.Errorf("%w: %v", ErrConnBroken, err))
+		}
 		return nil, &SystemException{RepoID: RepoComm, Message: err.Error()}
 	}
-	reply, err := c.await(cc, ch, id)
+	reply, err := c.await(cc, ch, id, o.Deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -256,16 +390,37 @@ func (c *Client) invokeAddr(addr string, key []byte, op string, args []byte, one
 		if perr != nil {
 			return nil, perr
 		}
-		return c.invokeAddr(ep.Addr(), fwd.Key, op, args, oneway, 0, depth+1)
+		return c.invokeAddr(ep.Addr(), fwd.Key, op, args, InvokeOptions{Deadline: o.Deadline}, depth+1)
 	default:
 		return nil, decodeException(reply.Status, reply.Args)
 	}
 }
 
-func (c *Client) await(cc *clientConn, ch chan *wire.Reply, id uint32) (*wire.Reply, error) {
+// awaitBound computes the effective wait for one reply: the tighter of the
+// client-wide Timeout and the per-invocation deadline.
+func (c *Client) awaitBound(deadline time.Time) (time.Duration, bool) {
+	d := c.Timeout
+	if !deadline.IsZero() {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return 0, false
+		}
+		if d <= 0 || rem < d {
+			d = rem
+		}
+	}
+	return d, true
+}
+
+func (c *Client) await(cc *clientConn, ch chan *wire.Reply, id uint32, deadline time.Time) (*wire.Reply, error) {
+	bound, ok := c.awaitBound(deadline)
+	if !ok {
+		cc.unregister(id)
+		return nil, fmt.Errorf("%w: request %d past deadline", ErrInvokeTimeout, id)
+	}
 	var timeout <-chan time.Time
-	if c.Timeout > 0 {
-		t := time.NewTimer(c.Timeout)
+	if bound > 0 {
+		t := time.NewTimer(bound)
 		defer t.Stop()
 		timeout = t.C
 	}
@@ -283,17 +438,29 @@ func (c *Client) await(cc *clientConn, ch chan *wire.Reply, id uint32) (*wire.Re
 		return reply, nil
 	case <-timeout:
 		cc.unregister(id)
-		return nil, fmt.Errorf("%w: request %d after %v", ErrInvokeTimeout, id, c.Timeout)
+		return nil, fmt.Errorf("%w: request %d after %v", ErrInvokeTimeout, id, bound)
 	}
 }
 
 // Invoke performs a request on the object's primary endpoint.
 func (c *Client) Invoke(ref IOR, op string, args []byte, oneway bool) ([]byte, error) {
+	return c.InvokeOpts(ref, op, args, InvokeOptions{Oneway: oneway})
+}
+
+// InvokeDeadline is Invoke bounded by an absolute per-invocation deadline,
+// overriding a longer (or absent) Client.Timeout for this call only.
+func (c *Client) InvokeDeadline(ref IOR, op string, args []byte, oneway bool, deadline time.Time) ([]byte, error) {
+	return c.InvokeOpts(ref, op, args, InvokeOptions{Oneway: oneway, Deadline: deadline})
+}
+
+// InvokeOpts performs a request on the object's primary endpoint with full
+// per-invocation options.
+func (c *Client) InvokeOpts(ref IOR, op string, args []byte, o InvokeOptions) ([]byte, error) {
 	ep, err := ref.Primary()
 	if err != nil {
 		return nil, err
 	}
-	return c.InvokeAddr(ep.Addr(), ref.Key, op, args, oneway)
+	return c.InvokeAddrOpts(ep.Addr(), ref.Key, op, args, o)
 }
 
 // InvokeRank performs a request on the endpoint serving a specific
@@ -321,12 +488,38 @@ func (c *Client) SendData(ref IOR, d *wire.Data) error {
 }
 
 // Locate asks the primary endpoint whether it serves ref's object key.
+// Locate is idempotent, so a broken connection is transparently redialed
+// and the probe re-sent, up to the client's retry policy.
 func (c *Client) Locate(ref IOR) (bool, error) {
+	return c.LocateDeadline(ref, time.Time{})
+}
+
+// LocateDeadline is Locate bounded by an absolute deadline spanning every
+// reconnect attempt.
+func (c *Client) LocateDeadline(ref IOR, deadline time.Time) (bool, error) {
 	ep, err := ref.Primary()
 	if err != nil {
 		return false, err
 	}
-	cc, err := c.conn(ep.Addr())
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		here, err := c.locateOnce(ep.Addr(), ref.Key, deadline)
+		if err == nil {
+			return here, nil
+		}
+		lastErr = err
+		if attempt >= c.Retry.attempts() || !retryable(err) {
+			return false, lastErr
+		}
+		if !c.sleepBackoff(attempt, deadline) {
+			return false, fmt.Errorf("%w: locate past deadline after %d attempts (%v)",
+				ErrInvokeTimeout, attempt, lastErr)
+		}
+	}
+}
+
+func (c *Client) locateOnce(addr string, key []byte, deadline time.Time) (bool, error) {
+	cc, err := c.conn(addr)
 	if err != nil {
 		return false, err
 	}
@@ -335,11 +528,14 @@ func (c *Client) Locate(ref IOR) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if err := cc.conn.WriteMessage(&wire.LocateRequest{RequestID: id, ObjectKey: ref.Key}); err != nil {
+	if err := cc.conn.WriteMessage(&wire.LocateRequest{RequestID: id, ObjectKey: key}); err != nil {
 		cc.unregister(id)
+		if !errors.Is(err, transport.ErrTooLarge) {
+			cc.fail(fmt.Errorf("%w: %v", ErrConnBroken, err))
+		}
 		return false, &SystemException{RepoID: RepoComm, Message: err.Error()}
 	}
-	reply, err := c.await(cc, ch, id)
+	reply, err := c.await(cc, ch, id, deadline)
 	if err != nil {
 		return false, err
 	}

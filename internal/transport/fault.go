@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks failures produced by a FaultInjector rather than the
+// real network. Chaos tests match on it to tell injected faults from
+// accidental ones.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultPlan is a deterministic, seed-driven fault schedule. A plan is a
+// value; Wrap stamps out one FaultInjector per connection, each with its own
+// seed derived from Seed and the connection's ordinal, so a multi-connection
+// run (multi-port SPMD traffic) faults reproducibly without every connection
+// failing identically.
+//
+// The zero plan injects nothing. Counters are per connection.
+type FaultPlan struct {
+	// Seed drives every random choice (corruption positions, delay jitter).
+	Seed int64
+
+	// Delay is added to every DelayEveryth write (1 = every write).
+	Delay      time.Duration
+	DelayEvery int
+
+	// CorruptEvery flips one random bit in every Nth written chunk,
+	// producing corrupt headers or bodies on the peer's decoder.
+	CorruptEvery int
+
+	// DropEvery silently discards every Nth written chunk (the bytes vanish
+	// mid-stream, desynchronizing the peer's framing).
+	DropEvery int
+
+	// CutAfterWriteBytes hard-closes the stream once this many bytes have
+	// been written; the write that crosses the boundary is truncated first,
+	// so the peer sees a frame cut mid-body. Zero disables.
+	CutAfterWriteBytes int64
+
+	// CutAfterReadBytes hard-closes the stream once this many bytes have
+	// been read. Zero disables.
+	CutAfterReadBytes int64
+
+	// FaultConns bounds how many connections the plan faults: only the
+	// first FaultConns streams handed to Wrap get the schedule above; later
+	// ones pass through clean. Zero faults every connection. This models a
+	// peer that drops a connection once and then recovers, the case
+	// reconnect+backoff must survive.
+	FaultConns int
+
+	// conns counts streams wrapped so far (shared across copies made by
+	// Wrap via pointer).
+	conns *atomic.Int64
+}
+
+// NewFaultPlan returns a plan with the given seed and no faults enabled;
+// callers fill in the schedule fields they want.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{Seed: seed, conns: new(atomic.Int64)}
+}
+
+// Wrap implements the Options.Wrap hook: it returns rw wrapped in a
+// FaultInjector following this plan. Safe for concurrent use.
+func (p *FaultPlan) Wrap(rw io.ReadWriteCloser) io.ReadWriteCloser {
+	if p.conns == nil {
+		p.conns = new(atomic.Int64)
+	}
+	n := p.conns.Add(1)
+	if p.FaultConns > 0 && n > int64(p.FaultConns) {
+		return rw
+	}
+	return NewFaultInjector(rw, *p, p.Seed+n)
+}
+
+// Wrapped reports how many streams the plan has wrapped (faulted or clean).
+func (p *FaultPlan) Wrapped() int {
+	if p.conns == nil {
+		return 0
+	}
+	return int(p.conns.Load())
+}
+
+// FaultInjector wraps a byte stream and injects faults per a FaultPlan. It
+// implements io.ReadWriteCloser, so it slots between a Conn and its
+// underlying TCP or pipe stream. All faults are deterministic functions of
+// the plan, the seed, and the byte/operation counters, which makes chaos
+// failures replayable.
+type FaultInjector struct {
+	inner io.ReadWriteCloser
+	plan  FaultPlan
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	readBytes  int64
+	writeBytes int64
+	writes     int64
+	cut        bool
+}
+
+// NewFaultInjector wraps rw with the given plan and seed.
+func NewFaultInjector(rw io.ReadWriteCloser, plan FaultPlan, seed int64) *FaultInjector {
+	return &FaultInjector{inner: rw, plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Read passes reads through until the read-cut point, after which the stream
+// is hard-closed and reads fail.
+func (f *FaultInjector) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	if f.cut {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: stream cut", ErrInjected)
+	}
+	limit := len(p)
+	if c := f.plan.CutAfterReadBytes; c > 0 {
+		remain := c - f.readBytes
+		if remain <= 0 {
+			f.cutLocked()
+			f.mu.Unlock()
+			return 0, fmt.Errorf("%w: read cut after %d bytes", ErrInjected, c)
+		}
+		if int64(limit) > remain {
+			limit = int(remain)
+		}
+	}
+	f.mu.Unlock()
+
+	n, err := f.inner.Read(p[:limit])
+
+	f.mu.Lock()
+	f.readBytes += int64(n)
+	if c := f.plan.CutAfterReadBytes; c > 0 && f.readBytes >= c {
+		f.cutLocked()
+		if err == nil {
+			err = fmt.Errorf("%w: read cut after %d bytes", ErrInjected, c)
+		}
+	}
+	f.mu.Unlock()
+	return n, err
+}
+
+// Write applies the plan to the outgoing chunk: delay, drop, corrupt, or
+// truncate-and-cut. A dropped or corrupted write still reports full success
+// to the caller — exactly what a buffered kernel socket does when the wire
+// eats the bytes later.
+func (f *FaultInjector) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	if f.cut {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: stream cut", ErrInjected)
+	}
+	f.writes++
+	var delay time.Duration
+	if f.plan.Delay > 0 && f.plan.DelayEvery > 0 && f.writes%int64(f.plan.DelayEvery) == 0 {
+		delay = f.plan.Delay
+	}
+	drop := f.plan.DropEvery > 0 && f.writes%int64(f.plan.DropEvery) == 0
+
+	chunk := p
+	corrupt := f.plan.CorruptEvery > 0 && f.writes%int64(f.plan.CorruptEvery) == 0
+	if corrupt && len(p) > 0 {
+		chunk = append([]byte(nil), p...)
+		bit := f.rng.Intn(len(chunk) * 8)
+		chunk[bit/8] ^= 1 << (bit % 8)
+	}
+
+	truncate := -1
+	if c := f.plan.CutAfterWriteBytes; c > 0 {
+		remain := c - f.writeBytes
+		if remain <= 0 {
+			f.cutLocked()
+			f.mu.Unlock()
+			return 0, fmt.Errorf("%w: write cut after %d bytes", ErrInjected, c)
+		}
+		if int64(len(chunk)) >= remain {
+			truncate = int(remain)
+		}
+	}
+	f.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		f.mu.Lock()
+		f.writeBytes += int64(len(p))
+		f.mu.Unlock()
+		return len(p), nil
+	}
+	if truncate >= 0 {
+		// Deliver the leading bytes, then kill the stream: the peer sees a
+		// frame truncated mid-body.
+		if truncate > 0 {
+			f.inner.Write(chunk[:truncate])
+		}
+		f.mu.Lock()
+		f.writeBytes += int64(truncate)
+		f.cutLocked()
+		f.mu.Unlock()
+		return truncate, fmt.Errorf("%w: write cut after %d bytes", ErrInjected, f.plan.CutAfterWriteBytes)
+	}
+
+	n, err := f.inner.Write(chunk)
+	f.mu.Lock()
+	f.writeBytes += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// cutLocked hard-closes the underlying stream. Callers hold f.mu.
+func (f *FaultInjector) cutLocked() {
+	if !f.cut {
+		f.cut = true
+		f.inner.Close()
+	}
+}
+
+// Cut hard-closes the stream immediately, independent of the schedule.
+func (f *FaultInjector) Cut() {
+	f.mu.Lock()
+	f.cutLocked()
+	f.mu.Unlock()
+}
+
+// Close closes the underlying stream.
+func (f *FaultInjector) Close() error {
+	f.mu.Lock()
+	already := f.cut
+	f.cut = true
+	f.mu.Unlock()
+	if already {
+		return nil
+	}
+	return f.inner.Close()
+}
+
+// Stats reports the byte counters, for tests asserting schedule progress.
+func (f *FaultInjector) Stats() (readBytes, writeBytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readBytes, f.writeBytes
+}

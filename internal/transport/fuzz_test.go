@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/cdr"
+	"repro/internal/wire"
+)
+
+// byteStream serves a fixed byte string as one side of a connection: reads
+// drain the bytes, writes vanish. It lets the fuzzer drive ReadMessage's
+// framing and reassembly with arbitrary wire data.
+type byteStream struct{ r *bytes.Reader }
+
+func (s *byteStream) Read(p []byte) (int, error)  { return s.r.Read(p) }
+func (s *byteStream) Write(p []byte) (int, error) { return len(p), nil }
+func (s *byteStream) Close() error                { return nil }
+
+// captureRWC collects everything written to it; reads report EOF.
+type captureRWC struct{ buf bytes.Buffer }
+
+func (c *captureRWC) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (c *captureRWC) Write(p []byte) (int, error) { return c.buf.Write(p) }
+func (c *captureRWC) Close() error                { return nil }
+
+// encodeFrames renders messages to raw frame bytes through a real Conn, so
+// fuzz seeds are exactly what the writer side produces.
+func encodeFrames(t *testing.F, frag int, msgs ...wire.Message) []byte {
+	t.Helper()
+	var cap captureRWC
+	c := NewConn(&cap, &Options{FragmentThreshold: frag})
+	for _, m := range msgs {
+		if err := c.WriteMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cap.buf.Bytes()
+}
+
+// FuzzReadMessage feeds arbitrary byte streams to the framing layer. Any
+// input must produce a sequence of messages ending in an error or EOF —
+// never a panic, hang, or oversized allocation (MaxFrameSize bounds every
+// body before it is allocated).
+func FuzzReadMessage(f *testing.F) {
+	f.Add(encodeFrames(f, 0,
+		&wire.Request{RequestID: 1, ResponseExpected: true, ObjectKey: []byte("key"), Operation: "op", Args: []byte("abcd")},
+		&wire.Reply{RequestID: 1, Status: wire.ReplyNoException, Args: []byte("efgh")}))
+	f.Add(encodeFrames(f, 0, &wire.Data{RequestID: 2, SrcRank: 1, DstRank: 0, Count: 8, Payload: make([]byte, 64)}))
+	// A fragmented message: 256 bytes over a 32-byte threshold.
+	f.Add(encodeFrames(f, 32, &wire.Data{RequestID: 3, Payload: bytes.Repeat([]byte{0xab}, 256)}))
+	// Truncated frame: a header promising more than follows.
+	h := wire.EncodeHeader(wire.MsgData, cdr.NativeOrder, false, 100)
+	f.Add(append(h[:], 1, 2, 3))
+	// Oversize declaration.
+	huge := wire.EncodeHeader(wire.MsgData, cdr.NativeOrder, false, 1<<30)
+	f.Add(huge[:])
+	f.Add([]byte("PDIS garbage that is not a frame at all....."))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(&byteStream{r: bytes.NewReader(data)}, &Options{MaxFrameSize: 1 << 20})
+		// Bounded: the stream is finite, so reads hit EOF; the cap just
+		// guards against an accidental infinite accept loop.
+		for i := 0; i < 64; i++ {
+			if _, err := c.ReadMessage(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -54,6 +54,15 @@ type Options struct {
 	Order cdr.ByteOrder
 	// FragmentThreshold overrides DefaultFragmentThreshold when > 0.
 	FragmentThreshold int
+	// MaxFrameSize bounds both a single frame's declared body length and a
+	// reassembled message, overriding MaxMessageSize when > 0. A frame
+	// header claiming more is rejected before any allocation, so a corrupt
+	// or hostile header cannot force an unbounded make([]byte, size).
+	MaxFrameSize int
+	// Wrap, when set, is applied to the underlying byte stream before
+	// framing. Fault-injection tests use it to slot a FaultInjector between
+	// the Conn and the real network.
+	Wrap func(io.ReadWriteCloser) io.ReadWriteCloser
 }
 
 // Conn is a framed PGIOP connection over any byte stream. WriteMessage is
@@ -65,6 +74,7 @@ type Conn struct {
 	bw    *bufio.Writer
 	order cdr.ByteOrder
 	frag  int
+	max   int
 
 	wmu    sync.Mutex
 	closed bool
@@ -73,17 +83,24 @@ type Conn struct {
 
 // NewConn wraps a byte stream in PGIOP framing.
 func NewConn(rw io.ReadWriteCloser, opts *Options) *Conn {
+	if opts != nil && opts.Wrap != nil {
+		rw = opts.Wrap(rw)
+	}
 	c := &Conn{
 		rw:    rw,
 		br:    bufio.NewReaderSize(rw, 64<<10),
 		bw:    bufio.NewWriterSize(rw, 64<<10),
 		order: cdr.NativeOrder,
 		frag:  DefaultFragmentThreshold,
+		max:   maxMessageSize,
 	}
 	if opts != nil {
 		c.order = opts.Order
 		if opts.FragmentThreshold > 0 {
 			c.frag = opts.FragmentThreshold
+		}
+		if opts.MaxFrameSize > 0 {
+			c.max = opts.MaxFrameSize
 		}
 	}
 	return c
@@ -95,7 +112,7 @@ func (c *Conn) WriteMessage(m wire.Message) error {
 	body := cdr.NewEncoder(c.order)
 	m.EncodeBody(body)
 	b := body.Bytes()
-	if len(b) > maxMessageSize {
+	if len(b) > c.max {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
 	}
 
@@ -154,7 +171,7 @@ func (c *Conn) ReadMessage() (wire.Message, error) {
 		if fh.Order() != h.Order() {
 			return nil, fmt.Errorf("%w: fragment changed byte order", ErrBadFragment)
 		}
-		if len(body)+len(fbody) > maxMessageSize {
+		if len(body)+len(fbody) > c.max {
 			return nil, fmt.Errorf("%w: reassembled body", ErrTooLarge)
 		}
 		body = append(body, fbody...)
@@ -175,7 +192,7 @@ func (c *Conn) readFrame() (wire.Header, []byte, error) {
 	if err != nil {
 		return wire.Header{}, nil, err
 	}
-	if int(h.Size) > maxMessageSize {
+	if int(h.Size) > c.max {
 		return wire.Header{}, nil, fmt.Errorf("%w: frame body %d", ErrTooLarge, h.Size)
 	}
 	body := make([]byte, h.Size)

@@ -83,6 +83,7 @@ func (t MsgType) Valid() bool { return t < numMsgTypes }
 var (
 	ErrBadMagic   = errors.New("wire: bad magic")
 	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadFlags   = errors.New("wire: reserved flag bits set")
 	ErrBadType    = errors.New("wire: unknown message type")
 	ErrBadBody    = errors.New("wire: malformed message body")
 )
@@ -185,6 +186,11 @@ func DecodeHeader(b []byte) (Header, error) {
 		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, b[4])
 	}
 	h := Header{Flags: b[5], Type: MsgType(b[6])}
+	if h.Flags&^(FlagLittleEndian|FlagMoreFragments) != 0 {
+		// Reserved flag bits must be zero; garbage here means a corrupt or
+		// alien frame, and rejecting it now beats misreading the body later.
+		return Header{}, fmt.Errorf("%w: reserved flag bits %#x", ErrBadFlags, b[5])
+	}
 	if !h.Type.Valid() {
 		return Header{}, fmt.Errorf("%w: %d", ErrBadType, b[6])
 	}
