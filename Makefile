@@ -3,13 +3,23 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+CHAOSTIMEOUT ?= 120s
 
-.PHONY: check vet build test race fuzz-smoke
+.PHONY: check vet staticcheck build test race chaos fuzz-smoke
 
-check: vet build test race fuzz-smoke
+check: vet staticcheck build test race chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when the binary is on PATH,
+# otherwise skip with a notice rather than failing the gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -20,6 +30,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The chaos and robustness suites exercise fault injection, keepalive
+# dead-peer detection, graceful drain, and circuit-breaker failover.
+# They are part of `test`/`race` already; this target runs just them
+# under the race detector with a bounded timeout so a wedged drain or
+# leaked goroutine fails fast instead of hanging CI.
+chaos:
+	$(GO) test -race -timeout=$(CHAOSTIMEOUT) -run='Chaos|Fault|Keepalive|Shutdown|Failover|Admission|CircuitOpen|Saturated|CloseConnection' ./internal/core ./internal/orb
+
 # Each fuzz target gets a short bounded run; `go test` allows only one
 # -fuzz pattern per invocation, hence one line per target.
 fuzz-smoke:
@@ -27,3 +45,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBody$$' -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzDecoder$$' -fuzztime=$(FUZZTIME) ./internal/cdr
 	$(GO) test -run='^$$' -fuzz='^FuzzReadMessage$$' -fuzztime=$(FUZZTIME) ./internal/transport
+	$(GO) test -run='^$$' -fuzz='^FuzzParseIOR$$' -fuzztime=$(FUZZTIME) ./internal/orb

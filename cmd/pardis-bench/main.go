@@ -12,6 +12,8 @@
 //	pardis-bench -table uneven    # the uneven-split check
 //	pardis-bench -figure 4        # just Figure 4
 //	pardis-bench -real -c 4 -s 4 -elems 262144 -reps 5
+//	pardis-bench -overload          # admission-control shedding demo
+//	pardis-bench -failover          # replica failover + breaker recovery demo
 package main
 
 import (
@@ -30,8 +32,20 @@ func main() {
 	s := flag.Int("s", 4, "(real mode) server computing threads")
 	elems := flag.Int("elems", 1<<18, "(real mode) sequence length in doubles")
 	reps := flag.Int("reps", 5, "(real mode) repetitions")
+	overload := flag.Bool("overload", false, "run the admission-control overload scenario")
+	failover := flag.Bool("failover", false, "run the replica failover scenario")
+	clients := flag.Int("clients", 16, "(overload mode) concurrent clients")
+	requests := flag.Int("requests", 60, "(overload/failover mode) requests per client")
 	flag.Parse()
 
+	if *overload {
+		runOverload(*clients, *requests)
+		return
+	}
+	if *failover {
+		runFailover(*requests)
+		return
+	}
 	if *real {
 		runReal(*c, *s, *elems, *reps)
 		return

@@ -27,6 +27,16 @@ type BindOptions struct {
 	// Retry is the binding's policy for retrying idempotent client
 	// operations (locate, oneway sends) after connection failures.
 	Retry orb.RetryPolicy
+	// KeepaliveInterval, when positive, probes idle connections (control and
+	// multi-port data alike) and declares a peer dead after KeepaliveTimeout
+	// of further silence, so a SIGKILL'd server rank surfaces as a prompt
+	// coherent error through the collective error agreement instead of a
+	// data-timeout stall.
+	KeepaliveInterval time.Duration
+	KeepaliveTimeout  time.Duration
+	// Breaker is the per-endpoint circuit breaker policy applied when the
+	// bound reference carries multiple replica profiles.
+	Breaker orb.BreakerPolicy
 }
 
 // newClient builds an orb client configured per the options.
@@ -35,6 +45,9 @@ func (o BindOptions) newClient() *orb.Client {
 	cli.Timeout = o.Timeout
 	cli.Transport = o.Transport
 	cli.Retry = o.Retry
+	cli.KeepaliveInterval = o.KeepaliveInterval
+	cli.KeepaliveTimeout = o.KeepaliveTimeout
+	cli.Breaker = o.Breaker
 	return cli
 }
 

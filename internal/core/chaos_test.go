@@ -7,6 +7,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -318,6 +319,155 @@ func TestFutureOutstandingAtWorldShutdown(t *testing.T) {
 				b.Close()
 			}
 		}
+	})
+}
+
+// blackholeRig simulates a SIGKILL'd peer from the moment it is armed: every
+// wrapped stream swallows writes (they "succeed" into a dead peer's kernel
+// buffer) and delivers silence on reads (inbound bytes are discarded), with
+// no error ever surfacing from the stream itself. The only way out is
+// liveness detection.
+type blackholeRig struct{ armed atomic.Bool }
+
+func (r *blackholeRig) Options() *transport.Options {
+	return &transport.Options{Wrap: func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+		return &blackholeStream{owner: r, inner: rw, done: make(chan struct{})}
+	}}
+}
+
+func (r *blackholeRig) Arm() { r.armed.Store(true) }
+
+type blackholeStream struct {
+	owner *blackholeRig
+	inner io.ReadWriteCloser
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (s *blackholeStream) Read(p []byte) (int, error) {
+	for {
+		n, err := s.inner.Read(p)
+		if !s.owner.armed.Load() {
+			return n, err
+		}
+		if err != nil {
+			// The real stream ended; stay silent (like a dead peer) until
+			// the wrapper itself is closed locally.
+			<-s.done
+			return 0, err
+		}
+		_ = n // swallow delivered bytes: a killed peer sent nothing
+	}
+}
+
+func (s *blackholeStream) Write(p []byte) (int, error) {
+	if s.owner.armed.Load() {
+		return len(p), nil
+	}
+	return s.inner.Write(p)
+}
+
+func (s *blackholeStream) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return s.inner.Close()
+}
+
+// TestKeepaliveSurfacesKilledServerCoherently is the SIGKILL acceptance
+// case: mid-run, the whole server side goes silent without so much as a FIN
+// (blackholed streams). The client-side keepalive must declare the peers
+// dead within roughly twice the keepalive interval and every client rank
+// must surface the same error through the collective agreement — no
+// DataTimeout stall, no incoherent split.
+func TestKeepaliveSurfacesKilledServerCoherently(t *testing.T) {
+	checkGoroutines(t, "body", func(t *testing.T) {
+		rig := &blackholeRig{}
+		tc := startCluster(t, 2, true, nil)
+		const interval = 100 * time.Millisecond
+		opts := BindOptions{
+			Method:            Multiport,
+			Timeout:           testTimeout, // detection must not come from here
+			Transport:         rig.Options(),
+			KeepaliveInterval: interval,
+		}
+		tc.runClientOpts(t, 2, opts, func(c *rts.Comm, b *Binding) error {
+			const n = 512
+			arr, err := dseq.New(c, dseq.Float64, n, nil)
+			if err != nil {
+				return err
+			}
+			arr.FillFunc(func(g int) float64 { return float64(g) })
+			if _, err := b.Invoke("scale", scaleScalars(2), []DistArg{InOutSeq(arr)}); err != nil {
+				return fmt.Errorf("pre-fault invoke: %w", err)
+			}
+
+			rig.Arm()
+			start := time.Now()
+			_, err = b.Invoke("scale", scaleScalars(3), []DistArg{InOutSeq(arr)})
+			elapsed := time.Since(start)
+			if err == nil {
+				return errors.New("invocation against a killed server succeeded")
+			}
+			if elapsed > 2*time.Second {
+				return fmt.Errorf("dead server surfaced after %v, want about 2x the %v keepalive interval",
+					elapsed, interval)
+			}
+			return assertCoherentFailure(c, err)
+		})
+	})
+}
+
+// TestObjectShutdownRacesInFlightInvocations drains the served object while
+// a client hammers it with collective invocations: completed calls must stay
+// completed, the drain must not wedge either side, every rank must agree on
+// the eventual failure, and nothing may leak.
+func TestObjectShutdownRacesInFlightInvocations(t *testing.T) {
+	checkGoroutines(t, "body", func(t *testing.T) {
+		tc := startCluster(t, 2, true, nil)
+		tc.runClient(t, 2, Multiport, func(c *rts.Comm, b *Binding) error {
+			const n = 256
+			arr, err := dseq.New(c, dseq.Float64, n, nil)
+			if err != nil {
+				return err
+			}
+			arr.FillFunc(func(g int) float64 { return float64(g) })
+			if _, err := b.Invoke("scale", scaleScalars(2), []DistArg{InOutSeq(arr)}); err != nil {
+				return fmt.Errorf("pre-drain invoke: %w", err)
+			}
+
+			// Rank 0 triggers the drain concurrently with the invocation
+			// stream below; the communicating thread's object drains first so
+			// its in-flight dispatch can finish collectively.
+			if c.Rank() == 0 {
+				go func() {
+					time.Sleep(10 * time.Millisecond)
+					tc.objMu.Lock()
+					objs := append([]*Object(nil), tc.objects...)
+					tc.objMu.Unlock()
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					for _, o := range objs {
+						if o != nil {
+							o.Shutdown(ctx)
+						}
+					}
+				}()
+			}
+
+			var ierr error
+			start := time.Now()
+			for i := 0; i < 10000; i++ {
+				if _, ierr = b.Invoke("scale", scaleScalars(1), []DistArg{InOutSeq(arr)}); ierr != nil {
+					break
+				}
+				if time.Since(start) > testTimeout-5*time.Second {
+					return errors.New("invocations kept succeeding long after the drain began")
+				}
+			}
+			if ierr == nil {
+				return errors.New("invocations never observed the drain")
+			}
+			return assertCoherentFailure(c, ierr)
+		})
 	})
 }
 

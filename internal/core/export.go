@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdr"
@@ -65,13 +67,19 @@ type ExportOptions struct {
 	// registration).
 	Name       string
 	NameServer string
-	// QueueDepth bounds pending requests awaiting the collective loop.
+	// QueueDepth bounds pending requests awaiting the collective loop. A
+	// request arriving with the queue full is refused immediately with a
+	// TRANSIENT system exception rather than parked without bound.
 	QueueDepth int
 	// DataTimeout bounds how long a computing thread waits for one
 	// argument's multi-port transfers from the client threads. A client
 	// that dies mid-transfer then fails the upcall instead of wedging the
 	// collective loop. Defaults to DefaultDataTimeout; negative disables.
 	DataTimeout time.Duration
+	// Server configures the per-thread object adapters' robustness layer:
+	// admission-control caps, write deadlines, liveness keepalives. The zero
+	// value uses orb's defaults.
+	Server orb.ServerOptions
 }
 
 // DefaultDataTimeout is the default ExportOptions.DataTimeout.
@@ -93,6 +101,8 @@ type Object struct {
 	bucketMu sync.Mutex
 	buckets  map[uint32]*dataBucket
 
+	// draining sheds new requests with TRANSIENT once Shutdown begins.
+	draining  atomic.Bool
 	closeOnce sync.Once
 }
 
@@ -192,12 +202,13 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 	// Listeners: the communicating thread always listens; other threads
 	// listen only when the multi-port method is advertised.
 	if engine.Rank() == 0 || opts.Multiport {
-		srv, err := orb.NewServer(opts.Host + ":0")
+		srv, err := orb.NewServerOpts(opts.Host+":0", opts.Server)
 		if err != nil {
 			return nil, err
 		}
 		o.srv = srv
 		srv.SetDataHandler(o.handleData)
+		srv.SetConnLostHandler(o.connLost)
 	}
 
 	// Collect endpoints at thread 0 and build the reference.
@@ -298,11 +309,19 @@ func (o *Object) dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) error {
 	if err := o.validate(hdr); err != nil {
 		return err
 	}
+	if o.draining.Load() {
+		return orb.Transient("object draining")
+	}
 	call := &pendingCall{token: hdr.Token, header: hdr, replyCh: make(chan callResult, 1)}
+	// Never park the adapter goroutine on an unbounded wait: a full
+	// collective queue sheds immediately with TRANSIENT (the request was
+	// never dispatched, so the client may retry here or on a replica).
 	select {
 	case o.queue <- call:
 	case <-o.stop:
 		return &orb.SystemException{RepoID: orb.RepoInternal, Message: ErrStopped.Error()}
+	default:
+		return orb.Transient(fmt.Sprintf("collective queue full (%d pending)", cap(o.queue)))
 	}
 	select {
 	case res := <-call.replyCh:
@@ -393,15 +412,61 @@ func (o *Object) dropBucket(token uint32) {
 	o.bucketMu.Unlock()
 }
 
+// connLost poisons every bucket fed by the lost connection with a nil
+// sentinel: an upcall mid-receive on that bucket then fails promptly (and
+// coherently, through the collective error agreement) instead of waiting out
+// the data timeout. Invoked by the adapter after a connection's serve loop
+// ends — peer death via keepalive included.
+func (o *Object) connLost(conn *transport.Conn) {
+	o.bucketMu.Lock()
+	defer o.bucketMu.Unlock()
+	for _, b := range o.buckets {
+		b.connMu.Lock()
+		fed := false
+		for _, c := range b.conns {
+			if c == conn {
+				fed = true
+				break
+			}
+		}
+		b.connMu.Unlock()
+		if fed {
+			select {
+			case b.ch <- nil:
+			default: // bucket full; the consumer will fail on its own
+			}
+		}
+	}
+}
+
 func (o *Object) closeListeners() {
 	if o.srv != nil {
 		o.srv.Close()
 	}
 }
 
+// Shutdown drains this thread's adapter gracefully: new requests are shed
+// with TRANSIENT, the adapter stops accepting connections, in-flight
+// dispatches get until ctx's deadline to finish (the collective loop must
+// still be running — call Shutdown from another goroutine while Serve runs,
+// or between Poll calls), peers are told CloseConnection, and finally the
+// collective loop is released. Local (not collective) and idempotent.
+func (o *Object) Shutdown(ctx context.Context) error {
+	o.draining.Store(true)
+	var err error
+	if o.srv != nil {
+		err = o.srv.Shutdown(ctx)
+	}
+	o.closeOnce.Do(func() {
+		close(o.stop)
+	})
+	return err
+}
+
 // Close tears down this thread's listener and unblocks the adapter. It is
 // local (not collective) and idempotent; Serve on this thread returns.
 func (o *Object) Close() {
+	o.draining.Store(true)
 	o.closeOnce.Do(func() {
 		close(o.stop)
 		o.closeListeners()

@@ -45,6 +45,13 @@ func consumeMoves(ch chan *wire.Data, stop <-chan struct{}, timeout time.Duratio
 			case <-deadline:
 				return fmt.Errorf("core: timed out awaiting %d transfers for arg %d", len(want), argIdx)
 			}
+			if d == nil {
+				// Poison sentinel: a data connection feeding this transfer
+				// set died (peer crash detected by keepalive, orderly close,
+				// or I/O failure). Fail now instead of waiting out the
+				// timeout.
+				return fmt.Errorf("core: data connection lost awaiting %d transfers for arg %d", len(want), argIdx)
+			}
 			if d.ArgIndex != argIdx || d.Reply != wantReply {
 				stashed = append(stashed, d)
 				if len(stashed) > bucketCapacity {

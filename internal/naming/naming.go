@@ -83,6 +83,42 @@ func (r *Registry) Resolve(name, wantType string) (orb.IOR, error) {
 	return ref, nil
 }
 
+// BindReplica registers ref as one replica of name: the first registration
+// binds normally, and subsequent registrations merge the replica's endpoint
+// set into the existing binding as alternate profiles (deduplicated by
+// primary address). All replicas must share a type id and object key;
+// mismatches raise TypeMismatch. Clients that resolve the name receive a
+// multi-profile reference and fail over between replicas transparently.
+func (r *Registry) BindReplica(name string, ref orb.IOR) error {
+	if ref.Nil() {
+		return &orb.UserException{RepoID: RepoTypeMismatch, Message: name + ": nil replica reference"}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.table[name]
+	if !ok {
+		r.table[name] = ref
+		return nil
+	}
+	if cur.TypeID != ref.TypeID {
+		return &orb.UserException{
+			RepoID:  RepoTypeMismatch,
+			Message: fmt.Sprintf("%q is %s, replica is %s", name, cur.TypeID, ref.TypeID),
+		}
+	}
+	if string(cur.Key) != string(ref.Key) {
+		return &orb.UserException{
+			RepoID:  RepoTypeMismatch,
+			Message: fmt.Sprintf("%q: replica object key %q does not match %q", name, ref.Key, cur.Key),
+		}
+	}
+	for _, prof := range ref.Profiles() {
+		cur.AddProfile(prof)
+	}
+	r.table[name] = cur
+	return nil
+}
+
 // Unbind removes a name; it is not an error if the name is unbound.
 func (r *Registry) Unbind(name string) {
 	r.mu.Lock()
@@ -132,6 +168,20 @@ func (r *Registry) Dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) error 
 			return orb.Marshal(err)
 		}
 		return r.Bind(name, ref, replace)
+	case "bind_replica":
+		name, err := in.ReadString()
+		if err != nil {
+			return orb.Marshal(err)
+		}
+		iorStr, err := in.ReadString()
+		if err != nil {
+			return orb.Marshal(err)
+		}
+		ref, err := orb.ParseIOR(iorStr)
+		if err != nil {
+			return orb.Marshal(err)
+		}
+		return r.BindReplica(name, ref)
 	case "resolve":
 		name, err := in.ReadString()
 		if err != nil {
@@ -234,6 +284,17 @@ func (r *Resolver) Bind(name string, ref orb.IOR, replace bool) error {
 	args.WriteString(ref.String())
 	args.WriteBool(replace)
 	_, err := r.client.Invoke(r.ref, "bind", args.Bytes(), false)
+	return err
+}
+
+// BindReplica registers ref as one replica of name at the remote server:
+// replicas registered under the same name are merged into a single
+// multi-profile reference that resolves clients onto any live replica.
+func (r *Resolver) BindReplica(name string, ref orb.IOR) error {
+	args := orb.NewArgEncoder()
+	args.WriteString(name)
+	args.WriteString(ref.String())
+	_, err := r.client.Invoke(r.ref, "bind_replica", args.Bytes(), false)
 	return err
 }
 

@@ -1,0 +1,102 @@
+package naming
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/orb"
+)
+
+func replicaRef(host string, port int) orb.IOR {
+	return orb.IOR{
+		TypeID:    "IDL:test/rep:1.0",
+		Key:       []byte("rep"),
+		Threads:   1,
+		Endpoints: []orb.Endpoint{{Host: host, Port: port, Rank: 0}},
+	}
+}
+
+func TestRegistryBindReplicaMergesProfiles(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindReplica("svc", replicaRef("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindReplica("svc", replicaRef("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration of a known replica is idempotent.
+	if err := r.BindReplica("svc", replicaRef("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := r.Resolve("svc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := ref.ProfileAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != "a:1" || addrs[1] != "b:2" {
+		t.Fatalf("merged profiles %v, want [a:1 b:2]", addrs)
+	}
+}
+
+func TestRegistryBindReplicaRejectsMismatches(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindReplica("svc", replicaRef("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	var ue *orb.UserException
+
+	wrongType := replicaRef("b", 2)
+	wrongType.TypeID = "IDL:test/other:1.0"
+	if err := r.BindReplica("svc", wrongType); !errors.As(err, &ue) || ue.RepoID != RepoTypeMismatch {
+		t.Fatalf("type mismatch: %v", err)
+	}
+
+	wrongKey := replicaRef("b", 2)
+	wrongKey.Key = []byte("different")
+	if err := r.BindReplica("svc", wrongKey); !errors.As(err, &ue) || ue.RepoID != RepoTypeMismatch {
+		t.Fatalf("key mismatch: %v", err)
+	}
+
+	if err := r.BindReplica("svc", orb.IOR{}); err == nil {
+		t.Fatal("nil replica reference accepted")
+	}
+}
+
+func TestRemoteBindReplica(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cli := orb.NewClient()
+	defer cli.Close()
+	res := NewResolver(cli, s.Addr())
+
+	if err := res.BindReplica("svc", replicaRef("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.BindReplica("svc", replicaRef("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := res.Resolve("svc", "IDL:test/rep:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := ref.ProfileAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != "a:1" || addrs[1] != "b:2" {
+		t.Fatalf("resolved profiles %v, want [a:1 b:2]", addrs)
+	}
+
+	wrongType := replicaRef("c", 3)
+	wrongType.TypeID = "IDL:test/other:1.0"
+	var ue *orb.UserException
+	if err := res.BindReplica("svc", wrongType); !errors.As(err, &ue) || ue.RepoID != RepoTypeMismatch {
+		t.Fatalf("remote type mismatch: %v", err)
+	}
+}

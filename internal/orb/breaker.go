@@ -1,0 +1,125 @@
+package orb
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerPolicy configures the per-endpoint circuit breaker used when a
+// reference carries multiple profiles. A breaker keeps the client from
+// hammering an endpoint that is clearly down: after Threshold consecutive
+// connection-level failures the circuit opens and the endpoint is skipped;
+// after Cooldown one probe (a LocateRequest) is allowed through — success
+// closes the circuit, failure re-opens it for another cooldown.
+//
+// Only connection-level failures (dial errors, broken connections,
+// COMM_FAILURE) count against an endpoint. Application errors and TRANSIENT
+// shedding mean the endpoint is alive and do not trip the breaker.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive failures that opens the
+	// circuit. Values <= 0 disable breakers entirely.
+	Threshold int
+	// Cooldown is how long an open circuit rejects before allowing a
+	// half-open probe. Zero defaults to one second.
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) enabled() bool { return p.Threshold > 0 }
+
+func (p BreakerPolicy) cooldown() time.Duration {
+	if p.Cooldown <= 0 {
+		return time.Second
+	}
+	return p.Cooldown
+}
+
+type breakerState int
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// breaker is the per-endpoint state machine. All transitions happen under mu.
+type breaker struct {
+	policy BreakerPolicy
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive connection-level failures
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// allow reports whether a request may proceed against this endpoint, and
+// whether it must first run a liveness probe (half-open). At most one probe
+// is admitted per half-open period; concurrent callers are rejected until
+// the probe settles.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return true, false
+	case bkOpen:
+		if now.Sub(b.openedAt) < b.policy.cooldown() {
+			return false, false
+		}
+		b.state = bkHalfOpen
+		b.probing = true
+		return true, true
+	default: // bkHalfOpen
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// success records a working exchange: the circuit closes.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = bkClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a connection-level failure. A half-open probe failure or
+// hitting the threshold (re-)opens the circuit.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	b.fails++
+	if b.state == bkHalfOpen || b.fails >= b.policy.Threshold {
+		b.state = bkOpen
+		b.openedAt = now
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// breakerFor returns the breaker guarding addr, or nil when breakers are
+// disabled.
+func (c *Client) breakerFor(addr string) *breaker {
+	if !c.Breaker.enabled() {
+		return nil
+	}
+	c.bkMu.Lock()
+	defer c.bkMu.Unlock()
+	b, ok := c.breakers[addr]
+	if !ok {
+		b = &breaker{policy: c.Breaker}
+		c.breakers[addr] = b
+	}
+	return b
+}
+
+// failoverable reports whether err justifies moving on to the next profile:
+// connection-level failures (the endpoint may be down) and TRANSIENT
+// shedding (the request was provably never dispatched, so a replica can
+// safely take it).
+func failoverable(err error) bool {
+	return retryable(err) || IsTransient(err)
+}

@@ -32,12 +32,25 @@ type Client struct {
 	// Dialer overrides how connections are established; nil uses
 	// transport.Dial. Tests substitute in-process or faulty dialers.
 	Dialer func(addr string, opts *transport.Options) (*transport.Conn, error)
+	// KeepaliveInterval, when positive, probes idle connections with Ping
+	// and declares the peer dead after KeepaliveTimeout (default: the
+	// interval) of further silence. A SIGKILL'd server then surfaces as a
+	// prompt connection error on every pending request and data sink
+	// instead of a stall until the invocation timeout.
+	KeepaliveInterval time.Duration
+	KeepaliveTimeout  time.Duration
+	// Breaker is the per-endpoint circuit breaker policy used when invoking
+	// through multi-profile references. The zero value disables breakers.
+	Breaker BreakerPolicy
 
 	nextID atomic.Uint32
 
 	mu     sync.Mutex
 	conns  map[string]*clientConn
 	closed bool
+
+	bkMu     sync.Mutex
+	breakers map[string]*breaker
 
 	sinkMu sync.Mutex
 	sinks  map[uint32]chan *wire.Data
@@ -48,6 +61,7 @@ func NewClient() *Client {
 	return &Client{
 		MaxForwards: 3,
 		conns:       make(map[string]*clientConn),
+		breakers:    make(map[string]*breaker),
 		sinks:       make(map[uint32]chan *wire.Data),
 	}
 }
@@ -136,14 +150,17 @@ func (c *Client) sleepBackoff(retry int, deadline time.Time) bool {
 
 // clientConn is one cached connection with its reply demultiplexer.
 type clientConn struct {
-	conn    *transport.Conn
-	client  *Client
-	addr    string
-	mu      sync.Mutex
-	pending map[uint32]chan *wire.Reply
-	err     error
-	done    chan struct{}
+	conn     *transport.Conn
+	client   *Client
+	addr     string
+	lastRead atomic.Int64 // unix nanos of the last inbound message
+	mu       sync.Mutex
+	pending  map[uint32]chan *wire.Reply
+	err      error
+	done     chan struct{}
 }
+
+func (cc *clientConn) touch() { cc.lastRead.Store(time.Now().UnixNano()) }
 
 // Errors reported by the client engine.
 var (
@@ -152,7 +169,16 @@ var (
 	ErrConnBroken    = errors.New("orb: connection broken")
 	ErrInvokeTimeout = errors.New("orb: invocation timed out")
 	ErrLocateFailed  = errors.New("orb: object not located")
+	// ErrAllEndpointsDown reports that every profile of a multi-profile
+	// reference was skipped by an open circuit breaker.
+	ErrAllEndpointsDown = errors.New("orb: all endpoints circuit-open")
 )
+
+// ErrClosedByPeer marks a connection the server shut down in an orderly way
+// (CloseConnection). It wraps ErrConnBroken so existing retry/rebind logic
+// treats it as a broken connection, while callers can still tell an orderly
+// drain from a crash.
+var ErrClosedByPeer = fmt.Errorf("%w: peer sent CloseConnection", ErrConnBroken)
 
 // NextRequestID allocates a fresh request id, unique within this client.
 func (c *Client) NextRequestID() uint32 {
@@ -190,9 +216,66 @@ func (c *Client) conn(addr string) (*clientConn, error) {
 		pending: make(map[uint32]chan *wire.Reply),
 		done:    make(chan struct{}),
 	}
+	cc.touch()
 	c.conns[addr] = cc
 	go cc.readLoop()
+	if c.KeepaliveInterval > 0 {
+		go cc.keepaliveLoop(c.KeepaliveInterval, c.KeepaliveTimeout)
+	}
 	return cc, nil
+}
+
+// dropConn removes cc from the connection cache (if it is still the cached
+// entry for its address), so the next use redials instead of tripping over
+// the poisoned connection.
+func (c *Client) dropConn(cc *clientConn) {
+	c.mu.Lock()
+	if cur, ok := c.conns[cc.addr]; ok && cur == cc {
+		delete(c.conns, cc.addr)
+	}
+	c.mu.Unlock()
+}
+
+// keepaliveLoop mirrors the server's liveness probing from the client side:
+// an idle connection is pinged, and a peer silent past the grace period is
+// declared dead, failing every pending request and poisoning registered data
+// sinks. This covers the multiport data connections too — a killed server
+// rank is detected here instead of stalling transfers until the timeout.
+func (cc *clientConn) keepaliveLoop(interval, grace time.Duration) {
+	if grace <= 0 {
+		grace = interval
+	}
+	tick := interval / 4
+	if grace/4 < tick {
+		tick = grace / 4
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var nonce uint32
+	var lastPing time.Time
+	for {
+		select {
+		case <-cc.done:
+			return
+		case now := <-t.C:
+			idle := now.Sub(time.Unix(0, cc.lastRead.Load()))
+			if idle >= interval+grace {
+				cc.fail(fmt.Errorf("%w: keepalive: peer silent for %v", ErrConnBroken, idle))
+				return
+			}
+			if idle >= interval && now.Sub(lastPing) >= interval {
+				lastPing = now
+				nonce++
+				if err := cc.conn.WriteMessage(&wire.Ping{Nonce: nonce}); err != nil {
+					cc.fail(fmt.Errorf("%w: keepalive write: %v", ErrConnBroken, err))
+					return
+				}
+			}
+		}
+	}
 }
 
 func (cc *clientConn) readLoop() {
@@ -203,6 +286,7 @@ func (cc *clientConn) readLoop() {
 			cc.fail(fmt.Errorf("%w: %v", ErrConnBroken, err))
 			return
 		}
+		cc.touch()
 		switch m := msg.(type) {
 		case *wire.Reply:
 			cc.mu.Lock()
@@ -223,8 +307,18 @@ func (cc *clientConn) readLoop() {
 				// Tunnel the locate reply through the reply channel.
 				ch <- &wire.Reply{RequestID: m.RequestID, Status: wire.ReplyStatus(m.Status), Args: []byte(m.IOR)}
 			}
+		case *wire.Ping:
+			if err := cc.conn.WriteMessage(&wire.Pong{Nonce: m.Nonce}); err != nil {
+				cc.fail(fmt.Errorf("%w: pong write: %v", ErrConnBroken, err))
+				return
+			}
+		case *wire.Pong:
+			// Liveness evidence; touch above already recorded it.
 		case *wire.CloseConnection:
-			cc.fail(ErrConnBroken)
+			// Orderly server drain: mark the cached connection broken right
+			// now so the next use redials, rather than learning via the
+			// subsequent I/O error.
+			cc.fail(ErrClosedByPeer)
 			return
 		case *wire.MessageError:
 			cc.fail(fmt.Errorf("%w: peer reported message error", ErrConnBroken))
@@ -237,16 +331,43 @@ func (cc *clientConn) readLoop() {
 	}
 }
 
-// fail poisons the connection and unblocks every waiter.
+// fail poisons the connection, evicts it from the cache, unblocks every
+// waiter, and poisons registered data sinks so multiport receivers abort
+// promptly instead of waiting out their timeout.
 func (cc *clientConn) fail(err error) {
-	cc.conn.Close()
+	// Record the cause before closing the stream: closing wakes the read
+	// loop with a generic I/O error, and the first recorded error is the one
+	// waiters see — it must be the root cause (e.g. a keepalive verdict),
+	// not the knock-on close.
 	cc.mu.Lock()
-	cc.err = err
+	already := cc.err != nil
+	if !already {
+		cc.err = err
+	}
 	for id, ch := range cc.pending {
 		delete(cc.pending, id)
 		close(ch)
 	}
 	cc.mu.Unlock()
+	cc.conn.Close()
+	if !already {
+		cc.client.dropConn(cc)
+		cc.client.poisonSinks()
+	}
+}
+
+// poisonSinks delivers a nil sentinel to every registered data sink: a data
+// connection died, so any in-flight multiport transfer set may be
+// incomplete. Receivers treat the sentinel as a broken-connection error.
+func (c *Client) poisonSinks() {
+	c.sinkMu.Lock()
+	for _, ch := range c.sinks {
+		select {
+		case ch <- nil:
+		default: // sink full; the receiver will fail on its own
+		}
+	}
+	c.sinkMu.Unlock()
 }
 
 func (cc *clientConn) register(id uint32) (chan *wire.Reply, error) {
@@ -453,14 +574,62 @@ func (c *Client) InvokeDeadline(ref IOR, op string, args []byte, oneway bool, de
 	return c.InvokeOpts(ref, op, args, InvokeOptions{Oneway: oneway, Deadline: deadline})
 }
 
-// InvokeOpts performs a request on the object's primary endpoint with full
-// per-invocation options.
+// InvokeOpts performs a request with full per-invocation options. For a
+// single-profile reference it targets the primary endpoint directly. For a
+// multi-profile reference it walks the profiles in order, gated by the
+// per-endpoint circuit breaker: endpoints with an open circuit are skipped,
+// endpoints due a half-open probe are first checked with a LocateRequest,
+// and connection-level or TRANSIENT failures move on to the next profile.
 func (c *Client) InvokeOpts(ref IOR, op string, args []byte, o InvokeOptions) ([]byte, error) {
-	ep, err := ref.Primary()
+	addrs, err := ref.ProfileAddrs()
 	if err != nil {
 		return nil, err
 	}
-	return c.InvokeAddrOpts(ep.Addr(), ref.Key, op, args, o)
+	if len(addrs) == 1 && !c.Breaker.enabled() {
+		return c.InvokeAddrOpts(addrs[0], ref.Key, op, args, o)
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		bk := c.breakerFor(addr)
+		if bk != nil {
+			ok, probe := bk.allow(time.Now())
+			if !ok {
+				continue
+			}
+			if probe {
+				// Half-open: prove the endpoint alive with a cheap
+				// LocateRequest before trusting it with the real call.
+				if _, perr := c.locateOnce(addr, ref.Key, o.Deadline); perr != nil {
+					bk.failure(time.Now())
+					if !failoverable(perr) {
+						return nil, perr
+					}
+					lastErr = perr
+					continue
+				}
+				bk.success()
+			}
+		}
+		out, ierr := c.InvokeAddrOpts(addr, ref.Key, op, args, o)
+		if ierr == nil {
+			if bk != nil {
+				bk.success()
+			}
+			return out, nil
+		}
+		if bk != nil && retryable(ierr) {
+			bk.failure(time.Now())
+		}
+		if !failoverable(ierr) {
+			return nil, ierr
+		}
+		lastErr = ierr
+	}
+	if lastErr == nil {
+		// Every profile was skipped by an open circuit.
+		return nil, ErrAllEndpointsDown
+	}
+	return nil, lastErr
 }
 
 // InvokeRank performs a request on the endpoint serving a specific

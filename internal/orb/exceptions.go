@@ -46,7 +46,23 @@ const (
 	RepoInternal       = "IDL:PARDIS/INTERNAL:1.0"
 	RepoComm           = "IDL:PARDIS/COMM_FAILURE:1.0"
 	RepoTimeout        = "IDL:PARDIS/TIMEOUT:1.0"
+	RepoTransient      = "IDL:PARDIS/TRANSIENT:1.0"
 )
+
+// Transient builds the standard overload-shedding exception: the server is
+// alive but refused to take on the request (admission-control caps hit, or a
+// drain in progress). Like CORBA's TRANSIENT, it tells the client the request
+// was never dispatched and may safely be retried — here or on a replica.
+func Transient(msg string) *SystemException {
+	return &SystemException{RepoID: RepoTransient, Message: msg}
+}
+
+// IsTransient reports whether err is a TRANSIENT system exception (the
+// server shed the request without dispatching it).
+func IsTransient(err error) bool {
+	var se *SystemException
+	return errors.As(err, &se) && se.RepoID == RepoTransient
+}
 
 // BadOperation builds the standard exception for an unknown operation name.
 func BadOperation(op string) *SystemException {

@@ -32,6 +32,11 @@ type IOR struct {
 	Key       []byte // object key in the server's adapter
 	Threads   int
 	Endpoints []Endpoint
+	// Alternates lists additional profiles — endpoint sets of replicas
+	// serving the same object. Clients try the primary profile (Endpoints)
+	// first and fail over, profile by profile, through Alternates. Each
+	// replica must accept the same object key.
+	Alternates [][]Endpoint
 }
 
 // Errors reported by reference handling.
@@ -48,6 +53,53 @@ func (r IOR) Primary() (Endpoint, error) {
 		return Endpoint{}, fmt.Errorf("%w: nil reference", ErrBadIOR)
 	}
 	return r.Endpoints[0], nil
+}
+
+// Profiles returns every endpoint set of the reference, primary first.
+func (r IOR) Profiles() [][]Endpoint {
+	out := make([][]Endpoint, 0, 1+len(r.Alternates))
+	out = append(out, r.Endpoints)
+	out = append(out, r.Alternates...)
+	return out
+}
+
+// ProfileAddrs returns the primary (rank-0 communicating thread) address of
+// each profile, in failover order.
+func (r IOR) ProfileAddrs() ([]string, error) {
+	if r.Nil() {
+		return nil, fmt.Errorf("%w: nil reference", ErrBadIOR)
+	}
+	addrs := make([]string, 0, 1+len(r.Alternates))
+	addrs = append(addrs, r.Endpoints[0].Addr())
+	for _, alt := range r.Alternates {
+		if len(alt) == 0 {
+			continue
+		}
+		addrs = append(addrs, alt[0].Addr())
+	}
+	return addrs, nil
+}
+
+// AddProfile appends another replica's endpoint set as an alternate profile,
+// skipping duplicates (same primary address as an existing profile).
+func (r *IOR) AddProfile(eps []Endpoint) {
+	if len(eps) == 0 {
+		return
+	}
+	addr := eps[0].Addr()
+	if len(r.Endpoints) == 0 {
+		r.Endpoints = eps
+		return
+	}
+	if r.Endpoints[0].Addr() == addr {
+		return
+	}
+	for _, alt := range r.Alternates {
+		if len(alt) > 0 && alt[0].Addr() == addr {
+			return
+		}
+	}
+	r.Alternates = append(r.Alternates, eps)
 }
 
 // EndpointFor returns the endpoint serving the given computing thread, or
@@ -86,13 +138,48 @@ func (r IOR) Encode(e *cdr.Encoder) {
 		inner.WriteString(r.TypeID)
 		inner.WriteOctets(r.Key)
 		inner.WriteULong(uint32(r.Threads))
-		inner.WriteULong(uint32(len(r.Endpoints)))
-		for _, ep := range r.Endpoints {
-			inner.WriteString(ep.Host)
-			inner.WriteULong(uint32(ep.Port))
-			inner.WriteULong(uint32(ep.Rank))
+		writeEndpoints(inner, r.Endpoints)
+		inner.WriteULong(uint32(len(r.Alternates)))
+		for _, alt := range r.Alternates {
+			writeEndpoints(inner, alt)
 		}
 	})
+}
+
+func writeEndpoints(e *cdr.Encoder, eps []Endpoint) {
+	e.WriteULong(uint32(len(eps)))
+	for _, ep := range eps {
+		e.WriteString(ep.Host)
+		e.WriteULong(uint32(ep.Port))
+		e.WriteULong(uint32(ep.Rank))
+	}
+}
+
+func readEndpoints(d *cdr.Decoder, what string) ([]Endpoint, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s count: %v", ErrBadIOR, what, err)
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible %s count %d", ErrBadIOR, what, n)
+	}
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		if eps[i].Host, err = d.ReadString(); err != nil {
+			return nil, fmt.Errorf("%w: %s %d host: %v", ErrBadIOR, what, i, err)
+		}
+		port, err := d.ReadULong()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s %d port: %v", ErrBadIOR, what, i, err)
+		}
+		rank, err := d.ReadULong()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s %d rank: %v", ErrBadIOR, what, i, err)
+		}
+		eps[i].Port = int(port)
+		eps[i].Rank = int(rank)
+	}
+	return eps, nil
 }
 
 // DecodeIOR reads a reference written by Encode.
@@ -112,28 +199,28 @@ func DecodeIOR(d *cdr.Decoder) (IOR, error) {
 	if err != nil {
 		return IOR{}, fmt.Errorf("%w: threads: %v", ErrBadIOR, err)
 	}
-	n, err := inner.ReadULong()
-	if err != nil {
-		return IOR{}, fmt.Errorf("%w: endpoint count: %v", ErrBadIOR, err)
-	}
-	if threads > 1<<20 || n > 1<<20 {
-		return IOR{}, fmt.Errorf("%w: implausible sizes (threads=%d endpoints=%d)", ErrBadIOR, threads, n)
+	if threads > 1<<20 {
+		return IOR{}, fmt.Errorf("%w: implausible thread count %d", ErrBadIOR, threads)
 	}
 	r.Threads = int(threads)
-	r.Endpoints = make([]Endpoint, n)
-	for i := range r.Endpoints {
-		if r.Endpoints[i].Host, err = inner.ReadString(); err != nil {
-			return IOR{}, fmt.Errorf("%w: endpoint %d host: %v", ErrBadIOR, i, err)
-		}
-		port, err := inner.ReadULong()
+	if r.Endpoints, err = readEndpoints(inner, "endpoint"); err != nil {
+		return IOR{}, err
+	}
+	// Alternate profiles follow. References written before multi-profile
+	// support simply end here; treat that as zero alternates.
+	nalt, err := inner.ReadULong()
+	if err != nil {
+		return r, nil
+	}
+	if nalt > 1<<10 {
+		return IOR{}, fmt.Errorf("%w: implausible profile count %d", ErrBadIOR, nalt)
+	}
+	for i := 0; i < int(nalt); i++ {
+		alt, err := readEndpoints(inner, "alternate endpoint")
 		if err != nil {
-			return IOR{}, fmt.Errorf("%w: endpoint %d port: %v", ErrBadIOR, i, err)
+			return IOR{}, err
 		}
-		rank, err := inner.ReadULong()
-		if err != nil {
-			return IOR{}, fmt.Errorf("%w: endpoint %d rank: %v", ErrBadIOR, i, err)
-		}
-		r.Endpoints[i] = Endpoint{Host: r.Endpoints[i].Host, Port: int(port), Rank: int(rank)}
+		r.Alternates = append(r.Alternates, alt)
 	}
 	return r, nil
 }

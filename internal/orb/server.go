@@ -1,9 +1,12 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/transport"
@@ -34,24 +37,146 @@ func (f ServantFunc) Dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) erro
 // transfers back over the same connection.
 type DataHandler func(d *wire.Data, conn *transport.Conn)
 
+// Defaults for ServerOptions.
+const (
+	DefaultMaxInFlight       = 1024
+	DefaultMaxConnInFlight   = 128
+	DefaultQueueDepth        = 256
+	DefaultWriteTimeout      = 10 * time.Second
+	DefaultKeepaliveInterval = 30 * time.Second
+)
+
+// ServerOptions configure a Server's robustness layer: admission control,
+// slow-client write deadlines, and liveness keepalives. The zero value means
+// "use the defaults"; negative durations disable the corresponding feature.
+type ServerOptions struct {
+	// MaxInFlight caps requests being dispatched concurrently across all
+	// connections. Default DefaultMaxInFlight; negative disables the cap.
+	MaxInFlight int
+	// MaxConnInFlight caps requests in flight (dispatching or queued) on one
+	// connection, so a single aggressive client cannot monopolize the global
+	// budget. Default DefaultMaxConnInFlight; negative disables the cap.
+	MaxConnInFlight int
+	// QueueDepth bounds how many admitted requests may wait for an
+	// in-flight slot once MaxInFlight is saturated. A request arriving with
+	// the queue full is shed immediately with a TRANSIENT system exception —
+	// the server never queues without bound. Default DefaultQueueDepth;
+	// negative disables queueing (saturation sheds at once).
+	QueueDepth int
+	// WriteTimeout bounds every reply/keepalive write so one client that
+	// stopped reading cannot wedge the connection's writers. Default
+	// DefaultWriteTimeout; negative disables.
+	WriteTimeout time.Duration
+	// KeepaliveInterval is how long a connection may stay silent before the
+	// server probes it with a Ping. Default DefaultKeepaliveInterval;
+	// negative disables keepalives.
+	KeepaliveInterval time.Duration
+	// KeepaliveTimeout is the additional silence tolerated after the probe
+	// before the peer is declared dead and the connection closed. Zero
+	// defaults to KeepaliveInterval (dead peers are detected within roughly
+	// twice the interval).
+	KeepaliveTimeout time.Duration
+	// Transport configures accepted connections (byte order, frame limits,
+	// fault-injection wrappers). WriteTimeout above is layered on top.
+	Transport *transport.Options
+	// Logf receives connection-level error reports; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	switch {
+	case o.MaxInFlight == 0:
+		o.MaxInFlight = DefaultMaxInFlight
+	case o.MaxInFlight < 0:
+		o.MaxInFlight = 1 << 30
+	}
+	switch {
+	case o.MaxConnInFlight == 0:
+		o.MaxConnInFlight = DefaultMaxConnInFlight
+	case o.MaxConnInFlight < 0:
+		o.MaxConnInFlight = 1 << 30
+	}
+	switch {
+	case o.QueueDepth == 0:
+		o.QueueDepth = DefaultQueueDepth
+	case o.QueueDepth < 0:
+		o.QueueDepth = 0
+	}
+	switch {
+	case o.WriteTimeout == 0:
+		o.WriteTimeout = DefaultWriteTimeout
+	case o.WriteTimeout < 0:
+		o.WriteTimeout = 0
+	}
+	switch {
+	case o.KeepaliveInterval == 0:
+		o.KeepaliveInterval = DefaultKeepaliveInterval
+	case o.KeepaliveInterval < 0:
+		o.KeepaliveInterval = 0
+	}
+	if o.KeepaliveTimeout <= 0 {
+		o.KeepaliveTimeout = o.KeepaliveInterval
+	}
+	return o
+}
+
+// ServerStats is a snapshot of the server's admission-control and liveness
+// counters.
+type ServerStats struct {
+	// Dispatched counts requests handed to a servant.
+	Dispatched uint64
+	// Shed counts requests refused with TRANSIENT (caps hit or draining).
+	Shed uint64
+	// KeepaliveDrops counts connections closed because the peer stayed
+	// silent past the keepalive grace period.
+	KeepaliveDrops uint64
+	// InFlight and Queued are the current gauges.
+	InFlight int
+	Queued   int
+}
+
 // Server is the PARDIS object adapter plus its network engine: it listens on
 // one endpoint, registers servants under object keys, and dispatches inbound
 // requests. An SPMD object runs one Server per computing thread in the
 // multi-port configuration, or only on the communicating thread in the
 // centralized configuration.
+//
+// The robustness layer (ServerOptions) bounds everything the network can do
+// to it: concurrent dispatches are capped globally and per connection with a
+// bounded overflow queue (excess is shed with TRANSIENT), writes carry
+// deadlines so a stuck reader cannot wedge a connection, and idle peers are
+// pinged and dropped when silent too long.
 type Server struct {
 	lis  *transport.Listener
 	host string
+	opts ServerOptions
 
 	mu       sync.Mutex
 	servants map[string]Servant
 	dataH    DataHandler
-	conns    map[*transport.Conn]struct{}
+	connLost func(*transport.Conn)
+	conns    map[*servedConn]struct{}
 	closed   bool
 
-	// wg tracks connection serve loops and the accept loop; reqWg tracks
-	// in-flight request dispatches so Close can let replies drain before
-	// tearing connections down.
+	// stop is closed when the server begins shutting down; queued requests
+	// waiting for an in-flight slot give up on it.
+	stop chan struct{}
+	// draining sheds all new requests with TRANSIENT once Shutdown begins.
+	draining atomic.Bool
+
+	// sem holds the in-flight dispatch permits; queued counts requests
+	// waiting for a permit (bounded by QueueDepth).
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	dispatched     atomic.Uint64
+	shed           atomic.Uint64
+	keepaliveDrops atomic.Uint64
+
+	// wg tracks connection serve loops, keepalive loops and the accept
+	// loop; reqWg tracks in-flight request dispatches so Shutdown can let
+	// replies drain before tearing connections down.
 	wg    sync.WaitGroup
 	reqWg sync.WaitGroup
 	// Logf, when set, receives connection-level error reports. It defaults
@@ -59,18 +184,58 @@ type Server struct {
 	Logf func(format string, args ...any)
 }
 
-// NewServer listens on addr ("host:port", port 0 for ephemeral) and starts
-// accepting connections.
+// servedConn is one accepted connection with its liveness and admission
+// state.
+type servedConn struct {
+	conn *transport.Conn
+	// inflight counts this connection's requests dispatching or queued.
+	inflight atomic.Int64
+	// lastRead is the unix-nano time of the last successful read; the
+	// keepalive loop measures idleness against it.
+	lastRead atomic.Int64
+	// done is closed when the serve loop exits, stopping the keepalive loop.
+	done chan struct{}
+}
+
+func (sc *servedConn) touch() { sc.lastRead.Store(time.Now().UnixNano()) }
+
+func (sc *servedConn) idle(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, sc.lastRead.Load()))
+}
+
+// NewServer listens on addr ("host:port", port 0 for ephemeral) with default
+// options and starts accepting connections.
 func NewServer(addr string) (*Server, error) {
-	lis, err := transport.Listen(addr, nil)
+	return NewServerOpts(addr, ServerOptions{})
+}
+
+// NewServerOpts is NewServer with explicit robustness options.
+func NewServerOpts(addr string, opts ServerOptions) (*Server, error) {
+	opts = opts.withDefaults()
+	// Accepted connections inherit the caller's transport configuration
+	// plus the server's write deadline.
+	topts := transport.Options{}
+	if opts.Transport != nil {
+		topts = *opts.Transport
+	}
+	if topts.WriteTimeout == 0 {
+		topts.WriteTimeout = opts.WriteTimeout
+	}
+	lis, err := transport.Listen(addr, &topts)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		lis:      lis,
+		opts:     opts,
 		servants: make(map[string]Servant),
-		conns:    make(map[*transport.Conn]struct{}),
+		conns:    make(map[*servedConn]struct{}),
+		stop:     make(chan struct{}),
+		sem:      make(chan struct{}, opts.MaxInFlight),
 		Logf:     func(string, ...any) {},
+	}
+	if opts.Logf != nil {
+		s.Logf = opts.Logf
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -119,6 +284,16 @@ func (s *Server) SetDataHandler(h DataHandler) {
 	s.dataH = h
 }
 
+// SetConnLostHandler installs a hook called once per connection after its
+// serve loop ends, however it ended (peer close, keepalive drop, shutdown).
+// The multi-port engine uses it to fail invocations whose data connection
+// died instead of letting them wait out the data timeout.
+func (s *Server) SetConnLostHandler(h func(*transport.Conn)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.connLost = h
+}
+
 func (s *Server) lookup(key []byte) (Servant, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -132,6 +307,17 @@ func (s *Server) dataHandler() DataHandler {
 	return s.dataH
 }
 
+// Stats returns a snapshot of the admission-control and liveness counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Dispatched:     s.dispatched.Load(),
+		Shed:           s.shed.Load(),
+		KeepaliveDrops: s.keepaliveDrops.Load(),
+		InFlight:       int(s.inflight.Load()),
+		Queued:         int(s.queued.Load()),
+	}
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -139,64 +325,122 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		sc := &servedConn{conn: conn, done: make(chan struct{})}
+		sc.touch()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		go s.serveConn(sc)
+		if s.opts.KeepaliveInterval > 0 {
+			s.wg.Add(1)
+			go s.keepaliveLoop(sc)
+		}
 	}
 }
 
-func (s *Server) serveConn(conn *transport.Conn) {
+// keepaliveLoop watches one connection's read activity: silent past the
+// interval, it probes with a Ping; silent past the grace period too, it
+// declares the peer dead and closes the connection, which unblocks the serve
+// loop. This is what turns a SIGKILL'd peer (no FIN on the wire) into a
+// prompt error instead of an indefinite stall.
+func (s *Server) keepaliveLoop(sc *servedConn) {
+	defer s.wg.Done()
+	interval := s.opts.KeepaliveInterval
+	grace := s.opts.KeepaliveTimeout
+	tick := interval / 4
+	if grace/4 < tick {
+		tick = grace / 4
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var nonce uint32
+	var lastPing time.Time
+	for {
+		select {
+		case <-sc.done:
+			return
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			idle := sc.idle(now)
+			if idle >= interval+grace {
+				s.keepaliveDrops.Add(1)
+				s.Logf("orb: server keepalive: peer silent %v, dropping connection", idle)
+				sc.conn.Close()
+				return
+			}
+			if idle >= interval && now.Sub(lastPing) >= interval {
+				lastPing = now
+				nonce++
+				if err := sc.conn.WriteMessage(&wire.Ping{Nonce: nonce}); err != nil {
+					// The serve loop will observe the broken stream.
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) serveConn(sc *servedConn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		close(sc.done)
+		sc.conn.Close()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, sc)
+		lost := s.connLost
 		s.mu.Unlock()
+		if lost != nil {
+			lost(sc.conn)
+		}
 	}()
 	for {
-		msg, err := conn.ReadMessage()
+		msg, err := sc.conn.ReadMessage()
 		if err != nil {
 			if !errors.Is(err, transport.ErrClosed) {
 				s.Logf("orb: server read: %v", err)
 				// Tell the peer its stream was unintelligible, then drop it.
-				_ = conn.WriteMessage(&wire.MessageError{})
+				_ = sc.conn.WriteMessage(&wire.MessageError{})
 			}
 			return
 		}
+		sc.touch()
 		switch m := msg.(type) {
 		case *wire.Request:
-			// Each request runs on its own goroutine so a long-running
-			// upcall (an SPMD collective invocation coordinating other
-			// ranks) does not block subsequent traffic on the connection.
-			s.reqWg.Add(1)
-			go func() {
-				defer s.reqWg.Done()
-				s.handleRequest(m, conn)
-			}()
+			s.admit(sc, m)
 		case *wire.LocateRequest:
 			st := wire.LocateUnknown
 			if _, ok := s.lookup(m.ObjectKey); ok {
 				st = wire.LocateHere
 			}
-			if err := conn.WriteMessage(&wire.LocateReply{RequestID: m.RequestID, Status: st}); err != nil {
+			if err := sc.conn.WriteMessage(&wire.LocateReply{RequestID: m.RequestID, Status: st}); err != nil {
 				s.Logf("orb: locate reply: %v", err)
 				return
 			}
 		case *wire.CancelRequest:
 			// Best effort: PARDIS requests are not abortable mid-upcall.
+		case *wire.Ping:
+			if err := sc.conn.WriteMessage(&wire.Pong{Nonce: m.Nonce}); err != nil {
+				s.Logf("orb: pong: %v", err)
+				return
+			}
+		case *wire.Pong:
+			// Liveness evidence; touch above already recorded it.
 		case *wire.Data:
 			if h := s.dataHandler(); h != nil {
-				h(m, conn)
+				h(m, sc.conn)
 			} else {
 				s.Logf("orb: Data message with no handler (request %d)", m.RequestID)
-				_ = conn.WriteMessage(&wire.MessageError{})
+				_ = sc.conn.WriteMessage(&wire.MessageError{})
 			}
 		case *wire.CloseConnection:
 			return
@@ -204,13 +448,97 @@ func (s *Server) serveConn(conn *transport.Conn) {
 			s.Logf("orb: peer reported message error")
 			return
 		default:
-			_ = conn.WriteMessage(&wire.MessageError{})
+			_ = sc.conn.WriteMessage(&wire.MessageError{})
 			return
 		}
 	}
 }
 
-func (s *Server) handleRequest(req *wire.Request, conn *transport.Conn) {
+// admit applies admission control to one inbound request: shed while
+// draining, shed past the per-connection cap, dispatch immediately when an
+// in-flight permit is free, otherwise wait on the bounded queue — and shed
+// when that too is full. Shedding replies TRANSIENT at once; the request is
+// never silently queued without bound.
+func (s *Server) admit(sc *servedConn, req *wire.Request) {
+	if s.draining.Load() {
+		s.shedRequest(sc, req, "server draining")
+		return
+	}
+	if n := sc.inflight.Add(1); n > int64(s.opts.MaxConnInFlight) {
+		sc.inflight.Add(-1)
+		s.shedRequest(sc, req, fmt.Sprintf("connection request cap %d reached", s.opts.MaxConnInFlight))
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.launch(sc, req)
+	default:
+		// Saturated: claim a bounded queue slot and wait for a permit off
+		// the serve loop, so the connection keeps reading.
+		if q := s.queued.Add(1); q > int64(s.opts.QueueDepth) {
+			s.queued.Add(-1)
+			sc.inflight.Add(-1)
+			s.shedRequest(sc, req, fmt.Sprintf("server saturated (%d in flight, %d queued)",
+				s.opts.MaxInFlight, s.opts.QueueDepth))
+			return
+		}
+		s.reqWg.Add(1)
+		go func() {
+			defer s.reqWg.Done()
+			select {
+			case s.sem <- struct{}{}:
+				s.queued.Add(-1)
+				defer func() { <-s.sem }()
+				defer sc.inflight.Add(-1)
+				s.inflight.Add(1)
+				s.dispatched.Add(1)
+				s.handleRequest(req, sc)
+				s.inflight.Add(-1)
+			case <-s.stop:
+				s.queued.Add(-1)
+				sc.inflight.Add(-1)
+				s.shedRequest(sc, req, "server draining")
+			case <-sc.done:
+				s.queued.Add(-1)
+				sc.inflight.Add(-1)
+			}
+		}()
+	}
+}
+
+// launch runs one admitted request on its own goroutine (holding an
+// in-flight permit), so a long-running upcall (an SPMD collective invocation
+// coordinating other ranks) does not block subsequent traffic on the
+// connection.
+func (s *Server) launch(sc *servedConn, req *wire.Request) {
+	s.reqWg.Add(1)
+	s.inflight.Add(1)
+	s.dispatched.Add(1)
+	go func() {
+		defer s.reqWg.Done()
+		defer s.inflight.Add(-1)
+		defer sc.inflight.Add(-1)
+		defer func() { <-s.sem }()
+		s.handleRequest(req, sc)
+	}()
+}
+
+// shedRequest refuses a request with a TRANSIENT system exception (when a
+// reply is expected at all).
+func (s *Server) shedRequest(sc *servedConn, req *wire.Request, msg string) {
+	s.shed.Add(1)
+	if !req.ResponseExpected {
+		return
+	}
+	out := NewArgEncoder()
+	status := encodeException(out, Transient(msg))
+	reply := &wire.Reply{RequestID: req.RequestID, Status: status, Args: out.Bytes()}
+	if err := sc.conn.WriteMessage(reply); err != nil {
+		s.Logf("orb: shed reply write: %v", err)
+	}
+}
+
+func (s *Server) handleRequest(req *wire.Request, sc *servedConn) {
 	out := NewArgEncoder()
 	status := wire.ReplyNoException
 
@@ -246,35 +574,69 @@ func (s *Server) handleRequest(req *wire.Request, conn *transport.Conn) {
 		return
 	}
 	reply := &wire.Reply{RequestID: req.RequestID, Status: status, Args: out.Bytes()}
-	if werr := conn.WriteMessage(reply); werr != nil {
+	if werr := sc.conn.WriteMessage(reply); werr != nil {
 		s.Logf("orb: reply write: %v", werr)
+		// A failed (or deadline-expired) reply write leaves the stream
+		// unusable mid-frame; kill the connection so its serve loop exits
+		// instead of framing garbage at the peer.
+		sc.conn.Close()
 	}
 }
 
 // Addr returns the listen address.
 func (s *Server) Addr() string { return s.lis.Addr() }
 
-// Close stops the listener and tears down all connections, waiting for
-// in-flight dispatches to finish.
-func (s *Server) Close() error {
+// Shutdown drains the server gracefully: it stops accepting connections,
+// sheds new requests with TRANSIENT, waits (bounded by ctx) for in-flight
+// dispatches to write their replies, then announces CloseConnection to every
+// peer and tears the connections down. It returns ctx.Err() when the drain
+// deadline expired with dispatches still running (they are abandoned to
+// finish against closed connections).
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	conns := make([]*transport.Conn, 0, len(s.conns))
+	s.draining.Store(true)
+	s.mu.Unlock()
+	close(s.stop)
+	err := s.lis.Close()
+
+	// Let in-flight dispatches write their replies before the connections
+	// go away, but never wait past the caller's deadline.
+	done := make(chan struct{})
+	go func() {
+		s.reqWg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+
+	s.mu.Lock()
+	conns := make([]*servedConn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	err := s.lis.Close()
-	// Let in-flight dispatches write their replies before the connections
-	// go away.
-	s.reqWg.Wait()
 	for _, c := range conns {
-		c.Close()
+		// Orderly goodbye: clients mark the cached connection broken at
+		// once and redial (elsewhere) on next use.
+		_ = c.conn.WriteMessage(&wire.CloseConnection{})
+		c.conn.Close()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Close stops the listener and tears down all connections, waiting without
+// bound for in-flight dispatches to finish.
+func (s *Server) Close() error {
+	return s.Shutdown(context.Background())
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/wire"
@@ -63,18 +64,34 @@ type Options struct {
 	// framing. Fault-injection tests use it to slot a FaultInjector between
 	// the Conn and the real network.
 	Wrap func(io.ReadWriteCloser) io.ReadWriteCloser
+	// WriteTimeout bounds each WriteMessage call when the underlying stream
+	// supports write deadlines (TCP does; the in-process pipe, which never
+	// blocks on writes, does not need them). A peer that stops reading then
+	// fails the writer with a deadline error instead of wedging it — and
+	// every other goroutine queued on the connection's write lock — forever.
+	// Zero disables.
+	WriteTimeout time.Duration
+}
+
+// writeDeadliner is the optional deadline surface of an underlying stream
+// (satisfied by net.Conn). It is captured before Options.Wrap is applied, so
+// fault-injection wrappers do not hide it.
+type writeDeadliner interface {
+	SetWriteDeadline(t time.Time) error
 }
 
 // Conn is a framed PGIOP connection over any byte stream. WriteMessage is
 // safe for concurrent use; ReadMessage must be called from one goroutine at
 // a time.
 type Conn struct {
-	rw    io.ReadWriteCloser
-	br    *bufio.Reader
-	bw    *bufio.Writer
-	order cdr.ByteOrder
-	frag  int
-	max   int
+	rw       io.ReadWriteCloser
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	order    cdr.ByteOrder
+	frag     int
+	max      int
+	wd       writeDeadliner
+	wtimeout time.Duration
 
 	wmu    sync.Mutex
 	closed bool
@@ -83,6 +100,7 @@ type Conn struct {
 
 // NewConn wraps a byte stream in PGIOP framing.
 func NewConn(rw io.ReadWriteCloser, opts *Options) *Conn {
+	wd, _ := rw.(writeDeadliner)
 	if opts != nil && opts.Wrap != nil {
 		rw = opts.Wrap(rw)
 	}
@@ -102,6 +120,10 @@ func NewConn(rw io.ReadWriteCloser, opts *Options) *Conn {
 		if opts.MaxFrameSize > 0 {
 			c.max = opts.MaxFrameSize
 		}
+		if opts.WriteTimeout > 0 {
+			c.wd = wd
+			c.wtimeout = opts.WriteTimeout
+		}
 	}
 	return c
 }
@@ -120,6 +142,13 @@ func (c *Conn) WriteMessage(m wire.Message) error {
 	defer c.wmu.Unlock()
 	if c.isClosed() {
 		return ErrClosed
+	}
+	if c.wd != nil {
+		// The deadline covers the whole message (all fragments and the
+		// flush); a deadline error leaves the stream mid-frame, so callers
+		// must treat it as fatal to the connection.
+		_ = c.wd.SetWriteDeadline(time.Now().Add(c.wtimeout))
+		defer c.wd.SetWriteDeadline(time.Time{})
 	}
 
 	writeFrame := func(t wire.MsgType, more bool, chunk []byte) error {

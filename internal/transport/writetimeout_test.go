@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestWriteTimeoutUnsticksSlowReader pins the slow-client defence: a peer
+// that stops reading eventually backs TCP up into our writer, and without a
+// deadline the write blocks forever. With Options.WriteTimeout set, the
+// write must fail within roughly the timeout.
+func TestWriteTimeoutUnsticksSlowReader(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err == nil {
+			accepted <- c // held open, never read: the classic stuck client
+		}
+	}()
+
+	conn, err := Dial(lis.Addr().String(), &Options{WriteTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	defer func() {
+		select {
+		case c := <-accepted:
+			c.Close()
+		default:
+		}
+	}()
+
+	// Big payloads overwhelm both socket buffers, so some WriteMessage call
+	// must block on the stuck peer and be released by the deadline.
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err = conn.WriteMessage(&wire.Data{RequestID: 1, Count: uint64(len(payload) / 8), Payload: payload})
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes to a stuck reader kept succeeding")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("write deadline fired after %v, want well under the fallback", elapsed)
+	}
+	if nerr, ok := err.(net.Error); ok && !nerr.Timeout() {
+		t.Fatalf("write failed with a non-timeout error: %v", err)
+	}
+}

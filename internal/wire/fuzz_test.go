@@ -47,6 +47,8 @@ func FuzzDecodeBody(f *testing.F) {
 		&MessageError{},
 		&Fragment{Payload: []byte("tail")},
 		&Data{RequestID: 6, ArgIndex: 1, SrcRank: 2, DstRank: 3, DstOff: 4, Count: 2, Payload: []byte("xyzw")},
+		&Ping{Nonce: 7},
+		&Pong{Nonce: 8},
 	} {
 		e := cdr.NewEncoder(cdr.NativeOrder)
 		m.EncodeBody(e)

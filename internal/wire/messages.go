@@ -248,6 +248,42 @@ func decodeData(d *cdr.Decoder) (*Data, error) {
 	return &m, nil
 }
 
+// Ping probes a peer's liveness on an idle connection. The nonce is echoed
+// back in the matching Pong; it carries no semantics beyond letting a debugger
+// pair probes with responses on a wire dump.
+type Ping struct {
+	Nonce uint32
+}
+
+func (*Ping) Type() MsgType { return MsgPing }
+
+func (p *Ping) EncodeBody(e *cdr.Encoder) { e.WriteULong(p.Nonce) }
+
+func decodePing(d *cdr.Decoder) (*Ping, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	return &Ping{Nonce: n}, nil
+}
+
+// Pong answers a Ping, echoing its nonce.
+type Pong struct {
+	Nonce uint32
+}
+
+func (*Pong) Type() MsgType { return MsgPong }
+
+func (p *Pong) EncodeBody(e *cdr.Encoder) { e.WriteULong(p.Nonce) }
+
+func decodePong(d *cdr.Decoder) (*Pong, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	return &Pong{Nonce: n}, nil
+}
+
 // Encode renders a complete single-frame message (header + body) in the
 // given byte order. The transport uses lower-level primitives when it needs
 // to fragment; Encode is the convenience path and the wire-format oracle for
@@ -287,6 +323,10 @@ func DecodeBody(t MsgType, body []byte, ord cdr.ByteOrder) (Message, error) {
 		m = &Fragment{Payload: body}
 	case MsgData:
 		m, err = decodeData(d)
+	case MsgPing:
+		m, err = decodePing(d)
+	case MsgPong:
+		m, err = decodePong(d)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, t)
 	}

@@ -61,12 +61,19 @@ const (
 	// MsgData is the PARDIS extension: one contiguous piece of a
 	// distributed argument, addressed to a specific computing thread.
 	MsgData
+	// MsgPing and MsgPong are liveness keepalives: either peer may send a
+	// Ping on an idle connection and expects a Pong echoing the nonce. A
+	// connection whose peer stays silent past the keepalive grace period is
+	// declared dead, which is how a SIGKILL'd process (no FIN, no RST until
+	// much later) is detected promptly on both request and Data connections.
+	MsgPing
+	MsgPong
 	numMsgTypes
 )
 
 var msgTypeNames = [...]string{
 	"Request", "Reply", "CancelRequest", "LocateRequest", "LocateReply",
-	"CloseConnection", "MessageError", "Fragment", "Data",
+	"CloseConnection", "MessageError", "Fragment", "Data", "Ping", "Pong",
 }
 
 func (t MsgType) String() string {
