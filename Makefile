@@ -4,8 +4,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 CHAOSTIMEOUT ?= 120s
+BENCHTIME ?= 20x
 
-.PHONY: check vet staticcheck build test race chaos fuzz-smoke
+.PHONY: check vet staticcheck build test race chaos fuzz-smoke bench
 
 check: vet staticcheck build test race chaos fuzz-smoke
 
@@ -40,6 +41,15 @@ chaos:
 
 # Each fuzz target gets a short bounded run; `go test` allows only one
 # -fuzz pattern per invocation, hence one line per target.
+# Data-path benchmarks with allocation counts. BENCH_datapath.txt is
+# benchstat-compatible text (feed two of them to benchstat to diff PRs);
+# BENCH_datapath.json is the same data parsed for dashboards and scripts.
+bench:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'CDRDoubles|DataEcho|RealTransfer' \
+		-benchmem -benchtime=$(BENCHTIME) . | tee BENCH_datapath.txt \
+		| ./bin/benchjson > BENCH_datapath.json
+
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeHeader$$' -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBody$$' -fuzztime=$(FUZZTIME) ./internal/wire

@@ -28,6 +28,8 @@ import (
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/rts"
+	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // BenchmarkTable1Centralized regenerates the paper's Table 1: centralized
@@ -37,6 +39,7 @@ func BenchmarkTable1Centralized(b *testing.B) {
 	for _, s := range exp.Table1ServerCounts {
 		for _, c := range exp.Table1ClientCounts {
 			b.Run(fmt.Sprintf("c=%d/s=%d", c, s), func(b *testing.B) {
+				b.ReportAllocs()
 				var bd exp.Breakdown
 				for i := 0; i < b.N; i++ {
 					var err error
@@ -60,6 +63,7 @@ func BenchmarkTable2Multiport(b *testing.B) {
 	for _, s := range exp.Table2ServerCounts {
 		for _, c := range exp.Table2ClientCounts {
 			b.Run(fmt.Sprintf("c=%d/s=%d", c, s), func(b *testing.B) {
+				b.ReportAllocs()
 				var bd exp.Breakdown
 				for i := 0; i < b.N; i++ {
 					var err error
@@ -81,6 +85,7 @@ func BenchmarkFigure4Bandwidth(b *testing.B) {
 	p := exp.PaperPlatform()
 	for _, n := range exp.Figure4Lengths {
 		b.Run(fmt.Sprintf("doubles=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var bc, bm exp.Breakdown
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -103,6 +108,7 @@ func BenchmarkFigure4Bandwidth(b *testing.B) {
 // splits cost about the same as even ones.
 func BenchmarkUnevenSplit(b *testing.B) {
 	p := exp.PaperPlatform()
+	b.ReportAllocs()
 	var even, uneven exp.Breakdown
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -125,6 +131,7 @@ func BenchmarkRealTransfer(b *testing.B) {
 	const elems = 1 << 17 // 1 MiB of doubles
 	for _, method := range []core.Method{core.Centralized, core.Multiport} {
 		b.Run(method.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			bd, err := exp.RunReal(exp.RealConfig{C: 4, S: 4, Elems: elems, Reps: b.N, Method: method})
 			if err != nil {
 				b.Fatal(err)
@@ -140,6 +147,7 @@ func BenchmarkRealTransfer(b *testing.B) {
 func BenchmarkAblationChunking(b *testing.B) {
 	for _, chunk := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
 		b.Run(fmt.Sprintf("chunk=%dKiB", chunk>>10), func(b *testing.B) {
+			b.ReportAllocs()
 			p := exp.PaperPlatform()
 			p.ChunkBytes = chunk
 			var bd exp.Breakdown
@@ -161,6 +169,7 @@ func BenchmarkAblationChunking(b *testing.B) {
 func BenchmarkAblationWindow(b *testing.B) {
 	for _, win := range []int{1, 2, 4, 16, 64} {
 		b.Run(fmt.Sprintf("window=%d", win), func(b *testing.B) {
+			b.ReportAllocs()
 			p := exp.PaperPlatform()
 			p.Window = win
 			var bd exp.Breakdown
@@ -185,6 +194,7 @@ func BenchmarkAblationGatherTree(b *testing.B) {
 	}{{"flat", rts.GatherFlat}, {"binomial", rts.GatherBinomial}} {
 		for _, ranks := range []int{4, 8, 16} {
 			b.Run(fmt.Sprintf("%s/ranks=%d", alg.name, ranks), func(b *testing.B) {
+				b.ReportAllocs()
 				w := rts.NewWorld(ranks, rts.Options{RecvTimeout: 30 * time.Second, Gather: alg.alg})
 				defer w.Close()
 				payload := make([]byte, 64<<10)
@@ -215,6 +225,7 @@ func BenchmarkCDRDoubles(b *testing.B) {
 			vals[i] = float64(i)
 		}
 		b.Run(fmt.Sprintf("encode/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			e := cdr.NewEncoder(cdr.NativeOrder)
 			b.SetBytes(int64(8 * n))
 			for i := 0; i < b.N; i++ {
@@ -223,6 +234,24 @@ func BenchmarkCDRDoubles(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("decode/n=%d", n), func(b *testing.B) {
+			// Decode-into is the hot path UnmarshalRange takes: elements land
+			// in preallocated sequence storage with no intermediate slice.
+			b.ReportAllocs()
+			e := cdr.NewEncoder(cdr.NativeOrder)
+			e.WriteDoubles(vals)
+			buf := e.Bytes()
+			dst := make([]float64, n)
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				d := cdr.NewDecoder(buf, cdr.NativeOrder)
+				if _, err := d.ReadDoublesInto(dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decode-alloc/n=%d", n), func(b *testing.B) {
+			// The allocating variant, kept for comparison with the into path.
+			b.ReportAllocs()
 			e := cdr.NewEncoder(cdr.NativeOrder)
 			e.WriteDoubles(vals)
 			buf := e.Bytes()
@@ -237,11 +266,61 @@ func BenchmarkCDRDoubles(b *testing.B) {
 	}
 }
 
+// BenchmarkDataEcho measures the framed transport data plane in isolation: a
+// Data message per iteration over loopback TCP, exercising the vectored
+// write path, the pooled frame buffers, and Release. The payload matches the
+// platform's 64 KiB transfer chunk.
+func BenchmarkDataEcho(b *testing.B) {
+	l, err := transport.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan *transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	cl, err := transport.Dial(l.Addr(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	sv, ok := <-accepted
+	if !ok {
+		b.Fatal("accept failed")
+	}
+	defer sv.Close()
+
+	payload := make([]byte, 64<<10)
+	msg := &wire.Data{RequestID: 1, Count: uint64(len(payload) / 8), Payload: payload}
+	errs := make(chan error, 1)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		go func() { errs <- cl.WriteMessage(msg) }()
+		m, err := sv.ReadMessage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+		m.(*wire.Data).Release()
+	}
+}
+
 // BenchmarkPlan measures redistribution planning, the per-invocation
 // control-path cost of the multi-port method.
 func BenchmarkPlan(b *testing.B) {
 	for _, cfg := range []struct{ c, s int }{{4, 8}, {8, 4}, {16, 16}} {
 		b.Run(fmt.Sprintf("c=%d/s=%d", cfg.c, cfg.s), func(b *testing.B) {
+			b.ReportAllocs()
 			src, err := dist.Block{}.Layout(exp.PaperElems, cfg.c)
 			if err != nil {
 				b.Fatal(err)
@@ -266,6 +345,7 @@ func BenchmarkRTSCollectives(b *testing.B) {
 	payload := make([]byte, 64<<10)
 	for _, op := range []string{"barrier", "bcast", "alltoall"} {
 		b.Run(op, func(b *testing.B) {
+			b.ReportAllocs()
 			w := rts.NewWorld(ranks, rts.Options{RecvTimeout: 30 * time.Second})
 			defer w.Close()
 			b.ResetTimer()

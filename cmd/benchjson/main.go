@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` text output into JSON so the
+// perf trajectory can be tracked and diffed across PRs. It reads benchmark
+// lines from stdin (passing other lines through to stderr untouched, so it
+// can sit on the end of a pipe without hiding failures) and writes one JSON
+// document to stdout:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH.json
+//
+// Each benchmark line becomes an object keyed by the standard columns
+// (ns/op, MB/s, B/op, allocs/op) plus any custom ReportMetric units. The
+// source text lines are preserved verbatim in "benchstat" so benchstat can
+// be replayed from the JSON file alone.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Goos      string   `json:"goos,omitempty"`
+	Goarch    string   `json:"goarch,omitempty"`
+	Pkg       string   `json:"pkg,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []Result `json:"results"`
+	Benchstat []string `json:"benchstat"`
+}
+
+func main() {
+	doc := Doc{Results: []Result{}, Benchstat: []string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		if r, ok := parseLine(line); ok {
+			doc.Results = append(doc.Results, r)
+			doc.Benchstat = append(doc.Benchstat, line)
+		} else {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses "BenchmarkName-8  100  123 ns/op  45.6 MB/s ..." lines.
+// The format is: name, iteration count, then value/unit pairs.
+func parseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

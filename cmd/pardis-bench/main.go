@@ -14,12 +14,17 @@
 //	pardis-bench -real -c 4 -s 4 -elems 262144 -reps 5
 //	pardis-bench -overload          # admission-control shedding demo
 //	pardis-bench -failover          # replica failover + breaker recovery demo
+//	pardis-bench -real -memprofile mem.pprof -cpuprofile cpu.pprof
+//	                                # profile the real data plane
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/exp"
 )
@@ -36,7 +41,36 @@ func main() {
 	failover := flag.Bool("failover", false, "run the replica failover scenario")
 	clients := flag.Int("clients", 16, "(overload mode) concurrent clients")
 	requests := flag.Int("requests", 60, "(overload/failover mode) requests per client")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Written after the selected experiment runs, so the profile shows
+		// the data plane's steady-state allocation sites.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *overload {
 		runOverload(*clients, *requests)

@@ -3,6 +3,7 @@ package cdr
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Decoder reads CDR-encoded values from a buffer produced by an Encoder of
@@ -145,22 +146,70 @@ func (d *Decoder) ReadDouble() (float64, error) {
 
 // ReadString reads a CDR string (length prefix includes the NUL).
 func (d *Decoder) ReadString() (string, error) {
-	n, err := d.ReadULong()
+	s, err := d.readStringBytes()
 	if err != nil {
 		return "", err
 	}
+	return string(s), nil
+}
+
+// readStringBytes reads a CDR string and returns a view of its bytes
+// (excluding the NUL), valid only until the decoder's buffer is released.
+func (d *Decoder) readStringBytes() ([]byte, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
 	if n == 0 || n > maxLen {
-		return "", fmt.Errorf("%w: string length %d", ErrInvalid, n)
+		return nil, fmt.Errorf("%w: string length %d", ErrInvalid, n)
 	}
 	if err := d.need(int(n)); err != nil {
-		return "", err
+		return nil, err
 	}
 	s := d.buf[d.pos : d.pos+int(n)-1]
 	if d.buf[d.pos+int(n)-1] != 0 {
-		return "", fmt.Errorf("%w: string missing NUL terminator", ErrInvalid)
+		return nil, fmt.Errorf("%w: string missing NUL terminator", ErrInvalid)
 	}
 	d.pos += int(n)
-	return string(s), nil
+	return s, nil
+}
+
+// internCap bounds the process-wide interned-string table so a peer cannot
+// grow it without limit by inventing fresh identifiers; past the cap, new
+// values simply allocate per decode like ReadString.
+const internCap = 1024
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string)
+)
+
+func internBytes(b []byte) string {
+	internMu.RLock()
+	s, ok := internTab[string(b)] // map lookup by converted key does not allocate
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(internTab) < internCap {
+		internTab[s] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
+// ReadStringInterned is ReadString for protocol identifiers — operation
+// names, element-type names, principals — that recur on every request. The
+// value is served from a shared intern table, so steady-state decoding of a
+// repeated identifier performs no allocation.
+func (d *Decoder) ReadStringInterned() (string, error) {
+	s, err := d.readStringBytes()
+	if err != nil {
+		return "", err
+	}
+	return internBytes(s), nil
 }
 
 // ReadOctets reads a sequence<octet>, returning a view into the buffer.
@@ -195,47 +244,113 @@ func (d *Decoder) ReadRaw(n int) ([]byte, error) {
 
 // ReadDoubles reads a sequence<double> written by WriteDoubles.
 func (d *Decoder) ReadDoubles() ([]float64, error) {
-	n, err := d.ReadULong()
+	n, err := d.doublesHeader()
 	if err != nil {
 		return nil, err
 	}
+	out := make([]float64, n)
+	d.readDoublesBody(out)
+	return out, nil
+}
+
+// ReadDoublesInto reads a sequence<double> directly into dst, returning the
+// element count. It fails without consuming elements when the stream's count
+// exceeds len(dst), so callers can hand it exactly the storage the transfer
+// plan promised. This is the zero-allocation decode path for distributed
+// sequence chunks.
+func (d *Decoder) ReadDoublesInto(dst []float64) (int, error) {
+	n, err := d.doublesHeader()
+	if err != nil {
+		return 0, err
+	}
+	if n > len(dst) {
+		return 0, fmt.Errorf("%w: double sequence length %d exceeds destination %d", ErrInvalid, n, len(dst))
+	}
+	d.readDoublesBody(dst[:n])
+	return n, nil
+}
+
+// doublesHeader reads the count prefix of a sequence<double>, skips the
+// 8-alignment padding, and verifies the packed elements are present.
+func (d *Decoder) doublesHeader() (int, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return 0, err
+	}
 	if n > maxLen/8 {
-		return nil, fmt.Errorf("%w: double sequence length %d", ErrInvalid, n)
+		return 0, fmt.Errorf("%w: double sequence length %d", ErrInvalid, n)
 	}
 	if err := d.skipPad(8); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if err := d.need(8 * int(n)); err != nil {
-		return nil, err
+		return 0, err
 	}
-	ord := d.order.order()
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(ord.Uint64(d.buf[d.pos+8*i:]))
+	return int(n), nil
+}
+
+// readDoublesBody copies len(dst) packed elements into dst; availability was
+// checked by doublesHeader.
+func (d *Decoder) readDoublesBody(dst []float64) {
+	if d.order == hostOrder {
+		copy(float64Bytes(dst), d.buf[d.pos:])
+	} else {
+		ord := d.order.order()
+		for i := range dst {
+			dst[i] = math.Float64frombits(ord.Uint64(d.buf[d.pos+8*i:]))
+		}
 	}
-	d.pos += 8 * int(n)
-	return out, nil
+	d.pos += 8 * len(dst)
 }
 
 // ReadLongs reads a sequence<long> written by WriteLongs.
 func (d *Decoder) ReadLongs() ([]int32, error) {
-	n, err := d.ReadULong()
+	n, err := d.longsHeader()
 	if err != nil {
 		return nil, err
 	}
+	out := make([]int32, n)
+	d.readLongsBody(out)
+	return out, nil
+}
+
+// ReadLongsInto is ReadDoublesInto for sequence<long>.
+func (d *Decoder) ReadLongsInto(dst []int32) (int, error) {
+	n, err := d.longsHeader()
+	if err != nil {
+		return 0, err
+	}
+	if n > len(dst) {
+		return 0, fmt.Errorf("%w: long sequence length %d exceeds destination %d", ErrInvalid, n, len(dst))
+	}
+	d.readLongsBody(dst[:n])
+	return n, nil
+}
+
+func (d *Decoder) longsHeader() (int, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return 0, err
+	}
 	if n > maxLen/4 {
-		return nil, fmt.Errorf("%w: long sequence length %d", ErrInvalid, n)
+		return 0, fmt.Errorf("%w: long sequence length %d", ErrInvalid, n)
 	}
 	if err := d.need(4 * int(n)); err != nil {
-		return nil, err
+		return 0, err
 	}
-	ord := d.order.order()
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(ord.Uint32(d.buf[d.pos+4*i:]))
+	return int(n), nil
+}
+
+func (d *Decoder) readLongsBody(dst []int32) {
+	if d.order == hostOrder {
+		copy(int32Bytes(dst), d.buf[d.pos:])
+	} else {
+		ord := d.order.order()
+		for i := range dst {
+			dst[i] = int32(ord.Uint32(d.buf[d.pos+4*i:]))
+		}
 	}
-	d.pos += 4 * int(n)
-	return out, nil
+	d.pos += 4 * len(dst)
 }
 
 // ReadEncapsulation opens a nested encapsulation and returns a decoder over

@@ -7,16 +7,24 @@ import (
 
 // Encoder appends CDR-encoded values to a buffer. The zero value is ready to
 // use and encodes in NativeOrder. Alignment is computed relative to the
-// start of the buffer, matching the alignment origin of a CDR message or
-// encapsulation body.
+// start of the buffer (or the mark set by MarkOrigin), matching the
+// alignment origin of a CDR message or encapsulation body.
 type Encoder struct {
-	buf   []byte
-	order ByteOrder
+	buf    []byte
+	order  ByteOrder
+	origin int
+
+	// arr seeds buf in NewEncoder so small streams (directives, scalar
+	// argument payloads, headers) encode without a separate buffer
+	// allocation; append migrates to the heap only past this capacity.
+	arr [64]byte
 }
 
 // NewEncoder returns an encoder in the given byte order.
 func NewEncoder(order ByteOrder) *Encoder {
-	return &Encoder{order: order}
+	e := &Encoder{order: order}
+	e.buf = e.arr[:0:len(e.arr)]
+	return e
 }
 
 // Order returns the encoder's byte order.
@@ -32,11 +40,23 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset discards the encoded data, retaining the buffer for reuse.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.origin = 0
+}
+
+// Cap returns the capacity of the underlying buffer.
+func (e *Encoder) Cap() int { return cap(e.buf) }
+
+// MarkOrigin makes the current position the alignment origin for subsequent
+// writes. Framing layers use it to encode a fixed-size header and an aligned
+// CDR body into one contiguous buffer: append the header bytes raw, mark,
+// then encode the body as if it started a fresh stream.
+func (e *Encoder) MarkOrigin() { e.origin = len(e.buf) }
 
 // pad writes zero bytes until the position is n-aligned.
 func (e *Encoder) pad(n int) {
-	for i := align(len(e.buf), n); i > 0; i-- {
+	for i := align(len(e.buf)-e.origin, n); i > 0; i-- {
 		e.buf = append(e.buf, 0)
 	}
 }
@@ -113,6 +133,12 @@ func (e *Encoder) WriteRaw(b []byte) { e.buf = append(e.buf, b...) }
 func (e *Encoder) WriteDoubles(v []float64) {
 	e.WriteULong(uint32(len(v)))
 	e.pad(8)
+	if e.order == hostOrder {
+		// Stream order matches memory order: the packed elements are the
+		// backing array's bytes, so one memcpy replaces the element loop.
+		e.buf = append(e.buf, float64Bytes(v)...)
+		return
+	}
 	ord := e.order.order()
 	off := len(e.buf)
 	e.buf = append(e.buf, make([]byte, 8*len(v))...)
@@ -124,6 +150,10 @@ func (e *Encoder) WriteDoubles(v []float64) {
 // WriteLongs appends a sequence<long>.
 func (e *Encoder) WriteLongs(v []int32) {
 	e.WriteULong(uint32(len(v)))
+	if e.order == hostOrder {
+		e.buf = append(e.buf, int32Bytes(v)...)
+		return
+	}
 	ord := e.order.order()
 	off := len(e.buf)
 	e.buf = append(e.buf, make([]byte, 4*len(v))...)
@@ -145,13 +175,20 @@ func (e *Encoder) WriteEncapsulation(fn func(*Encoder)) {
 // WriteEnum appends an enum discriminant as uint32.
 func (e *Encoder) WriteEnum(v uint32) { e.WriteULong(v) }
 
-// Grow pre-allocates capacity for n additional bytes.
+// Grow pre-allocates capacity for n additional bytes. Growth is amortized:
+// the buffer at least doubles, so a sequence of small Grow calls costs O(total)
+// copying rather than O(total²).
 func (e *Encoder) Grow(n int) {
-	if cap(e.buf)-len(e.buf) < n {
-		nb := make([]byte, len(e.buf), len(e.buf)+n)
-		copy(nb, e.buf)
-		e.buf = nb
+	if cap(e.buf)-len(e.buf) >= n {
+		return
 	}
+	c := 2 * cap(e.buf)
+	if c < len(e.buf)+n {
+		c = len(e.buf) + n
+	}
+	nb := make([]byte, len(e.buf), c)
+	copy(nb, e.buf)
+	e.buf = nb
 }
 
 // String summarizes the encoder state for debugging.

@@ -104,6 +104,11 @@ type Object struct {
 	// draining sheds new requests with TRANSIENT once Shutdown begins.
 	draining  atomic.Bool
 	closeOnce sync.Once
+
+	// outScratch is the reusable scalar-results encoder for processCall.
+	// Safe because each computing thread owns its own Object and the bytes
+	// are copied into the reply stream before the next call resets it.
+	outScratch *cdr.Encoder
 }
 
 type pendingCall struct {
@@ -379,6 +384,9 @@ func (o *Object) handleData(d *wire.Data, conn *transport.Conn) {
 	b := o.bucket(d.RequestID)
 	b.connMu.Lock()
 	if _, ok := b.conns[int(d.SrcRank)]; !ok {
+		if b.conns == nil {
+			b.conns = make(map[int]*transport.Conn)
+		}
 		b.conns[int(d.SrcRank)] = conn
 	}
 	b.connMu.Unlock()
@@ -388,6 +396,10 @@ func (o *Object) handleData(d *wire.Data, conn *transport.Conn) {
 	}
 	if d.Count > 0 {
 		b.ch <- d
+	} else {
+		// Pure attachment message: no payload will be consumed, so return
+		// any borrowed frame buffer now.
+		d.Release()
 	}
 }
 
@@ -396,9 +408,10 @@ func (o *Object) bucket(token uint32) *dataBucket {
 	defer o.bucketMu.Unlock()
 	b, ok := o.buckets[token]
 	if !ok {
+		// conns is created lazily on first attachment; reads of the nil
+		// map below are safe and miss.
 		b = &dataBucket{
 			ch:     make(chan *wire.Data, bucketCapacity),
-			conns:  make(map[int]*transport.Conn),
 			notify: make(chan struct{}, 1),
 		}
 		o.buckets[token] = b

@@ -57,7 +57,7 @@ func (h *invocationHeader) encode(e *cdr.Encoder) {
 func decodeInvocationHeader(d *cdr.Decoder) (*invocationHeader, error) {
 	var h invocationHeader
 	var err error
-	if h.Op, err = d.ReadString(); err != nil {
+	if h.Op, err = d.ReadStringInterned(); err != nil {
 		return nil, fmt.Errorf("%w: op: %v", ErrBadHeader, err)
 	}
 	m, err := d.ReadEnum()
@@ -100,7 +100,7 @@ func decodeInvocationHeader(d *cdr.Decoder) (*invocationHeader, error) {
 			return nil, fmt.Errorf("%w: arg %d dir %d", ErrBadHeader, i, dir)
 		}
 		a.Dir = Dir(dir)
-		if a.Elem, err = d.ReadString(); err != nil {
+		if a.Elem, err = d.ReadStringInterned(); err != nil {
 			return nil, fmt.Errorf("%w: arg %d elem: %v", ErrBadHeader, i, err)
 		}
 		if a.Dir == Out {

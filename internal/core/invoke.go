@@ -437,10 +437,22 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 // the invocation and upcall paths replace bare barriers with it: a faulted
 // thread reports instead of disappearing, so no thread waits on a
 // collective its peers will never enter.
+// okOutcome is the pre-encoded "no error" outcome (encodeMetaErr of nil is
+// the single metaOK octet). Agreements run several times per upcall on every
+// thread, almost always on clean outcomes, so the success path shares these
+// read-only bytes instead of encoding and decoding each time.
+var okOutcome = []byte{metaOK}
+
+func isOKOutcome(p []byte) bool { return len(p) == 1 && p[0] == metaOK }
+
 func agreeError(comm *rts.Comm, local error) error {
-	e := cdr.NewEncoder(cdr.NativeOrder)
-	encodeMetaErr(e, local)
-	all, err := comm.Gather(0, e.Bytes())
+	contrib := okOutcome
+	if local != nil {
+		e := cdr.NewEncoder(cdr.NativeOrder)
+		encodeMetaErr(e, local)
+		contrib = e.Bytes()
+	}
+	all, err := comm.Gather(0, contrib)
 	if err != nil {
 		return err
 	}
@@ -448,6 +460,9 @@ func agreeError(comm *rts.Comm, local error) error {
 	if comm.Rank() == 0 {
 		var chosen error
 		for r, p := range all {
+			if isOKOutcome(p) {
+				continue
+			}
 			rerr, derr := decodeMetaErr(cdr.NewDecoder(p, cdr.NativeOrder))
 			if derr != nil {
 				// Never return early here: the other threads are already
@@ -458,13 +473,20 @@ func agreeError(comm *rts.Comm, local error) error {
 				chosen = rerr
 			}
 		}
-		ec := cdr.NewEncoder(cdr.NativeOrder)
-		encodeMetaErr(ec, chosen)
-		payload = ec.Bytes()
+		if chosen == nil {
+			payload = okOutcome
+		} else {
+			ec := cdr.NewEncoder(cdr.NativeOrder)
+			encodeMetaErr(ec, chosen)
+			payload = ec.Bytes()
+		}
 	}
 	payload, err = comm.Bcast(0, payload)
 	if err != nil {
 		return err
+	}
+	if isOKOutcome(payload) {
+		return nil
 	}
 	agreed, derr := decodeMetaErr(cdr.NewDecoder(payload, cdr.NativeOrder))
 	if derr != nil {

@@ -66,12 +66,12 @@ func (o *Object) Poll(block bool) (bool, error) {
 			if !block && !stopping {
 				// Tell the other threads there is nothing to do. A "none"
 				// verdict reuses the stop directive space with a third value.
-				if _, err := o.comm.Bcast(0, []byte{directiveNone}); err != nil {
+				if _, err := o.comm.Bcast(0, directiveNoneMsg); err != nil {
 					return false, err
 				}
 				return true, nil
 			}
-			if _, err := o.comm.Bcast(0, []byte{directiveStop}); err != nil {
+			if _, err := o.comm.Bcast(0, directiveStopMsg); err != nil {
 				return false, err
 			}
 			return false, nil
@@ -87,11 +87,11 @@ func (o *Object) Poll(block bool) (bool, error) {
 		reply, stop, err := o.processCall(call.header)
 		call.replyCh <- callResult{reply: reply, err: err}
 		// Agree on whether to continue.
-		verdict := byte(0)
+		verdict := 0
 		if stop {
 			verdict = 1
 		}
-		if _, err := o.comm.Bcast(0, []byte{verdict}); err != nil {
+		if _, err := o.comm.Bcast(0, verdictMsgs[verdict]); err != nil {
 			return false, err
 		}
 		return !stop, nil
@@ -139,6 +139,15 @@ func (o *Object) Poll(block bool) (bool, error) {
 
 const directiveNone byte = 2
 
+// Shared one-byte directive and verdict messages: the broadcast payloads are
+// read-only everywhere, so every Poll round reuses these instead of
+// allocating fresh single-byte slices.
+var (
+	directiveNoneMsg = []byte{directiveNone}
+	directiveStopMsg = []byte{directiveStop}
+	verdictMsgs      = [2][]byte{{0}, {1}}
+)
+
 // processCall runs one collective invocation on this computing thread. The
 // returned reply bytes are meaningful on thread 0 only; stop reports whether
 // the handler requested an orderly shutdown.
@@ -170,7 +179,14 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 		}
 	}
 
-	bucket := o.bucket(h.Token)
+	// Buckets exist to accumulate multi-port transfers and attachments;
+	// centralized calls carry their data inline, so skip the bucket (and
+	// its buffered channel) entirely for them. dropBucket still runs in
+	// case a stray Data message created one for this token.
+	var bucket *dataBucket
+	if h.Method == Multiport {
+		bucket = o.bucket(h.Token)
+	}
 	defer o.dropBucket(h.Token)
 
 	// Receive the In/InOut argument data. Failures are captured, not
@@ -207,8 +223,15 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 		return nil, false, agreed
 	}
 
-	// The collective upcall.
-	out := orb.NewArgEncoder()
+	// The collective upcall. The scalar-results encoder is per-object
+	// scratch: rh.encode copies its bytes into the reply stream before the
+	// next invocation can reset it.
+	if o.outScratch == nil {
+		o.outScratch = orb.NewArgEncoder()
+	} else {
+		orb.ResetArgEncoder(o.outScratch)
+	}
+	out := o.outScratch
 	herr := func() error {
 		scalars, err := orb.ArgDecoder(h.Scalars)
 		if err != nil {

@@ -67,7 +67,11 @@ func consumeMoves(ch chan *wire.Data, stop <-chan struct{}, timeout time.Duratio
 		if int(d.Count) != n {
 			return fmt.Errorf("core: transfer at offset %d has %d elements, want %d", d.DstOff, d.Count, n)
 		}
-		if err := seq.UnmarshalRange(int(d.DstOff), d.Payload); err != nil {
+		err := seq.UnmarshalRange(int(d.DstOff), d.Payload)
+		// UnmarshalRange copied the elements out (or rejected the chunk), so
+		// the borrowed transport buffer goes back to the pool either way.
+		d.Release()
+		if err != nil {
 			return err
 		}
 		delete(want, d.DstOff)

@@ -71,7 +71,11 @@ func (Block) Layout(length, ranks int) (Layout, error) {
 	if length < 0 || ranks < 1 {
 		return Layout{}, fmt.Errorf("%w: length %d ranks %d", ErrNegative, length, ranks)
 	}
+	// All per-rank lists are single intervals, so they can share one flat
+	// backing array instead of allocating ranks separate one-element slices.
+	// Full-capacity slicing keeps the views from spilling into each other.
 	ivs := make([][]Interval, ranks)
+	flat := make([]Interval, ranks)
 	base := length / ranks
 	extra := length % ranks
 	off := 0
@@ -81,7 +85,8 @@ func (Block) Layout(length, ranks int) (Layout, error) {
 			n++
 		}
 		if n > 0 {
-			ivs[r] = []Interval{{Start: off, Len: n}}
+			flat[r] = Interval{Start: off, Len: n}
+			ivs[r] = flat[r : r+1 : r+1]
 		}
 		off += n
 	}

@@ -25,7 +25,11 @@ func (l Layout) Validate() error {
 	if l.Length < 0 || l.Ranks < 1 || len(l.Intervals) != l.Ranks {
 		return fmt.Errorf("%w: length %d, ranks %d, %d interval lists", ErrBadLayout, l.Length, l.Ranks, len(l.Intervals))
 	}
-	var all []Interval
+	n := 0
+	for _, ivs := range l.Intervals {
+		n += len(ivs)
+	}
+	all := make([]Interval, 0, n)
 	for r, ivs := range l.Intervals {
 		prev := -1
 		for _, iv := range ivs {
@@ -39,7 +43,15 @@ func (l Layout) Validate() error {
 			all = append(all, iv)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+	// Blockwise layouts arrive already ordered by start; sorting lazily
+	// keeps validation allocation-light on the data-plane hot path, where
+	// Plan validates both layouts of every transfer.
+	for i := 1; i < len(all); i++ {
+		if all[i].Start < all[i-1].Start {
+			sort.Slice(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+			break
+		}
+	}
 	off := 0
 	for _, iv := range all {
 		if iv.Start != off {
@@ -149,6 +161,11 @@ func DecodeLayout(d *cdr.Decoder) (Layout, error) {
 		return Layout{}, fmt.Errorf("%w: %d ranks", ErrBadLayout, ranks)
 	}
 	l := Layout{Length: int(length), Ranks: int(ranks), Intervals: make([][]Interval, ranks)}
+	// Per-rank lists are views into one flat backing array (blockwise
+	// layouts have one interval per rank, so the whole decode costs two
+	// allocations instead of one per rank). Full-capacity slicing keeps
+	// the views from appending into each other.
+	flat := make([]Interval, 0, ranks)
 	for r := range l.Intervals {
 		n, err := d.ReadULong()
 		if err != nil {
@@ -157,8 +174,8 @@ func DecodeLayout(d *cdr.Decoder) (Layout, error) {
 		if n > 1<<24 {
 			return Layout{}, fmt.Errorf("%w: rank %d has %d intervals", ErrBadLayout, r, n)
 		}
-		ivs := make([]Interval, n)
-		for k := range ivs {
+		start := len(flat)
+		for k := 0; k < int(n); k++ {
 			s, err := d.ReadULong()
 			if err != nil {
 				return Layout{}, err
@@ -167,9 +184,9 @@ func DecodeLayout(d *cdr.Decoder) (Layout, error) {
 			if err != nil {
 				return Layout{}, err
 			}
-			ivs[k] = Interval{Start: int(s), Len: int(ln)}
+			flat = append(flat, Interval{Start: int(s), Len: int(ln)})
 		}
-		l.Intervals[r] = ivs
+		l.Intervals[r] = flat[start:len(flat):len(flat)]
 	}
 	if err := l.Validate(); err != nil {
 		return Layout{}, err
@@ -194,7 +211,11 @@ type segment struct {
 }
 
 func segments(l Layout) []segment {
-	var segs []segment
+	n := 0
+	for _, ivs := range l.Intervals {
+		n += len(ivs)
+	}
+	segs := make([]segment, 0, n)
 	for r, ivs := range l.Intervals {
 		off := 0
 		for _, iv := range ivs {
@@ -202,7 +223,15 @@ func segments(l Layout) []segment {
 			off += iv.Len
 		}
 	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	// Blockwise layouts emit segments already ordered by global start;
+	// skipping the sort keeps the common Plan call allocation-free apart
+	// from the results themselves.
+	for i := 1; i < len(segs); i++ {
+		if segs[i].start < segs[i-1].start {
+			sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+			break
+		}
+	}
 	return segs
 }
 
@@ -223,7 +252,9 @@ func Plan(src, dst Layout) ([]Move, error) {
 	}
 	ss := segments(src)
 	ds := segments(dst)
-	var moves []Move
+	// Each merge step emits at most one move and retires at least one
+	// segment, so len(ss)+len(ds) bounds the plan size.
+	moves := make([]Move, 0, len(ss)+len(ds))
 	i, j := 0, 0
 	for i < len(ss) && j < len(ds) {
 		s, d := ss[i], ds[j]
@@ -252,19 +283,34 @@ func Plan(src, dst Layout) ([]Move, error) {
 // PlanBySource groups a plan's moves by source rank, the shape the
 // multi-port sender needs (each computing thread executes its own moves).
 func PlanBySource(moves []Move, srcRanks int) [][]Move {
-	out := make([][]Move, srcRanks)
-	for _, m := range moves {
-		out[m.SrcRank] = append(out[m.SrcRank], m)
-	}
-	return out
+	return groupMoves(moves, srcRanks, func(m Move) int { return m.SrcRank })
 }
 
 // PlanByDest groups a plan's moves by destination rank, the shape the
 // multi-port receiver needs (each thread knows how many transfers to await).
 func PlanByDest(moves []Move, dstRanks int) [][]Move {
-	out := make([][]Move, dstRanks)
+	return groupMoves(moves, dstRanks, func(m Move) int { return m.DstRank })
+}
+
+// groupMoves buckets moves by rank into views of one shared backing array:
+// a count pass sizes each bucket exactly, so grouping costs three
+// allocations regardless of rank count. Full-capacity slicing keeps the
+// per-rank views from appending into each other.
+func groupMoves(moves []Move, ranks int, key func(Move) int) [][]Move {
+	counts := make([]int, ranks)
 	for _, m := range moves {
-		out[m.DstRank] = append(out[m.DstRank], m)
+		counts[key(m)]++
+	}
+	flat := make([]Move, len(moves))
+	out := make([][]Move, ranks)
+	off := 0
+	for r, n := range counts {
+		out[r] = flat[off:off : off+n]
+		off += n
+	}
+	for _, m := range moves {
+		r := key(m)
+		out[r] = append(out[r], m)
 	}
 	return out
 }

@@ -17,6 +17,13 @@ type Codec[T any] struct {
 	EncodeSlice func(e *cdr.Encoder, v []T)
 	// DecodeSlice reads a slice written by EncodeSlice.
 	DecodeSlice func(d *cdr.Decoder) ([]T, error)
+	// DecodeInto, when non-nil, reads a slice written by EncodeSlice
+	// directly into dst, returning the element count; it must fail without
+	// storing anything when the stream's count exceeds len(dst). Codecs
+	// whose destination is preallocated sequence storage (the transfer hot
+	// path) provide it to skip the intermediate slice DecodeSlice allocates;
+	// when nil, callers fall back to DecodeSlice plus a copy.
+	DecodeInto func(d *cdr.Decoder, dst []T) (int, error)
 }
 
 // Float64 is the codec for IDL double, the paper's benchmark element type.
@@ -25,6 +32,7 @@ var Float64 = Codec[float64]{
 	Name:        "double",
 	EncodeSlice: func(e *cdr.Encoder, v []float64) { e.WriteDoubles(v) },
 	DecodeSlice: func(d *cdr.Decoder) ([]float64, error) { return d.ReadDoubles() },
+	DecodeInto:  func(d *cdr.Decoder, dst []float64) (int, error) { return d.ReadDoublesInto(dst) },
 }
 
 // Int32 is the codec for IDL long.
@@ -32,6 +40,7 @@ var Int32 = Codec[int32]{
 	Name:        "long",
 	EncodeSlice: func(e *cdr.Encoder, v []int32) { e.WriteLongs(v) },
 	DecodeSlice: func(d *cdr.Decoder) ([]int32, error) { return d.ReadLongs() },
+	DecodeInto:  func(d *cdr.Decoder, dst []int32) (int, error) { return d.ReadLongsInto(dst) },
 }
 
 // Int64 is the codec for IDL long long.
@@ -84,9 +93,26 @@ var Float32 = Codec[float32]{
 		}
 		return out, nil
 	},
+	DecodeInto: func(d *cdr.Decoder, dst []float32) (int, error) {
+		n, err := d.ReadULong()
+		if err != nil {
+			return 0, err
+		}
+		if int(n) > len(dst) {
+			return 0, fmt.Errorf("dseq: float chunk of %d exceeds destination %d", n, len(dst))
+		}
+		for i := 0; i < int(n); i++ {
+			if dst[i], err = d.ReadFloat(); err != nil {
+				return 0, err
+			}
+		}
+		return int(n), nil
+	},
 }
 
-// Octet is the codec for IDL octet.
+// Octet is the codec for IDL octet. DecodeSlice must copy (ReadOctets
+// returns a view into the decode buffer, which the transport may reclaim);
+// DecodeInto copies once, straight into the caller's storage.
 var Octet = Codec[byte]{
 	Name:        "octet",
 	EncodeSlice: func(e *cdr.Encoder, v []byte) { e.WriteOctets(v) },
@@ -98,6 +124,16 @@ var Octet = Codec[byte]{
 		out := make([]byte, len(b))
 		copy(out, b)
 		return out, nil
+	},
+	DecodeInto: func(d *cdr.Decoder, dst []byte) (int, error) {
+		b, err := d.ReadOctets()
+		if err != nil {
+			return 0, err
+		}
+		if len(b) > len(dst) {
+			return 0, fmt.Errorf("dseq: octet chunk of %d exceeds destination %d", len(b), len(dst))
+		}
+		return copy(dst, b), nil
 	},
 }
 
@@ -199,10 +235,11 @@ func MarshalChunk[T any](c Codec[T], v []T) []byte {
 	return e.Bytes()
 }
 
-// UnmarshalChunk parses a payload produced by MarshalChunk.
-func UnmarshalChunk[T any](c Codec[T], payload []byte) ([]T, error) {
+// openChunk validates a chunk payload's byte-order flag and positions a
+// decoder past it.
+func openChunk(name string, payload []byte) (*cdr.Decoder, error) {
 	if len(payload) == 0 {
-		return nil, fmt.Errorf("dseq: empty %s chunk", c.Name)
+		return nil, fmt.Errorf("dseq: empty %s chunk", name)
 	}
 	if payload[0] > 1 {
 		return nil, fmt.Errorf("dseq: bad chunk order flag %d", payload[0])
@@ -211,5 +248,36 @@ func UnmarshalChunk[T any](c Codec[T], payload []byte) ([]T, error) {
 	if _, err := d.ReadOctet(); err != nil {
 		return nil, err
 	}
+	return d, nil
+}
+
+// UnmarshalChunk parses a payload produced by MarshalChunk.
+func UnmarshalChunk[T any](c Codec[T], payload []byte) ([]T, error) {
+	d, err := openChunk(c.Name, payload)
+	if err != nil {
+		return nil, err
+	}
 	return c.DecodeSlice(d)
+}
+
+// UnmarshalChunkInto parses a payload produced by MarshalChunk directly into
+// dst, returning the element count. It never retains payload, so callers may
+// release a borrowed transport buffer as soon as it returns. Codecs without
+// a DecodeInto fast path fall back to DecodeSlice plus a copy.
+func UnmarshalChunkInto[T any](c Codec[T], payload []byte, dst []T) (int, error) {
+	d, err := openChunk(c.Name, payload)
+	if err != nil {
+		return 0, err
+	}
+	if c.DecodeInto != nil {
+		return c.DecodeInto(d, dst)
+	}
+	vals, err := c.DecodeSlice(d)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) > len(dst) {
+		return 0, fmt.Errorf("dseq: %s chunk of %d exceeds destination %d", c.Name, len(vals), len(dst))
+	}
+	return copy(dst, vals), nil
 }

@@ -257,8 +257,17 @@ func (s *Seq[T]) ScatterFrom(root int, full []T) error {
 		}
 		parts = make([][]byte, s.comm.Size())
 		for r := 0; r < s.comm.Size(); r++ {
+			ivs := s.layout.Intervals[r]
+			if len(ivs) == 1 {
+				// Contiguous assignment (the common Block case): marshal the
+				// rank's chunk straight out of full — MarshalChunk copies, so
+				// no staging slice is needed.
+				iv := ivs[0]
+				parts[r] = MarshalChunk(s.codec, full[iv.Start:iv.End()])
+				continue
+			}
 			vals := make([]T, 0, s.layout.Count(r))
-			for _, iv := range s.layout.Intervals[r] {
+			for _, iv := range ivs {
 				vals = append(vals, full[iv.Start:iv.End()]...)
 			}
 			parts[r] = MarshalChunk(s.codec, vals)
@@ -267,6 +276,18 @@ func (s *Seq[T]) ScatterFrom(root int, full []T) error {
 	chunk, err := s.comm.Scatter(root, parts)
 	if err != nil {
 		return err
+	}
+	if want := s.layout.Count(s.comm.Rank()); len(s.local) == want {
+		// Local storage is already sized for this layout: decode in place
+		// and skip the intermediate slice SetLocal would adopt.
+		n, err := UnmarshalChunkInto(s.codec, chunk, s.local)
+		if err != nil {
+			return err
+		}
+		if n != want {
+			return fmt.Errorf("%w: %d elements for a rank owning %d", ErrLayout, n, want)
+		}
+		return nil
 	}
 	vals, err := UnmarshalChunk(s.codec, chunk)
 	if err != nil {

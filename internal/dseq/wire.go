@@ -54,17 +54,16 @@ func (s *Seq[T]) MarshalRange(off, n int) ([]byte, error) {
 	return MarshalChunk(s.codec, s.local[off:off+n]), nil
 }
 
-// UnmarshalRange implements Transferable.
+// UnmarshalRange implements Transferable. It decodes straight into local
+// storage at off — no intermediate slice — and never retains payload, so a
+// chunk backed by a borrowed transport buffer may be released as soon as
+// this returns.
 func (s *Seq[T]) UnmarshalRange(off int, payload []byte) error {
-	vals, err := UnmarshalChunk(s.codec, payload)
-	if err != nil {
-		return err
+	if off < 0 || off > len(s.local) {
+		return fmt.Errorf("%w: chunk offset %d outside %d local elements", ErrIndex, off, len(s.local))
 	}
-	if off < 0 || off+len(vals) > len(s.local) {
-		return fmt.Errorf("%w: chunk [%d,%d) outside %d local elements", ErrIndex, off, off+len(vals), len(s.local))
-	}
-	copy(s.local[off:], vals)
-	return nil
+	_, err := UnmarshalChunkInto(s.codec, payload, s.local[off:])
+	return err
 }
 
 // GatherMarshal implements Transferable.

@@ -22,6 +22,15 @@ func NewArgEncoder() *cdr.Encoder {
 	return e
 }
 
+// ResetArgEncoder rewinds an encoder produced by NewArgEncoder to an empty
+// argument payload, keeping its buffer. Any Bytes() slice taken before the
+// reset is invalidated; callers reuse an encoder only once its previous
+// payload has been copied out.
+func ResetArgEncoder(e *cdr.Encoder) {
+	e.Reset()
+	e.WriteOctet(byte(cdr.NativeOrder))
+}
+
 // ArgDecoder opens an argument payload produced by NewArgEncoder. An empty
 // payload is valid (operation with no arguments/results) and yields an
 // exhausted decoder.

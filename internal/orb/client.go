@@ -410,6 +410,10 @@ func (c *Client) routeData(d *wire.Data) {
 	c.sinkMu.Unlock()
 	if ok {
 		ch <- d
+	} else {
+		// No sink registered (late transfer for a finished request): the
+		// message is dropped, so its borrowed frame buffer is returned here.
+		d.Release()
 	}
 }
 

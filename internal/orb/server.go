@@ -439,6 +439,7 @@ func (s *Server) serveConn(sc *servedConn) {
 			if h := s.dataHandler(); h != nil {
 				h(m, sc.conn)
 			} else {
+				m.Release()
 				s.Logf("orb: Data message with no handler (request %d)", m.RequestID)
 				_ = sc.conn.WriteMessage(&wire.MessageError{})
 			}

@@ -2,6 +2,7 @@ package rts
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,6 +23,47 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []message
 	closed bool
+}
+
+// bcastTimer is a reusable takeTimeout deadline timer. The target mailbox is
+// retargeted on every reuse; the timer func broadcasts whichever mailbox is
+// current when it fires. A stale fire after a retarget is just a spurious
+// wakeup for the new target, so Reset/Stop racing the func is benign.
+type bcastTimer struct {
+	t  *time.Timer
+	mb atomic.Pointer[mailbox]
+}
+
+// timerPool is shared by all mailboxes of all worlds: pooling globally
+// instead of per mailbox keeps the number of sync.Pool instances — each of
+// which pins per-P slots on first use — independent of world size.
+var timerPool sync.Pool
+
+func armTimer(mb *mailbox, d time.Duration) *bcastTimer {
+	if bt, ok := timerPool.Get().(*bcastTimer); ok {
+		bt.mb.Store(mb)
+		bt.t.Reset(d)
+		return bt
+	}
+	bt := &bcastTimer{}
+	bt.mb.Store(mb)
+	bt.t = time.AfterFunc(d, func() {
+		if target := bt.mb.Load(); target != nil {
+			target.mu.Lock()
+			target.cond.Broadcast()
+			target.mu.Unlock()
+		}
+	})
+	return bt
+}
+
+func (bt *bcastTimer) release() {
+	if bt == nil {
+		return
+	}
+	bt.t.Stop()
+	bt.mb.Store(nil)
+	timerPool.Put(bt)
 }
 
 func newMailbox() *mailbox {
@@ -81,28 +123,31 @@ func (mb *mailbox) takeTimeout(ctx, src, tag int, d time.Duration) (message, err
 	if d <= 0 {
 		return mb.take(ctx, src, tag)
 	}
-	deadline := time.Now().Add(d)
-	timer := time.AfterFunc(d, func() {
-		mb.mu.Lock()
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
-	})
-	defer timer.Stop()
-
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	var deadline time.Time
+	var timer *bcastTimer
 	for {
 		for i := range mb.queue {
 			if match(mb.queue[i], ctx, src, tag) {
 				m := mb.queue[i]
 				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				timer.release()
 				return m, nil
 			}
 		}
 		if mb.closed {
+			timer.release()
 			return message{}, ErrWorldClosed
 		}
-		if !time.Now().Before(deadline) {
+		if timer == nil {
+			// Arm the deadline only when the receive actually has to wait:
+			// a receive satisfied straight from the queue never touches a
+			// timer, and waiters reuse pooled ones.
+			deadline = time.Now().Add(d)
+			timer = armTimer(mb, d)
+		} else if !time.Now().Before(deadline) {
+			timer.release()
 			return message{}, ErrTimeout
 		}
 		mb.cond.Wait()

@@ -93,18 +93,87 @@ type Conn struct {
 	wd       writeDeadliner
 	wtimeout time.Duration
 
+	// vectored enables the gathered-write (writev) Data path. Only real TCP
+	// connections qualify: on any other stream net.Buffers degrades to one
+	// Write call per slice, which changes the write granularity that
+	// fault-injection wrappers and the in-process pipe meter by.
+	vectored bool
+
 	wmu    sync.Mutex
+	enc    *cdr.Encoder        // scratch body encoder, guarded by wmu
+	vec    [][]byte            // scratch iovec for vectored writes, guarded by wmu
+	harena []byte              // scratch frame-header arena backing vec, guarded by wmu
+	hdr    [wire.HeaderLen]byte // scratch frame header for writeFrames, guarded by wmu
 	closed bool
 	cmu    sync.Mutex
+}
+
+// Frame-buffer pool. Read frames borrow power-of-two-capacity buffers from
+// per-size-class pools instead of allocating per frame. Ownership is
+// explicit: a pooled buffer is returned by putBuf exactly once, either by
+// the transport itself after copying a fragment into the reassembly
+// accumulator, or by the consumer of a Data message via Data.Release once
+// the payload has been copied out. Only MsgData and MsgFragment frames use
+// pooled buffers — every other message type's body is aliased and retained
+// by higher layers (Request.Args, Reply.Args, ...), so those frames keep
+// plain allocations that the garbage collector owns.
+const (
+	minPoolClass = 9  // 512 B: smaller frames are cheap to allocate
+	maxPoolClass = 22 // 4 MiB: covers reassembled benchmark payloads
+)
+
+var bufPools [maxPoolClass + 1]sync.Pool
+
+// poolClass returns the smallest class whose buffers hold n bytes.
+func poolClass(n int) int {
+	c := minPoolClass
+	for 1<<c < n {
+		c++
+	}
+	return c
+}
+
+// getBuf returns a buffer of length n. Buffers over the largest pool class
+// are plain allocations; putBuf recognizes and drops them.
+func getBuf(n int) *[]byte {
+	if n > 1<<maxPoolClass {
+		b := make([]byte, n)
+		return &b
+	}
+	cl := poolClass(n)
+	if p, ok := bufPools[cl].Get().(*[]byte); ok {
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]byte, n, 1<<cl)
+	return &b
+}
+
+// putBuf returns a buffer to its size-class pool. Buffers whose capacity is
+// not an exact pool class (grown by append, oversize, or foreign) are left
+// to the garbage collector.
+func putBuf(p *[]byte) {
+	if p == nil {
+		return
+	}
+	c := cap(*p)
+	if c < 1<<minPoolClass || c > 1<<maxPoolClass || c&(c-1) != 0 {
+		return
+	}
+	*p = (*p)[:0]
+	bufPools[poolClass(c)].Put(p)
 }
 
 // NewConn wraps a byte stream in PGIOP framing.
 func NewConn(rw io.ReadWriteCloser, opts *Options) *Conn {
 	wd, _ := rw.(writeDeadliner)
+	_, isTCP := rw.(*net.TCPConn)
 	if opts != nil && opts.Wrap != nil {
 		rw = opts.Wrap(rw)
+		isTCP = false
 	}
 	c := &Conn{
+		vectored: isTCP,
 		rw:    rw,
 		br:    bufio.NewReaderSize(rw, 64<<10),
 		bw:    bufio.NewWriterSize(rw, 64<<10),
@@ -129,17 +198,23 @@ func NewConn(rw io.ReadWriteCloser, opts *Options) *Conn {
 }
 
 // WriteMessage encodes and sends m, fragmenting the body when it exceeds
-// the connection's threshold.
+// the connection's threshold. Data messages take a vectored write path that
+// hands the payload slice to the socket directly; everything else is encoded
+// into a per-connection scratch buffer (reused across messages) and written
+// through the buffered writer.
 func (c *Conn) WriteMessage(m wire.Message) error {
-	body := cdr.NewEncoder(c.order)
-	m.EncodeBody(body)
-	b := body.Bytes()
-	if len(b) > c.max {
-		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
+	if d, ok := m.(*wire.Data); ok {
+		return c.writeData(d)
 	}
 
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	e := c.scratch()
+	m.EncodeBody(e)
+	b := e.Bytes()
+	if len(b) > c.max {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
+	}
 	if c.isClosed() {
 		return ErrClosed
 	}
@@ -150,10 +225,39 @@ func (c *Conn) WriteMessage(m wire.Message) error {
 		_ = c.wd.SetWriteDeadline(time.Now().Add(c.wtimeout))
 		defer c.wd.SetWriteDeadline(time.Time{})
 	}
+	err := c.writeFrames(m.Type(), b)
+	c.dropHugeScratch()
+	return err
+}
 
+// scratch returns the connection's reusable body encoder, reset. Callers
+// must hold wmu.
+func (c *Conn) scratch() *cdr.Encoder {
+	if c.enc == nil {
+		c.enc = cdr.NewEncoder(c.order)
+	}
+	c.enc.Reset()
+	return c.enc
+}
+
+// dropHugeScratch releases the scratch encoder when a one-off giant message
+// has grown it past the pool ceiling, so an idle connection does not pin
+// megabytes. Callers must hold wmu.
+func (c *Conn) dropHugeScratch() {
+	if c.enc != nil && c.enc.Cap() > 1<<maxPoolClass {
+		c.enc = nil
+	}
+}
+
+// writeFrames sends an already-encoded body through the buffered writer,
+// splitting it at the fragment threshold. Callers must hold wmu.
+func (c *Conn) writeFrames(t wire.MsgType, b []byte) error {
 	writeFrame := func(t wire.MsgType, more bool, chunk []byte) error {
-		h := wire.EncodeHeader(t, c.order, more, len(chunk))
-		if _, err := c.bw.Write(h[:]); err != nil {
+		// The header goes through the connection's scratch array: a local
+		// [HeaderLen]byte would be heap-allocated per frame because it
+		// escapes into the io.Writer call.
+		c.hdr = wire.EncodeHeader(t, c.order, more, len(chunk))
+		if _, err := c.bw.Write(c.hdr[:]); err != nil {
 			return err
 		}
 		_, err := c.bw.Write(chunk)
@@ -161,14 +265,14 @@ func (c *Conn) WriteMessage(m wire.Message) error {
 	}
 
 	if len(b) <= c.frag {
-		if err := writeFrame(m.Type(), false, b); err != nil {
+		if err := writeFrame(t, false, b); err != nil {
 			return err
 		}
 		return c.bw.Flush()
 	}
 	// Leading frame carries the first chunk with the more-fragments flag;
 	// Fragment frames carry the rest.
-	if err := writeFrame(m.Type(), true, b[:c.frag]); err != nil {
+	if err := writeFrame(t, true, b[:c.frag]); err != nil {
 		return err
 	}
 	for off := c.frag; off < len(b); off += c.frag {
@@ -180,55 +284,210 @@ func (c *Conn) WriteMessage(m wire.Message) error {
 	return c.bw.Flush()
 }
 
+// writeData sends a Data message without staging the payload: the frame
+// headers and the 40-byte body prefix are encoded into per-connection
+// scratch buffers, and the payload slice itself is handed to the stream as
+// part of one gathered write (writev on TCP). The payload travels from the
+// sequence's backing array to the socket with zero copies in our code.
+func (c *Conn) writeData(d *wire.Data) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	e := c.scratch()
+	d.EncodeBodyPrefix(e)
+	prefix := e.Bytes()
+	total := len(prefix) + len(d.Payload)
+	if total > c.max {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, total)
+	}
+	if c.isClosed() {
+		return ErrClosed
+	}
+	if c.wd != nil {
+		_ = c.wd.SetWriteDeadline(time.Now().Add(c.wtimeout))
+		defer c.wd.SetWriteDeadline(time.Time{})
+	}
+	if !c.vectored {
+		// Non-TCP streams (pipes, fault-injection wrappers) get the staged
+		// path: append the payload to the scratch body and frame it through
+		// the buffered writer, preserving one-flush-per-message granularity.
+		e.WriteRaw(d.Payload)
+		err := c.writeFrames(wire.MsgData, e.Bytes())
+		c.dropHugeScratch()
+		return err
+	}
+	// bw is empty between messages (every write path flushes before
+	// releasing wmu), so the gathered write cannot reorder bytes; the flush
+	// is a cheap no-op that keeps the invariant explicit.
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+
+	nframes := 1
+	if total > c.frag {
+		nframes = (total + c.frag - 1) / c.frag
+	}
+	c.vec = c.vec[:0]
+	c.harena = c.harena[:0]
+	if cap(c.harena) < nframes*wire.HeaderLen {
+		// Reserve all header space up front: vec holds slices into harena,
+		// so it must not regrow mid-loop.
+		c.harena = make([]byte, 0, nframes*wire.HeaderLen)
+	}
+	t := wire.MsgData
+	for off := 0; off < total; off += max(c.frag, 1) {
+		end := min(off+c.frag, total)
+		h := wire.EncodeHeader(t, c.order, end < total, end-off)
+		hoff := len(c.harena)
+		c.harena = append(c.harena, h[:]...)
+		c.vec = append(c.vec, c.harena[hoff:hoff+wire.HeaderLen])
+		// The frame body is [off, end) of the virtual concatenation
+		// prefix ++ payload; a chunk may straddle the boundary.
+		if off < len(prefix) {
+			c.vec = append(c.vec, prefix[off:min(end, len(prefix))])
+		}
+		if end > len(prefix) {
+			c.vec = append(c.vec, d.Payload[max(off-len(prefix), 0):end-len(prefix)])
+		}
+		t = wire.MsgFragment
+	}
+	bufs := net.Buffers(c.vec)
+	_, err := bufs.WriteTo(c.rw)
+	// Drop payload references so a released buffer is not pinned by scratch.
+	for i := range c.vec {
+		c.vec[i] = nil
+	}
+	c.vec = c.vec[:0]
+	return err
+}
+
 // ReadMessage reads the next complete message, reassembling fragments.
+// A returned *wire.Data may borrow a pooled frame buffer: its payload is
+// valid until Release, which the final consumer must call after copying the
+// elements out.
 func (c *Conn) ReadMessage() (wire.Message, error) {
-	h, body, err := c.readFrame()
+	h, body, bufp, err := c.readFrame()
 	if err != nil {
 		return nil, err
 	}
 	if h.Type == wire.MsgFragment {
+		putBuf(bufp)
 		return nil, fmt.Errorf("%w: unexpected leading fragment", ErrBadFragment)
 	}
-	for more := h.More(); more; {
-		fh, fbody, err := c.readFrame()
+	if h.More() {
+		body, bufp, err = c.reassemble(h, body, bufp)
 		if err != nil {
 			return nil, err
 		}
-		if fh.Type != wire.MsgFragment {
-			return nil, fmt.Errorf("%w: %v interleaved into fragmented message", ErrBadFragment, fh.Type)
-		}
-		if fh.Order() != h.Order() {
-			return nil, fmt.Errorf("%w: fragment changed byte order", ErrBadFragment)
-		}
-		if len(body)+len(fbody) > c.max {
-			return nil, fmt.Errorf("%w: reassembled body", ErrTooLarge)
-		}
-		body = append(body, fbody...)
-		more = fh.More()
 	}
-	return wire.DecodeBody(h.Type, body, h.Order())
+	m, err := wire.DecodeBody(h.Type, body, h.Order())
+	if err != nil {
+		if bufp != nil {
+			putBuf(bufp)
+		}
+		return nil, err
+	}
+	if d, ok := m.(*wire.Data); ok && bufp != nil {
+		// The decoded payload aliases the pooled buffer; hand the pool
+		// reference to the message so the consumer controls its lifetime.
+		p := bufp
+		d.SetRelease(func() { putBuf(p) })
+	}
+	return m, nil
 }
 
-func (c *Conn) readFrame() (wire.Header, []byte, error) {
+// reassemble collects the trailing Fragment frames of a message whose
+// leading chunk (and pool reference, when the frame was pooled) it takes
+// ownership of. For Data messages it preallocates the accumulator to the
+// total size declared in the body prefix — the declared size is used as a
+// capacity hint only, so a corrupt or hostile value cannot misframe the
+// body, and when the leading chunk is too short to contain the prefix
+// (fragment threshold below DataPrefixLen) it falls back to append growth.
+// The returned pool reference is non-nil when the reassembled body backs a
+// pooled buffer the caller must eventually release.
+func (c *Conn) reassemble(h wire.Header, chunk []byte, chunkBuf *[]byte) ([]byte, *[]byte, error) {
+	var body []byte
+	var acc *[]byte
+	if h.Type == wire.MsgData {
+		if hint := wire.DataBodySize(chunk, h.Order()); hint > 0 && hint <= c.max {
+			acc = getBuf(hint)
+			*acc = append((*acc)[:0], chunk...)
+			body = *acc
+		}
+	}
+	if acc == nil {
+		body = append([]byte(nil), chunk...)
+	}
+	putBuf(chunkBuf)
+	fail := func(err error) ([]byte, *[]byte, error) {
+		if acc != nil {
+			putBuf(acc)
+		}
+		return nil, nil, err
+	}
+	for more := true; more; {
+		fh, fbody, fbuf, err := c.readFrame()
+		if err != nil {
+			return fail(err)
+		}
+		if fh.Type != wire.MsgFragment {
+			putBuf(fbuf)
+			return fail(fmt.Errorf("%w: %v interleaved into fragmented message", ErrBadFragment, fh.Type))
+		}
+		if fh.Order() != h.Order() {
+			putBuf(fbuf)
+			return fail(fmt.Errorf("%w: fragment changed byte order", ErrBadFragment))
+		}
+		if len(body)+len(fbody) > c.max {
+			putBuf(fbuf)
+			return fail(fmt.Errorf("%w: reassembled body", ErrTooLarge))
+		}
+		if acc != nil {
+			*acc = append(*acc, fbody...)
+			body = *acc
+		} else {
+			body = append(body, fbody...)
+		}
+		putBuf(fbuf)
+		more = fh.More()
+	}
+	return body, acc, nil
+}
+
+// readFrame reads one frame. MsgData and MsgFragment bodies borrow pooled
+// buffers — for those the returned pool reference is non-nil and the caller
+// must putBuf it (directly, or via Data.Release) when the body is no longer
+// referenced. Other message types get plain allocations because their
+// decoded forms alias and retain the body.
+func (c *Conn) readFrame() (wire.Header, []byte, *[]byte, error) {
 	var hb [wire.HeaderLen]byte
 	if _, err := io.ReadFull(c.br, hb[:]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
-			return wire.Header{}, nil, ErrClosed
+			return wire.Header{}, nil, nil, ErrClosed
 		}
-		return wire.Header{}, nil, err
+		return wire.Header{}, nil, nil, err
 	}
 	h, err := wire.DecodeHeader(hb[:])
 	if err != nil {
-		return wire.Header{}, nil, err
+		return wire.Header{}, nil, nil, err
 	}
 	if int(h.Size) > c.max {
-		return wire.Header{}, nil, fmt.Errorf("%w: frame body %d", ErrTooLarge, h.Size)
+		return wire.Header{}, nil, nil, fmt.Errorf("%w: frame body %d", ErrTooLarge, h.Size)
 	}
-	body := make([]byte, h.Size)
+	var body []byte
+	var bufp *[]byte
+	if h.Type == wire.MsgData || h.Type == wire.MsgFragment {
+		bufp = getBuf(int(h.Size))
+		body = *bufp
+	} else {
+		body = make([]byte, h.Size)
+	}
 	if _, err := io.ReadFull(c.br, body); err != nil {
-		return wire.Header{}, nil, fmt.Errorf("transport: truncated frame: %w", err)
+		if bufp != nil {
+			putBuf(bufp)
+		}
+		return wire.Header{}, nil, nil, fmt.Errorf("transport: truncated frame: %w", err)
 	}
-	return h, body, nil
+	return h, body, bufp, nil
 }
 
 func (c *Conn) isClosed() bool {

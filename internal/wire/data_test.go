@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+// TestDataPrefixOracle pins the EncodeBodyPrefix/EncodeBody split the
+// transport's vectored write path depends on: the prefix is exactly
+// DataPrefixLen bytes, and prefix ++ payload is byte-identical to the full
+// body encoding.
+func TestDataPrefixOracle(t *testing.T) {
+	for _, ord := range bothOrders {
+		for _, payload := range [][]byte{nil, {0xAB}, bytes.Repeat([]byte{0x5C}, 300)} {
+			d := &Data{
+				RequestID: 7, ArgIndex: 1, SrcRank: 2, DstRank: 3,
+				DstOff: 99, Count: 11, Reply: true, Payload: payload,
+			}
+			pe := cdr.NewEncoder(ord)
+			d.EncodeBodyPrefix(pe)
+			if pe.Len() != DataPrefixLen {
+				t.Fatalf("%v: prefix is %d bytes, want %d", ord, pe.Len(), DataPrefixLen)
+			}
+			be := cdr.NewEncoder(ord)
+			d.EncodeBody(be)
+			want := append(append([]byte{}, pe.Bytes()...), payload...)
+			if !bytes.Equal(be.Bytes(), want) {
+				t.Fatalf("%v: prefix+payload differs from EncodeBody", ord)
+			}
+		}
+	}
+}
+
+// TestDataBodySize checks the reassembly size hint parses the payload count
+// in both byte orders and degrades to 0 on chunks too short to contain it.
+func TestDataBodySize(t *testing.T) {
+	for _, ord := range bothOrders {
+		d := &Data{RequestID: 1, Count: 40, Payload: bytes.Repeat([]byte{1}, 320)}
+		e := cdr.NewEncoder(ord)
+		d.EncodeBody(e)
+		body := e.Bytes()
+		if got := DataBodySize(body, ord); got != len(body) {
+			t.Fatalf("%v: hint %d, want %d", ord, got, len(body))
+		}
+		// A leading chunk of any length >= the prefix yields the same hint.
+		if got := DataBodySize(body[:DataPrefixLen], ord); got != len(body) {
+			t.Fatalf("%v: prefix-only hint %d, want %d", ord, got, len(body))
+		}
+		if got := DataBodySize(body[:DataPrefixLen-1], ord); got != 0 {
+			t.Fatalf("%v: short chunk hint %d, want 0", ord, got)
+		}
+	}
+}
+
+// TestDataRelease checks the release hook fires exactly once and clears the
+// payload, so double releases and use-after-release are inert.
+func TestDataRelease(t *testing.T) {
+	var fired int
+	d := &Data{Payload: []byte{1, 2, 3}}
+	d.Release() // no hook installed: no-op
+	d.SetRelease(func() { fired++ })
+	d.Release()
+	if fired != 1 {
+		t.Fatalf("release fired %d times, want 1", fired)
+	}
+	if d.Payload != nil {
+		t.Fatal("payload survives Release")
+	}
+	d.Release()
+	if fired != 1 {
+		t.Fatalf("second Release fired the hook again (%d)", fired)
+	}
+}
+
+// TestEncodeSingleBuffer checks Encode produces the same frame as a
+// separately-encoded header and body, with the body aligned to its own
+// origin rather than the frame start.
+func TestEncodeSingleBuffer(t *testing.T) {
+	for _, ord := range bothOrders {
+		msgs := []Message{
+			&Request{RequestID: 5, Operation: "op", Args: []byte{1, 2, 3}},
+			&Data{RequestID: 9, Count: 2, DstOff: 1, Payload: []byte{7, 8}},
+			&Reply{RequestID: 5, Status: ReplyNoException, Args: []byte{4}},
+		}
+		for _, m := range msgs {
+			frame := Encode(m, ord)
+			body := cdr.NewEncoder(ord)
+			m.EncodeBody(body)
+			h := EncodeHeader(m.Type(), ord, false, body.Len())
+			want := append(append([]byte{}, h[:]...), body.Bytes()...)
+			if !bytes.Equal(frame, want) {
+				t.Fatalf("%v %v: single-buffer frame differs from header+body", ord, m.Type())
+			}
+		}
+	}
+}

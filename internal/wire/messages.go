@@ -40,10 +40,10 @@ func decodeRequest(d *cdr.Decoder) (*Request, error) {
 	if r.ObjectKey, err = d.ReadOctets(); err != nil {
 		return nil, err
 	}
-	if r.Operation, err = d.ReadString(); err != nil {
+	if r.Operation, err = d.ReadStringInterned(); err != nil {
 		return nil, err
 	}
-	if r.Principal, err = d.ReadString(); err != nil {
+	if r.Principal, err = d.ReadStringInterned(); err != nil {
 		return nil, err
 	}
 	if r.Args, err = d.ReadOctets(); err != nil {
@@ -203,11 +203,28 @@ type Data struct {
 	Count     uint64 // number of elements
 	Reply     bool   // false: client→server ("in" flow); true: server→client
 	Payload   []byte
+
+	// release returns the transport buffer backing Payload to its pool.
+	// Set by the transport when the payload borrows a pooled frame buffer;
+	// nil for messages whose payload the receiver owns outright.
+	release func()
 }
 
 func (*Data) Type() MsgType { return MsgData }
 
-func (m *Data) EncodeBody(e *cdr.Encoder) {
+// DataPrefixLen is the encoded size of a Data body up to and including the
+// octet-sequence count that precedes the payload: four uint32 fields (16
+// bytes), two 8-aligned uint64s at offsets 16 and 24, the Reply bool at 32,
+// padding to 36, and the uint32 payload length. Payload bytes start at this
+// offset in every Data body.
+const DataPrefixLen = 40
+
+// EncodeBodyPrefix encodes everything up to and including the payload length
+// count, but not the payload bytes. The transport's vectored write path uses
+// it to frame a Data message without copying the payload: it writes the
+// prefix from a scratch buffer and hands the payload slice to writev as-is.
+// EncodeBody is prefix-then-payload, so the two can never drift apart.
+func (m *Data) EncodeBodyPrefix(e *cdr.Encoder) {
 	e.WriteULong(m.RequestID)
 	e.WriteULong(m.ArgIndex)
 	e.WriteULong(m.SrcRank)
@@ -215,7 +232,50 @@ func (m *Data) EncodeBody(e *cdr.Encoder) {
 	e.WriteULongLong(m.DstOff)
 	e.WriteULongLong(m.Count)
 	e.WriteBool(m.Reply)
-	e.WriteOctets(m.Payload)
+	e.WriteULong(uint32(len(m.Payload)))
+}
+
+func (m *Data) EncodeBody(e *cdr.Encoder) {
+	m.EncodeBodyPrefix(e)
+	e.WriteRaw(m.Payload)
+}
+
+// SetRelease installs the hook that returns the buffer backing Payload to
+// its owner. The transport calls this when it hands off a Data message whose
+// payload aliases a pooled frame buffer.
+func (m *Data) SetRelease(fn func()) { m.release = fn }
+
+// Release returns the message's backing buffer to the transport pool. The
+// final consumer of a received Data message must call it exactly once, after
+// copying the payload out (e.g. via Seq.UnmarshalRange); Payload must not be
+// read afterwards. Release on a message without a pooled buffer, or a second
+// Release, is a no-op.
+func (m *Data) Release() {
+	if m.release != nil {
+		fn := m.release
+		m.release = nil
+		m.Payload = nil
+		fn()
+	}
+}
+
+// DataBodySize inspects the first chunk of a fragmented Data body and
+// returns the total body size it declares (prefix + payload length), so
+// reassembly can preallocate instead of regrowing. Returns 0 when the chunk
+// is too short to contain the payload count — callers must treat the result
+// as a capacity hint only and fall back to append-growth.
+func DataBodySize(chunk []byte, ord cdr.ByteOrder) int {
+	if len(chunk) < DataPrefixLen {
+		return 0
+	}
+	b := chunk[DataPrefixLen-4 : DataPrefixLen]
+	var n uint32
+	if ord == cdr.LittleEndian {
+		n = uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	} else {
+		n = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+	return DataPrefixLen + int(n)
 }
 
 func decodeData(d *cdr.Decoder) (*Data, error) {
@@ -289,13 +349,27 @@ func decodePong(d *cdr.Decoder) (*Pong, error) {
 // to fragment; Encode is the convenience path and the wire-format oracle for
 // tests and the wiredump tool.
 func Encode(m Message, ord cdr.ByteOrder) []byte {
-	body := cdr.NewEncoder(ord)
-	m.EncodeBody(body)
-	h := EncodeHeader(m.Type(), ord, false, body.Len())
-	out := make([]byte, 0, HeaderLen+body.Len())
-	out = append(out, h[:]...)
-	return append(out, body.Bytes()...)
+	e := cdr.NewEncoder(ord)
+	EncodeInto(e, m)
+	return e.Bytes()
 }
+
+// EncodeInto appends a complete single-frame message (header + body) to e,
+// which must be in the message's byte order. Header and body share e's
+// buffer: EncodeInto reserves HeaderLen zero bytes, marks them as the body's
+// alignment origin (HeaderLen is not 8-aligned, so the body must align
+// relative to its own start), encodes the body, then patches the header in
+// place once the size is known.
+func EncodeInto(e *cdr.Encoder, m Message) {
+	start := e.Len()
+	e.WriteRaw(emptyHeader[:])
+	e.MarkOrigin()
+	m.EncodeBody(e)
+	h := EncodeHeader(m.Type(), e.Order(), false, e.Len()-start-HeaderLen)
+	copy(e.Bytes()[start:], h[:])
+}
+
+var emptyHeader [HeaderLen]byte
 
 // DecodeBody parses a message body of the given type.
 func DecodeBody(t MsgType, body []byte, ord cdr.ByteOrder) (Message, error) {
