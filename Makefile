@@ -5,10 +5,14 @@ GO ?= go
 FUZZTIME ?= 10s
 CHAOSTIMEOUT ?= 120s
 BENCHTIME ?= 20x
+# Coverage floor for internal/obs, the observability layer: its contract is
+# almost entirely behavioral (nil-safety, ring wraparound, snapshot merging),
+# so coverage there is a meaningful proxy. Other packages report only.
+OBS_COVER_FLOOR ?= 70
 
-.PHONY: check vet staticcheck build test race chaos fuzz-smoke bench
+.PHONY: check vet staticcheck build test race chaos fuzz-smoke bench cover
 
-check: vet staticcheck build test race chaos fuzz-smoke
+check: vet staticcheck build test race chaos fuzz-smoke cover
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +53,22 @@ bench:
 	$(GO) test -run '^$$' -bench 'CDRDoubles|DataEcho|RealTransfer' \
 		-benchmem -benchtime=$(BENCHTIME) . | tee BENCH_datapath.txt \
 		| ./bin/benchjson > BENCH_datapath.json
+
+# Per-package coverage report (cover.out is gitignored). The floor is
+# enforced for internal/obs only; every other package is report-only.
+cover:
+	@$(GO) test -coverprofile=cover.out -cover ./... > cover-report.out || \
+		{ cat cover-report.out; exit 1; }
+	@grep -E 'coverage: [0-9.]+%' cover-report.out || true
+	@awk -v floor=$(OBS_COVER_FLOOR) ' \
+		$$2 == "repro/internal/obs" && $$4 == "coverage:" { pct = $$5; sub(/%/, "", pct); found = 1 } \
+		END { \
+			if (!found) { print "internal/obs coverage not reported"; exit 1 } \
+			if (pct + 0 < floor) { \
+				printf "FAIL: internal/obs coverage %.1f%% is below the %d%% floor\n", pct, floor; exit 1 \
+			} \
+			printf "internal/obs coverage %.1f%% (floor %d%%; other packages report-only)\n", pct, floor \
+		}' cover-report.out
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeHeader$$' -fuzztime=$(FUZZTIME) ./internal/wire

@@ -16,6 +16,10 @@
 //	pardis-bench -failover          # replica failover + breaker recovery demo
 //	pardis-bench -real -memprofile mem.pprof -cpuprofile cpu.pprof
 //	                                # profile the real data plane
+//	pardis-bench -real -metrics     # print a JSON metrics snapshot after the run
+//	pardis-bench -real -spandump spans.txt
+//	                                # record per-invocation trace spans
+//	                                # (inspect with pardis-wiredump -spans)
 package main
 
 import (
@@ -26,7 +30,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/core"
+	"repro/internal/dseq"
 	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/rts"
 )
 
 func main() {
@@ -43,6 +51,8 @@ func main() {
 	requests := flag.Int("requests", 60, "(overload/failover mode) requests per client")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	metrics := flag.Bool("metrics", false, "(real mode) print a JSON metrics snapshot after the run")
+	spandump := flag.String("spandump", "", "(real mode) write per-invocation trace spans to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -81,7 +91,7 @@ func main() {
 		return
 	}
 	if *real {
-		runReal(*c, *s, *elems, *reps)
+		runReal(*c, *s, *elems, *reps, *metrics, *spandump)
 		return
 	}
 	p := exp.PaperPlatform()
@@ -123,15 +133,53 @@ func main() {
 	}
 }
 
-func runReal(c, s, elems, reps int) {
+func runReal(c, s, elems, reps int, metrics bool, spandump string) {
 	fmt.Printf("real stack over loopback: c=%d s=%d, %d doubles, %d reps\n", c, s, elems, reps)
-	central, multi, err := exp.RunRealComparison(c, s, elems, reps)
-	if err != nil {
-		log.Fatal(err)
+	var reg *obs.Registry
+	var rec *obs.Recorder
+	if metrics {
+		reg = obs.NewRegistry()
+		rts.EnableMetrics(reg)
+		dseq.EnableMetrics(reg)
 	}
+	if spandump != "" {
+		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)
+	}
+	run := func(m core.Method) exp.Breakdown {
+		bd, err := exp.RunReal(exp.RealConfig{
+			C: c, S: s, Elems: elems, Reps: reps, Method: m,
+			Trace: rec, Metrics: reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return bd
+	}
+	central := run(core.Centralized)
+	multi := run(core.Multiport)
 	fmt.Printf("  centralized  total %8.3f ms (gather %6.3f, scatter %6.3f)\n",
 		central.Total*1e3, central.Gather*1e3, central.Scatter*1e3)
 	fmt.Printf("  multi-port   total %8.3f ms (pack %6.3f, barrier %6.3f)\n",
 		multi.Total*1e3, multi.Pack*1e3, multi.Barrier*1e3)
 	fmt.Printf("  speedup %.2fx\n", central.Total/multi.Total)
+	if reg != nil {
+		fmt.Println("metrics snapshot:")
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rec != nil {
+		f, err := os.Create(spandump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.Dump(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d spans to %s (inspect with pardis-wiredump -spans)\n", len(rec.Spans()), spandump)
+	}
 }

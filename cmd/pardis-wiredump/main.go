@@ -7,6 +7,11 @@
 //	pardis-wiredump capture.bin        # decode framed messages from a file
 //	pardis-wiredump -                  # ... from stdin
 //	pardis-wiredump -ior IOR:00a1...   # pretty-print an object reference
+//	pardis-wiredump -spans spans.txt   # pretty-print a trace span dump
+//	                                   # (as written by pardis-bench -spandump)
+//	pardis-wiredump -frames capture.bin
+//	                                   # also print each frame header, with
+//	                                   # its trace-context id when present
 package main
 
 import (
@@ -15,7 +20,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -23,8 +30,16 @@ import (
 
 func main() {
 	ior := flag.String("ior", "", "decode a stringified object reference instead of a stream")
+	spans := flag.String("spans", "", "pretty-print a trace span dump (file or -) instead of a stream")
+	frames := flag.Bool("frames", false, "print each frame header (with trace id) alongside messages")
 	flag.Parse()
 
+	if *spans != "" {
+		if err := dumpSpans(*spans); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *ior != "" {
 		ref, err := orb.ParseIOR(*ior)
 		if err != nil {
@@ -41,7 +56,7 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pardis-wiredump [-ior IOR:...] <file|->")
+		fmt.Fprintln(os.Stderr, "usage: pardis-wiredump [-ior IOR:...] [-spans file] [-frames] <file|->")
 		os.Exit(2)
 	}
 	var r io.ReadCloser
@@ -56,7 +71,20 @@ func main() {
 	}
 	defer r.Close()
 
-	conn := transport.NewConn(readOnly{r}, nil)
+	var opts *transport.Options
+	if *frames {
+		opts = &transport.Options{FrameHook: func(h wire.Header) {
+			line := fmt.Sprintf("  frame %v order=%v size=%d", h.Type, h.Order(), h.Size)
+			if h.More() {
+				line += " more"
+			}
+			if h.HasTrace() {
+				line += fmt.Sprintf(" trace=%d", h.Trace)
+			}
+			fmt.Println(line)
+		}}
+	}
+	conn := transport.NewConn(readOnly{r}, opts)
 	for i := 0; ; i++ {
 		msg, err := conn.ReadMessage()
 		if err != nil {
@@ -97,6 +125,45 @@ func dump(i int, msg wire.Message) {
 	default:
 		fmt.Printf("[%d] %v\n", i, msg.Type())
 	}
+}
+
+// dumpSpans pretty-prints a span dump, grouped by trace id and ordered by
+// start time within each trace.
+func dumpSpans(path string) error {
+	var r io.ReadCloser = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r = f
+	}
+	defer r.Close()
+	spans, err := obs.ParseSpans(r)
+	if err != nil {
+		return err
+	}
+	byTrace := map[uint64][]obs.Span{}
+	var traces []uint64
+	for _, s := range spans {
+		if _, seen := byTrace[s.Trace]; !seen {
+			traces = append(traces, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i] < traces[j] })
+	for _, tr := range traces {
+		group := byTrace[tr]
+		sort.SliceStable(group, func(i, j int) bool { return group[i].Start < group[j].Start })
+		base := group[0].Start
+		fmt.Printf("trace %d (%d spans)\n", tr, len(group))
+		for _, s := range group {
+			fmt.Printf("  %-11s rank %-3d +%9.3fms %9.3fms\n",
+				s.Phase, s.Rank, float64(s.Start-base)/1e6, float64(s.Dur)/1e6)
+		}
+	}
+	fmt.Printf("%d span(s) in %d trace(s)\n", len(spans), len(traces))
+	return nil
 }
 
 // readOnly adapts a reader into the ReadWriteCloser the transport wants.

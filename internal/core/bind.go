@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cdr"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/rts"
 	"repro/internal/transport"
@@ -37,6 +38,16 @@ type BindOptions struct {
 	// Breaker is the per-endpoint circuit breaker policy applied when the
 	// bound reference carries multiple replica profiles.
 	Breaker orb.BreakerPolicy
+	// Trace, when set, receives one span per invocation phase (bind, invoke,
+	// gather, pack, sendrecv, scatter, unpack, barrier) as observed by this
+	// thread, keyed by the invocation token. Setting it also turns on the
+	// wire-level trace-context extension so server-side spans of the same
+	// invocation correlate by request id. Only enable against servers that
+	// understand the extension (anything running this code).
+	Trace *obs.Recorder
+	// Metrics, when set, receives the binding's client-side resilience
+	// counters (see orb.Client.Metrics).
+	Metrics *obs.Registry
 }
 
 // newClient builds an orb client configured per the options.
@@ -44,6 +55,17 @@ func (o BindOptions) newClient() *orb.Client {
 	cli := orb.NewClient()
 	cli.Timeout = o.Timeout
 	cli.Transport = o.Transport
+	if o.Trace != nil {
+		// Stamp outbound frames with the trace-context extension. Copy the
+		// options so the caller's struct is not mutated.
+		topts := transport.Options{}
+		if o.Transport != nil {
+			topts = *o.Transport
+		}
+		topts.TraceHeaders = true
+		cli.Transport = &topts
+	}
+	cli.Metrics = o.Metrics
 	cli.Retry = o.Retry
 	cli.KeepaliveInterval = o.KeepaliveInterval
 	cli.KeepaliveTimeout = o.KeepaliveTimeout
@@ -63,6 +85,7 @@ type Binding struct {
 	ops     map[string]OpDesc
 	method  Method
 	ownsCli bool
+	rec     *obs.Recorder
 
 	// invoking serializes invocations per thread; collective discipline
 	// keeps the threads consistent with each other.
@@ -119,6 +142,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 	if ref.Threads < 1 {
 		return nil, ErrNotSPMD
 	}
+	bindStart := time.Now()
 	engine, err := comm.Dup()
 	if err != nil {
 		return nil, err
@@ -170,12 +194,14 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 		ops:      ops,
 		method:   o.Method,
 		ownsCli:  true,
+		rec:      o.Trace,
 		invoking: make(chan struct{}, 1),
 	}
 	if o.Method == Multiport && !ref.Multiport() {
 		b.Close()
 		return nil, ErrNoMultiport
 	}
+	b.span(0, obs.PhaseBind, bindStart)
 	return b, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cdr"
 	"repro/internal/dseq"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/rts"
 	"repro/internal/transport"
@@ -80,6 +81,11 @@ type ExportOptions struct {
 	// admission-control caps, write deadlines, liveness keepalives. The zero
 	// value uses orb's defaults.
 	Server orb.ServerOptions
+	// Trace, when set, receives one span per server-side invocation phase
+	// (queue, recv-xfer, upcall, send-xfer) on this thread, keyed by the
+	// invocation token carried in the request header. The adapter's own
+	// admission spans go to Server.Trace, which defaults to this recorder.
+	Trace *obs.Recorder
 }
 
 // DefaultDataTimeout is the default ExportOptions.DataTimeout.
@@ -92,6 +98,7 @@ type Object struct {
 	ops  map[string]*Operation
 	srv  *orb.Server // nil on threads without a listener
 	ref  orb.IOR
+	rec  *obs.Recorder
 
 	// rank 0 only: requests from the object adapter awaiting the
 	// collective loop.
@@ -112,9 +119,10 @@ type Object struct {
 }
 
 type pendingCall struct {
-	token   uint32
-	header  *invocationHeader
-	replyCh chan callResult
+	token      uint32
+	header     *invocationHeader
+	replyCh    chan callResult
+	enqueuedNS int64 // when dispatch queued the call; 0 when tracing is off
 }
 
 type callResult struct {
@@ -186,12 +194,16 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 	} else if opts.DataTimeout < 0 {
 		opts.DataTimeout = 0
 	}
+	if opts.Server.Trace == nil {
+		opts.Server.Trace = opts.Trace
+	}
 	o := &Object{
 		comm:    engine,
 		opts:    opts,
 		ops:     make(map[string]*Operation, len(operations)),
 		buckets: make(map[uint32]*dataBucket),
 		stop:    make(chan struct{}),
+		rec:     opts.Trace,
 	}
 	for i := range operations {
 		op := &operations[i]
@@ -285,6 +297,17 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 	return o, nil
 }
 
+// span records one server-side phase of invocation token on this computing
+// thread. The token is the same trace id the client side records under, so a
+// merged dump interleaves both halves of an invocation.
+func (o *Object) span(token uint32, ph obs.Phase, start time.Time) {
+	if o.rec == nil {
+		return
+	}
+	o.rec.Record(obs.Span{Trace: uint64(token), Phase: ph, Rank: int32(o.comm.Rank()),
+		Start: start.UnixNano(), Dur: int64(time.Since(start))})
+}
+
 // Ref returns the object's reference.
 func (o *Object) Ref() orb.IOR { return o.ref }
 
@@ -318,6 +341,9 @@ func (o *Object) dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) error {
 		return orb.Transient("object draining")
 	}
 	call := &pendingCall{token: hdr.Token, header: hdr, replyCh: make(chan callResult, 1)}
+	if o.rec != nil {
+		call.enqueuedNS = time.Now().UnixNano()
+	}
 	// Never park the adapter goroutine on an unbounded wait: a full
 	// collective queue sheds immediately with TRANSIENT (the request was
 	// never dispatched, so the client may retry here or on a replica).

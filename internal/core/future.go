@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Future represents the result of a non-blocking invocation, in the style
@@ -15,6 +17,12 @@ type Future struct {
 	done    chan struct{}
 	scalars []byte
 	err     error
+
+	// rec/rank record how long the caller blocked in Wait (the future-wait
+	// span) when the binding traces. The invocation token is not known when
+	// the future is handed out, so future-wait spans carry trace 0.
+	rec  *obs.Recorder
+	rank int32
 }
 
 func newFuture() *Future {
@@ -46,7 +54,14 @@ func (f *Future) Ready() bool {
 // payload. Distributed out/inout arguments have been updated in place by
 // the time Wait returns.
 func (f *Future) Wait() ([]byte, error) {
-	<-f.done
+	if f.rec != nil && !f.Ready() {
+		start := time.Now()
+		<-f.done
+		f.rec.Record(obs.Span{Phase: obs.PhaseFutureWait, Rank: f.rank,
+			Start: start.UnixNano(), Dur: int64(time.Since(start))})
+	} else {
+		<-f.done
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.scalars, f.err
@@ -77,6 +92,7 @@ func (f *Future) WaitTimeout(d time.Duration) (scalars []byte, err error, ok boo
 // collective traffic.
 func (b *Binding) InvokeNB(op string, scalars []byte, args []DistArg) *Future {
 	f := newFuture()
+	f.rec, f.rank = b.rec, int32(b.comm.Rank())
 	select {
 	case b.invoking <- struct{}{}:
 	default:
@@ -94,6 +110,7 @@ func (b *Binding) InvokeNB(op string, scalars []byte, args []DistArg) *Future {
 // InvokeNBMethod is InvokeNB with an explicit transfer method.
 func (b *Binding) InvokeNBMethod(method Method, op string, scalars []byte, args []DistArg) *Future {
 	f := newFuture()
+	f.rec, f.rank = b.rec, int32(b.comm.Rank())
 	select {
 	case b.invoking <- struct{}{}:
 	default:

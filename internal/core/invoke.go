@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cdr"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/rts"
 	"repro/internal/wire"
@@ -35,6 +36,27 @@ type Timing struct {
 	Unpack time.Duration
 	// Barrier is the post-invocation synchronization (multi-port).
 	Barrier time.Duration
+}
+
+// span records one phase of invocation token as observed by this thread.
+// The token doubles as the trace id: it is what the wire-level trace-context
+// extension carries, so client and server spans of one invocation share a key.
+func (b *Binding) span(token uint32, ph obs.Phase, start time.Time) {
+	if b.rec == nil {
+		return
+	}
+	b.rec.Record(obs.Span{Trace: uint64(token), Phase: ph, Rank: int32(b.comm.Rank()),
+		Start: start.UnixNano(), Dur: int64(time.Since(start))})
+}
+
+// spanDur is span for phases whose duration is accumulated piecewise (the
+// multi-port pack time) rather than spanning one contiguous interval.
+func (b *Binding) spanDur(token uint32, ph obs.Phase, start time.Time, dur time.Duration) {
+	if b.rec == nil {
+		return
+	}
+	b.rec.Record(obs.Span{Trace: uint64(token), Phase: ph, Rank: int32(b.comm.Rank()),
+		Start: start.UnixNano(), Dur: int64(dur)})
 }
 
 // tokenCounter seeds invocation tokens; the random base makes collisions
@@ -110,6 +132,7 @@ func (b *Binding) invoke(method Method, op string, scalars []byte, args []DistAr
 	if err != nil {
 		return nil, err
 	}
+	defer b.span(token, obs.PhaseInvoke, start)
 
 	switch method {
 	case Centralized:
@@ -141,6 +164,7 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 	if timing != nil {
 		timing.Gather = time.Since(gatherStart)
 	}
+	b.span(token, obs.PhaseGather, gatherStart)
 
 	var meta invokeMeta
 	if b.comm.Rank() == 0 {
@@ -164,11 +188,13 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 		if timing != nil {
 			timing.Pack = time.Since(packStart)
 		}
+		b.span(token, obs.PhasePack, packStart)
 		sendStart := time.Now()
 		replyBytes, err := b.client.Invoke(b.ref, op, e.Bytes(), false)
 		if timing != nil {
 			timing.SendRecv = time.Since(sendStart)
 		}
+		b.span(token, obs.PhaseSendRecv, sendStart)
 		meta = metaFromReply(replyBytes, err, Centralized)
 	}
 	if err := b.shareMeta(&meta); err != nil {
@@ -206,6 +232,7 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 	if timing != nil {
 		timing.Scatter = time.Since(scatterStart)
 	}
+	b.span(token, obs.PhaseScatter, scatterStart)
 	if agreed := b.agreeError(scatterErr); agreed != nil {
 		return nil, agreed
 	}
@@ -353,6 +380,7 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 	if timing != nil {
 		timing.Pack = packTotal
 	}
+	b.spanDur(token, obs.PhasePack, sendStart, packTotal)
 
 	// The communicating thread collects the reply (bounded by the client
 	// timeout even when another thread's sends failed and the server never
@@ -365,6 +393,7 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 	if timing != nil {
 		timing.SendRecv = time.Since(sendStart)
 	}
+	b.span(token, obs.PhaseSendRecv, sendStart)
 	if err := b.shareMeta(&meta); err != nil {
 		return nil, err
 	}
@@ -415,6 +444,7 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 	if timing != nil {
 		timing.Unpack = time.Since(unpackStart)
 	}
+	b.span(token, obs.PhaseUnpack, unpackStart)
 
 	// Post-invocation synchronization (the t_barrier of Table 2), fused
 	// with error agreement so a thread whose return flows failed cannot
@@ -424,6 +454,7 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 	if timing != nil {
 		timing.Barrier = time.Since(barrierStart)
 	}
+	b.span(token, obs.PhaseBarrier, barrierStart)
 	if agreed != nil {
 		return nil, agreed
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cdr"
 	"repro/internal/dist"
 	"repro/internal/dseq"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/wire"
 )
@@ -75,6 +76,10 @@ func (o *Object) Poll(block bool) (bool, error) {
 				return false, err
 			}
 			return false, nil
+		}
+		if o.rec != nil && call.enqueuedNS != 0 {
+			o.rec.Record(obs.Span{Trace: uint64(call.token), Phase: obs.PhaseQueue, Rank: 0,
+				Start: call.enqueuedNS, Dur: time.Now().UnixNano() - call.enqueuedNS})
 		}
 		// Broadcast the call to every thread.
 		e := cdr.NewEncoder(cdr.NativeOrder)
@@ -193,6 +198,7 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 	// returned: every thread must reach the agreement below so a client
 	// that died mid-transfer (this thread's receive timed out) fails the
 	// upcall coherently everywhere instead of wedging the collective loop.
+	recvStart := time.Now()
 	recvErr := func() error {
 		for i, a := range h.Args {
 			if a.Dir == Out {
@@ -217,6 +223,7 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 		}
 		return nil
 	}()
+	o.span(h.Token, obs.PhaseRecvXfer, recvStart)
 	if agreed := agreeError(o.comm, recvErr); agreed != nil {
 		// No thread runs the handler; thread 0 replies with the agreed
 		// error and serving continues.
@@ -232,6 +239,7 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 		orb.ResetArgEncoder(o.outScratch)
 	}
 	out := o.outScratch
+	upcallStart := time.Now()
 	herr := func() error {
 		scalars, err := orb.ArgDecoder(h.Scalars)
 		if err != nil {
@@ -240,6 +248,7 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 		call := &ServerCall{Comm: o.comm, Op: h.Op, In: scalars, Out: out, Args: args}
 		return safeInvoke(op.Handler, call)
 	}()
+	o.span(h.Token, obs.PhaseUpcall, upcallStart)
 	if herr != nil && errors.Is(herr, ErrStopServing) {
 		stop = true
 		herr = nil
@@ -253,6 +262,7 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 	}
 
 	// Return the Out/InOut argument data.
+	sendStart := time.Now()
 	rh := &replyHeader{Scalars: out.Bytes(), Args: make([]replyArg, len(h.Args))}
 	sendErr := func() error {
 		for i, a := range h.Args {
@@ -300,6 +310,7 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 		}
 		return nil
 	}()
+	o.span(h.Token, obs.PhaseSendXfer, sendStart)
 	if agreed := agreeError(o.comm, sendErr); agreed != nil {
 		return nil, stop, agreed
 	}

@@ -229,6 +229,8 @@ func minu32(n uint32, cap int) int {
 // (leading byte-order octet, like an argument payload), the format carried
 // by wire.Data messages and by centralized request bodies.
 func MarshalChunk[T any](c Codec[T], v []T) []byte {
+	h := marshalNS.Load()
+	defer h.Done(h.Start())
 	e := cdr.NewEncoder(cdr.NativeOrder)
 	e.WriteOctet(byte(cdr.NativeOrder))
 	c.EncodeSlice(e, v)
@@ -253,6 +255,8 @@ func openChunk(name string, payload []byte) (*cdr.Decoder, error) {
 
 // UnmarshalChunk parses a payload produced by MarshalChunk.
 func UnmarshalChunk[T any](c Codec[T], payload []byte) ([]T, error) {
+	h := unmarshalNS.Load()
+	defer h.Done(h.Start())
 	d, err := openChunk(c.Name, payload)
 	if err != nil {
 		return nil, err
@@ -265,6 +269,8 @@ func UnmarshalChunk[T any](c Codec[T], payload []byte) ([]T, error) {
 // release a borrowed transport buffer as soon as it returns. Codecs without
 // a DecodeInto fast path fall back to DecodeSlice plus a copy.
 func UnmarshalChunkInto[T any](c Codec[T], payload []byte, dst []T) (int, error) {
+	h := unmarshalNS.Load()
+	defer h.Done(h.Start())
 	d, err := openChunk(c.Name, payload)
 	if err != nil {
 		return 0, err

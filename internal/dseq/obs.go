@@ -1,0 +1,23 @@
+package dseq
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Transfer-phase timers. They stay nil — and the probes cost one atomic load
+// plus a nil check — until EnableMetrics installs them, so the chunk codecs
+// only pay for clock reads when metrics are on. The pointers are atomic so
+// EnableMetrics may race with in-flight transfers.
+var (
+	marshalNS   atomic.Pointer[obs.Histogram]
+	unmarshalNS atomic.Pointer[obs.Histogram]
+)
+
+// EnableMetrics publishes the chunk codec timers ("dseq.marshal_ns",
+// "dseq.unmarshal_ns") to reg. Passing nil disables them again.
+func EnableMetrics(reg *obs.Registry) {
+	marshalNS.Store(reg.Histogram("dseq.marshal_ns"))
+	unmarshalNS.Store(reg.Histogram("dseq.unmarshal_ns"))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // SimulateCentralized re-enacts one blocking invocation with a single "in"
@@ -13,6 +14,12 @@ import (
 // message; the server's communicating thread receives, unmarshals, and
 // scatters; the reply is one small message.
 func SimulateCentralized(p Platform, c, s, elems int) (Breakdown, error) {
+	return SimulateCentralizedProbe(p, c, s, elems, nil)
+}
+
+// SimulateCentralizedProbe is SimulateCentralized with a Probe recording
+// virtual-time spans and traffic counters (nil disables both).
+func SimulateCentralizedProbe(p Platform, c, s, elems int, probe *Probe) (Breakdown, error) {
 	if c < 1 || s < 1 || elems < 0 {
 		return Breakdown{}, fmt.Errorf("exp: invalid configuration c=%d s=%d elems=%d", c, s, elems)
 	}
@@ -51,6 +58,7 @@ func SimulateCentralized(p Platform, c, s, elems int) (Breakdown, error) {
 				pr.MemCopy(nBytes / c)
 			}
 			bd.Gather = pr.Sim().Now() - g0
+			probe.span(obs.PhaseGather, 0, g0, pr.Sim().Now())
 
 			// Marshal and send, pipelined chunk by chunk.
 			s0 := pr.Sim().Now()
@@ -62,15 +70,20 @@ func SimulateCentralized(p Platform, c, s, elems int) (Breakdown, error) {
 				pr.Delay(pr.Machine().SyscallDelay())
 				credits.Get(pr)
 				ch := chunk
+				probe.count("exp.sim.chunks", 1)
+				probe.count("exp.sim.bytes", uint64(ch))
 				pr.Transmit(link, netsim.ClientToServer, ch, func() { dataQ.PutAsync(ch) })
 			}
 			bd.Pack = packTotal
 			bd.Send = pr.Sim().Now() - s0
+			probe.spanDur(obs.PhasePack, 0, s0, packTotal)
 
 			// Await the reply, then release the team.
 			replyQ.Get(pr)
+			probe.span(obs.PhaseSendRecv, 0, s0, pr.Sim().Now())
 			exit.Wait(pr)
 			bd.Total = pr.Sim().Now() - start
+			probe.span(obs.PhaseInvoke, 0, start, pr.Sim().Now())
 		})
 	}
 
@@ -91,6 +104,7 @@ func SimulateCentralized(p Platform, c, s, elems int) (Breakdown, error) {
 				credits.PutAsync(struct{}{})
 			}
 			bd.RecvUnpack = pr.Sim().Now() - r0
+			probe.span(obs.PhaseRecvXfer, 0, r0, pr.Sim().Now())
 
 			// Scatter to the other computing threads over the RTS.
 			sc0 := pr.Sim().Now()
@@ -98,12 +112,15 @@ func SimulateCentralized(p Platform, c, s, elems int) (Breakdown, error) {
 				pr.MemCopy(nBytes / s)
 			}
 			bd.Scatter = pr.Sim().Now() - sc0
+			probe.span(obs.PhaseScatter, 0, sc0, pr.Sim().Now())
 
 			// (The upcall itself is a no-op for the transfer benchmarks.)
 
 			// Reply.
+			rep0 := pr.Sim().Now()
 			pr.Delay(pr.Machine().SyscallDelay())
 			pr.Transmit(link, netsim.ServerToClient, p.HeaderBytes, func() { replyQ.PutAsync(struct{}{}) })
+			probe.span(obs.PhaseSendXfer, 0, rep0, pr.Sim().Now())
 			serverDone.Done()
 		})
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // SimulateMultiport re-enacts one blocking invocation with a single "in"
@@ -16,7 +17,13 @@ import (
 // senders when s is small), unmarshals, synchronizes, and the communicating
 // thread replies.
 func SimulateMultiport(p Platform, c, s, elems int) (Breakdown, error) {
-	return simulateMultiportLayouts(p, c, s, elems, nil, nil)
+	return simulateMultiportLayouts(p, c, s, elems, nil, nil, nil)
+}
+
+// SimulateMultiportProbe is SimulateMultiport with a Probe recording
+// virtual-time spans and traffic counters (nil disables both).
+func SimulateMultiportProbe(p Platform, c, s, elems int, probe *Probe) (Breakdown, error) {
+	return simulateMultiportLayouts(p, c, s, elems, nil, nil, probe)
 }
 
 // SimulateMultiportUneven is SimulateMultiport with explicit uneven
@@ -30,10 +37,10 @@ func SimulateMultiportUneven(p Platform, c, s, elems int, clientProps, serverPro
 	if serverProps != nil {
 		ss = dist.Proportions{P: serverProps}
 	}
-	return simulateMultiportLayouts(p, c, s, elems, cs, ss)
+	return simulateMultiportLayouts(p, c, s, elems, cs, ss, nil)
 }
 
-func simulateMultiportLayouts(p Platform, c, s, elems int, clientSpec, serverSpec dist.Spec) (Breakdown, error) {
+func simulateMultiportLayouts(p Platform, c, s, elems int, clientSpec, serverSpec dist.Spec, probe *Probe) (Breakdown, error) {
 	if c < 1 || s < 1 || elems < 0 {
 		return Breakdown{}, fmt.Errorf("exp: invalid configuration c=%d s=%d elems=%d", c, s, elems)
 	}
@@ -114,6 +121,8 @@ func simulateMultiportLayouts(p Platform, c, s, elems int, clientSpec, serverSpe
 					pr.Delay(pr.Machine().SyscallDelay())
 					flowCredit[i][m.DstRank].Get(pr)
 					ch := chunk
+					probe.count("exp.sim.chunks", 1)
+					probe.count("exp.sim.bytes", uint64(ch))
 					q := flowQ[i][m.DstRank]
 					pr.Transmit(link, netsim.ClientToServer, ch, func() { q.PutAsync(ch) })
 				}
@@ -125,19 +134,23 @@ func simulateMultiportLayouts(p Platform, c, s, elems int, clientSpec, serverSpe
 			if packTotal > bd.Pack {
 				bd.Pack = packTotal
 			}
+			probe.spanDur(obs.PhasePack, i, s0, packTotal)
 
 			// Post-invocation synchronization: the communicating thread
 			// waits for the reply; everyone meets in the exit barrier.
 			if i == 0 {
 				replyQ.Get(pr)
+				probe.span(obs.PhaseSendRecv, 0, s0, pr.Sim().Now())
 			}
 			b0 := pr.Sim().Now()
 			exit.Wait(pr)
 			if w := pr.Sim().Now() - b0; w > bd.Barrier {
 				bd.Barrier = w
 			}
+			probe.span(obs.PhaseBarrier, i, b0, pr.Sim().Now())
 			if i == 0 {
 				total = pr.Sim().Now() - start
+				probe.span(obs.PhaseInvoke, 0, start, pr.Sim().Now())
 			}
 		})
 	}
@@ -169,6 +182,7 @@ func simulateMultiportLayouts(p Platform, c, s, elems int, clientSpec, serverSpe
 			if d := pr.Sim().Now() - r0; d > bd.RecvUnpack {
 				bd.RecvUnpack = d
 			}
+			probe.span(obs.PhaseRecvXfer, j, r0, pr.Sim().Now())
 
 			// Post-invocation synchronization of the server's threads,
 			// then the completion reply from the communicating thread.

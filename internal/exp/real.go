@@ -8,6 +8,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dseq"
 	"repro/internal/naming"
+	"repro/internal/obs"
+	"repro/internal/orb"
 	"repro/internal/rts"
 )
 
@@ -19,6 +21,13 @@ type RealConfig struct {
 	Elems  int
 	Reps   int
 	Method core.Method
+	// Trace and Metrics, when set, thread observability through both sides
+	// of the measured stack: client-side bind/invoke phase spans and
+	// server-side queue/upcall/transfer spans land in Trace, while adapter
+	// and client resilience counters land in Metrics. Tracing also enables
+	// the wire-level trace-context extension on every connection.
+	Trace   *obs.Recorder
+	Metrics *obs.Registry
 }
 
 // RunReal executes the configuration on the real PARDIS stack and returns
@@ -53,6 +62,8 @@ func RunReal(cfg RealConfig) (Breakdown, error) {
 				Multiport:  true,
 				Name:       "bench",
 				NameServer: ns.Addr(),
+				Trace:      cfg.Trace,
+				Server:     orb.ServerOptions{Metrics: cfg.Metrics},
 			}, []core.Operation{{
 				Desc:    xferDesc,
 				NewArgs: core.SeqArgsFloat64(xferDesc.Args),
@@ -89,7 +100,10 @@ func RunReal(cfg RealConfig) (Breakdown, error) {
 	var mu sync.Mutex
 	var sum Breakdown
 	err = clientW.Run(func(c *rts.Comm) error {
-		b, err := core.SPMDBind(c, "bench", ns.Addr(), core.BindOptions{Method: cfg.Method, Timeout: timeout})
+		b, err := core.SPMDBind(c, "bench", ns.Addr(), core.BindOptions{
+			Method: cfg.Method, Timeout: timeout,
+			Trace: cfg.Trace, Metrics: cfg.Metrics,
+		})
 		if err != nil {
 			return err
 		}

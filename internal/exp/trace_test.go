@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// phaseRank is the identity of one expected span.
+type phaseRank struct {
+	ph   obs.Phase
+	rank int32
+}
+
+// runProbe runs one simulated invocation with a fresh recorder and registry
+// and returns the recorded spans, the text dump, and the counter snapshot.
+// Everything runs on the virtual clock — no wall-clock sleeps anywhere.
+func runProbe(t *testing.T, sim func(Platform, *Probe) (Breakdown, error), trace uint64) ([]obs.Span, string, obs.Snapshot) {
+	t.Helper()
+	rec := obs.NewRecorder(64)
+	reg := obs.NewRegistry()
+	if _, err := sim(PaperPlatform(), &Probe{Rec: rec, Reg: reg, Trace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Spans(), buf.String(), reg.Snapshot()
+}
+
+// checkSpans asserts the exact span sequence and the shared invariants:
+// every span carries the probe's trace id, non-negative duration, and a
+// virtual-time stamp inside the invocation's total span.
+func checkSpans(t *testing.T, spans []obs.Span, trace uint64, want []phaseRank) {
+	t.Helper()
+	if len(spans) != len(want) {
+		t.Fatalf("recorded %d spans, want %d: %+v", len(spans), len(want), spans)
+	}
+	var totalEnd int64
+	for _, s := range spans {
+		if s.Phase == obs.PhaseInvoke && s.Start+s.Dur > totalEnd {
+			totalEnd = s.Start + s.Dur
+		}
+	}
+	for i, s := range spans {
+		if s.Phase != want[i].ph || s.Rank != want[i].rank {
+			t.Fatalf("span %d = %s/%d, want %s/%d (full: %+v)",
+				i, s.Phase, s.Rank, want[i].ph, want[i].rank, spans)
+		}
+		if s.Trace != trace {
+			t.Fatalf("span %d trace = %d, want %d", i, s.Trace, trace)
+		}
+		if s.Dur < 0 || s.Start < 0 {
+			t.Fatalf("span %d has negative time: %+v", i, s)
+		}
+		if s.Start+s.Dur > totalEnd {
+			t.Fatalf("span %d ends after the invocation total: %+v (end %d)", i, s, totalEnd)
+		}
+	}
+}
+
+func TestCentralizedTraceSequence(t *testing.T) {
+	sim := func(p Platform, pr *Probe) (Breakdown, error) {
+		return SimulateCentralizedProbe(p, 2, 2, 1024, pr)
+	}
+	spans, dump, snap := runProbe(t, sim, 7)
+
+	// The full client+server phase sequence of one centralized invocation:
+	// gather and marshal at the communicating thread, the server's receive/
+	// scatter/reply, then the client observes the exchange complete.
+	checkSpans(t, spans, 7, []phaseRank{
+		{obs.PhaseGather, 0},
+		{obs.PhasePack, 0},
+		{obs.PhaseRecvXfer, 0},
+		{obs.PhaseScatter, 0},
+		{obs.PhaseSendXfer, 0},
+		{obs.PhaseSendRecv, 0},
+		{obs.PhaseInvoke, 0},
+	})
+
+	// 1024 doubles = 8 KiB: one chunk at the platform's 64 KiB granularity.
+	if got := snap.Counters["exp.sim.chunks"]; got != 1 {
+		t.Fatalf("exp.sim.chunks = %d, want 1", got)
+	}
+	if got := snap.Counters["exp.sim.bytes"]; got != 8192 {
+		t.Fatalf("exp.sim.bytes = %d, want 8192", got)
+	}
+
+	// The virtual clock makes reruns byte-identical.
+	_, dump2, snap2 := runProbe(t, sim, 7)
+	if dump != dump2 {
+		t.Fatalf("simulation is not deterministic:\n%s\nvs\n%s", dump, dump2)
+	}
+	if snap2.Counters["exp.sim.chunks"] != snap.Counters["exp.sim.chunks"] ||
+		snap2.Counters["exp.sim.bytes"] != snap.Counters["exp.sim.bytes"] {
+		t.Fatalf("counters are not deterministic: %v vs %v", snap.Counters, snap2.Counters)
+	}
+
+	// The text dump round-trips through the parser.
+	parsed, err := obs.ParseSpans(strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(spans) {
+		t.Fatalf("dump round-trip lost spans: %d vs %d", len(parsed), len(spans))
+	}
+	for i := range parsed {
+		if parsed[i] != spans[i] {
+			t.Fatalf("dump round-trip changed span %d: %+v vs %+v", i, parsed[i], spans[i])
+		}
+	}
+}
+
+func TestMultiportTraceSequence(t *testing.T) {
+	sim := func(p Platform, pr *Probe) (Breakdown, error) {
+		return SimulateMultiportProbe(p, 2, 2, 16384, pr)
+	}
+	spans, dump, snap := runProbe(t, sim, 9)
+
+	// Both client threads marshal and send their own halves directly; both
+	// server threads receive theirs; the communicating thread collects the
+	// reply and the team leaves through the exit barrier.
+	checkSpans(t, spans, 9, []phaseRank{
+		{obs.PhasePack, 1},
+		{obs.PhasePack, 0},
+		{obs.PhaseRecvXfer, 1},
+		{obs.PhaseRecvXfer, 0},
+		{obs.PhaseSendRecv, 0},
+		{obs.PhaseBarrier, 0},
+		{obs.PhaseInvoke, 0},
+		{obs.PhaseBarrier, 1},
+	})
+
+	// 16384 doubles = 128 KiB split in half: one 64 KiB chunk per flow.
+	if got := snap.Counters["exp.sim.chunks"]; got != 2 {
+		t.Fatalf("exp.sim.chunks = %d, want 2", got)
+	}
+	if got := snap.Counters["exp.sim.bytes"]; got != 131072 {
+		t.Fatalf("exp.sim.bytes = %d, want 131072", got)
+	}
+
+	_, dump2, _ := runProbe(t, sim, 9)
+	if dump != dump2 {
+		t.Fatalf("simulation is not deterministic:\n%s\nvs\n%s", dump, dump2)
+	}
+}
+
+func TestProbeNilSafe(t *testing.T) {
+	// A nil probe (and a probe with nil fields) must not change the
+	// simulation or crash.
+	bd1, err := SimulateCentralizedProbe(PaperPlatform(), 2, 2, 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd2, err := SimulateCentralizedProbe(PaperPlatform(), 2, 2, 1024, &Probe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd1 != bd2 {
+		t.Fatalf("probe changed the simulation: %+v vs %+v", bd1, bd2)
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the registry snapshot as JSON on
+// every path (expvar-style: GET it, read the whole story).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// MetricsServer is a running metrics HTTP endpoint.
+type MetricsServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve exposes reg's snapshot over HTTP on addr (e.g. "127.0.0.1:0") and
+// returns the running endpoint. Close it when the owning server shuts down.
+func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	ms := &MetricsServer{l: l, srv: &http.Server{Handler: reg.Handler()}}
+	go func() { _ = ms.srv.Serve(l) }()
+	return ms, nil
+}
+
+// Addr returns the endpoint's bound address ("host:port").
+func (s *MetricsServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the endpoint.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

@@ -44,6 +44,7 @@ const (
 // breaker is the per-endpoint state machine. All transitions happen under mu.
 type breaker struct {
 	policy BreakerPolicy
+	onOpen func() // invoked (outside mu) on each closed/half-open -> open transition
 
 	mu       sync.Mutex
 	state    breakerState
@@ -92,12 +93,17 @@ func (b *breaker) success() {
 func (b *breaker) failure(now time.Time) {
 	b.mu.Lock()
 	b.fails++
+	opened := false
 	if b.state == bkHalfOpen || b.fails >= b.policy.Threshold {
+		opened = b.state != bkOpen
 		b.state = bkOpen
 		b.openedAt = now
 		b.probing = false
 	}
 	b.mu.Unlock()
+	if opened && b.onOpen != nil {
+		b.onOpen()
+	}
 }
 
 // breakerFor returns the breaker guarding addr, or nil when breakers are
@@ -110,7 +116,7 @@ func (c *Client) breakerFor(addr string) *breaker {
 	defer c.bkMu.Unlock()
 	b, ok := c.breakers[addr]
 	if !ok {
-		b = &breaker{policy: c.Breaker}
+		b = &breaker{policy: c.Breaker, onOpen: c.countOpen}
 		c.breakers[addr] = b
 	}
 	return b

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -42,6 +43,19 @@ type Client struct {
 	// Breaker is the per-endpoint circuit breaker policy used when invoking
 	// through multi-profile references. The zero value disables breakers.
 	Breaker BreakerPolicy
+	// Metrics, when set before the client's first use, receives the
+	// client-side resilience event counters: "orb.client.retries" (oneway
+	// and Locate re-sends), "orb.client.failovers" (profile advances),
+	// "orb.client.breaker_open" (circuits tripping open), and
+	// "orb.client.conn_broken" (connections poisoned). Nil disables them at
+	// the cost of a nil check per event.
+	Metrics *obs.Registry
+
+	obsOnce      sync.Once
+	mRetries     *obs.Counter
+	mFailovers   *obs.Counter
+	mBreakerOpen *obs.Counter
+	mConnBroken  *obs.Counter
 
 	nextID atomic.Uint32
 
@@ -184,6 +198,26 @@ var ErrClosedByPeer = fmt.Errorf("%w: peer sent CloseConnection", ErrConnBroken)
 func (c *Client) NextRequestID() uint32 {
 	return c.nextID.Add(1)
 }
+
+// obsInit resolves the event counters from Metrics once. Counters stay nil
+// (and their updates no-ops) when metrics are disabled.
+func (c *Client) obsInit() {
+	c.obsOnce.Do(func() {
+		m := c.Metrics
+		if m == nil {
+			return
+		}
+		c.mRetries = m.Counter("orb.client.retries")
+		c.mFailovers = m.Counter("orb.client.failovers")
+		c.mBreakerOpen = m.Counter("orb.client.breaker_open")
+		c.mConnBroken = m.Counter("orb.client.conn_broken")
+	})
+}
+
+func (c *Client) countRetry()      { c.obsInit(); c.mRetries.Inc() }
+func (c *Client) countFailover()   { c.obsInit(); c.mFailovers.Inc() }
+func (c *Client) countOpen()       { c.obsInit(); c.mBreakerOpen.Inc() }
+func (c *Client) countConnBroken() { c.obsInit(); c.mConnBroken.Inc() }
 
 // conn returns (dialing if necessary) the cached connection to addr.
 func (c *Client) conn(addr string) (*clientConn, error) {
@@ -351,6 +385,10 @@ func (cc *clientConn) fail(err error) {
 	cc.mu.Unlock()
 	cc.conn.Close()
 	if !already {
+		// A deliberate Close is not a broken connection; everything else is.
+		if !errors.Is(err, ErrClientClosed) {
+			cc.client.countConnBroken()
+		}
 		cc.client.dropConn(cc)
 		cc.client.poisonSinks()
 	}
@@ -462,6 +500,7 @@ func (c *Client) sendOneway(addr string, req *wire.Request, deadline time.Time) 
 			return fmt.Errorf("%w: oneway %q past deadline after %d attempts (%v)",
 				ErrInvokeTimeout, req.Operation, attempt, lastErr)
 		}
+		c.countRetry()
 	}
 }
 
@@ -609,6 +648,7 @@ func (c *Client) InvokeOpts(ref IOR, op string, args []byte, o InvokeOptions) ([
 						return nil, perr
 					}
 					lastErr = perr
+					c.countFailover()
 					continue
 				}
 				bk.success()
@@ -628,6 +668,7 @@ func (c *Client) InvokeOpts(ref IOR, op string, args []byte, o InvokeOptions) ([
 			return nil, ierr
 		}
 		lastErr = ierr
+		c.countFailover()
 	}
 	if lastErr == nil {
 		// Every profile was skipped by an open circuit.
@@ -688,6 +729,7 @@ func (c *Client) LocateDeadline(ref IOR, deadline time.Time) (bool, error) {
 			return false, fmt.Errorf("%w: locate past deadline after %d attempts (%v)",
 				ErrInvokeTimeout, attempt, lastErr)
 		}
+		c.countRetry()
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cdr"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -81,6 +82,19 @@ type ServerOptions struct {
 	Transport *transport.Options
 	// Logf receives connection-level error reports; nil is silent.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives this server's observability wiring: the
+	// admission/liveness counters from Stats and the process-wide transport
+	// frame-pool counters become pull sources, and servant dispatch latency
+	// feeds the "orb.server.handle_ns" histogram. Collection is pull-based,
+	// so the request path pays nothing beyond the counters it already kept.
+	Metrics *obs.Registry
+	// MetricsAddr, when non-empty, serves Metrics (obs.Default when Metrics
+	// is nil) as JSON over HTTP on this address; the endpoint lives until
+	// Shutdown. MetricsEndpoint returns the bound address.
+	MetricsAddr string
+	// Trace, when set, records server-side invocation spans (admission
+	// waits, keyed by request id) into this ring buffer.
+	Trace *obs.Recorder
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -174,6 +188,16 @@ type Server struct {
 	shed           atomic.Uint64
 	keepaliveDrops atomic.Uint64
 
+	// Observability wiring (ServerOptions.Metrics/Trace): rec records
+	// admission spans, handleNS times servant dispatches, msrv is the
+	// optional HTTP endpoint, pullKey identifies this server's pull source
+	// for unregistration at shutdown.
+	rec      *obs.Recorder
+	metrics  *obs.Registry
+	handleNS *obs.Histogram
+	msrv     *obs.MetricsServer
+	pullKey  string
+
 	// wg tracks connection serve loops, keepalive loops and the accept
 	// loop; reqWg tracks in-flight request dispatches so Shutdown can let
 	// replies drain before tearing connections down.
@@ -237,9 +261,80 @@ func NewServerOpts(addr string, opts ServerOptions) (*Server, error) {
 	if opts.Logf != nil {
 		s.Logf = opts.Logf
 	}
+	s.rec = opts.Trace
+	reg := opts.Metrics
+	if reg == nil && opts.MetricsAddr != "" {
+		reg = obs.Default
+	}
+	if reg != nil {
+		s.metrics = reg
+		s.handleNS = reg.Histogram("orb.server.handle_ns")
+		// Pulls are read at snapshot time only. Several servers (the
+		// per-thread adapters of one SPMD object) sharing a registry each
+		// register under their own address, and the snapshot sums their
+		// stats per name; the frame pool is process-wide, so its fixed key
+		// makes the registration idempotent across servers.
+		s.pullKey = "orb.server/" + lis.Addr()
+		reg.RegisterPull(s.pullKey, func(put func(string, int64)) {
+			st := s.Stats()
+			put("orb.server.dispatched", int64(st.Dispatched))
+			put("orb.server.shed", int64(st.Shed))
+			put("orb.server.keepalive_drops", int64(st.KeepaliveDrops))
+			put("orb.server.in_flight", int64(st.InFlight))
+			put("orb.server.queued", int64(st.Queued))
+		})
+		reg.RegisterPull("transport.pool", pullPoolStats)
+		if opts.MetricsAddr != "" {
+			ms, err := obs.Serve(opts.MetricsAddr, reg)
+			if err != nil {
+				lis.Close()
+				return nil, err
+			}
+			s.msrv = ms
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// pullPoolStats surfaces the transport frame-pool counters to a registry.
+func pullPoolStats(put func(string, int64)) {
+	st := transport.PoolStats()
+	put("transport.pool.hits", int64(st.Hits))
+	put("transport.pool.misses", int64(st.Misses))
+	put("transport.pool.puts", int64(st.Puts))
+}
+
+// MetricsEndpoint returns the bound address of the metrics HTTP endpoint,
+// or "" when ServerOptions.MetricsAddr was not set.
+func (s *Server) MetricsEndpoint() string {
+	if s.msrv == nil {
+		return ""
+	}
+	return s.msrv.Addr()
+}
+
+// spanStart stamps the wall clock for a later span, or 0 when tracing is
+// off so untraced servers skip the clock read.
+func (s *Server) spanStart() int64 {
+	if s.rec == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// span records one server-side phase keyed by the request id.
+func (s *Server) span(ph obs.Phase, requestID uint32, start int64) {
+	if s.rec == nil || start == 0 {
+		return
+	}
+	s.rec.Record(obs.Span{
+		Trace: uint64(requestID),
+		Phase: ph,
+		Start: start,
+		Dur:   time.Now().UnixNano() - start,
+	})
 }
 
 // Endpoint returns the server's reachable endpoint, labelled with the given
@@ -461,6 +556,7 @@ func (s *Server) serveConn(sc *servedConn) {
 // when that too is full. Shedding replies TRANSIENT at once; the request is
 // never silently queued without bound.
 func (s *Server) admit(sc *servedConn, req *wire.Request) {
+	admitStart := s.spanStart()
 	if s.draining.Load() {
 		s.shedRequest(sc, req, "server draining")
 		return
@@ -472,6 +568,7 @@ func (s *Server) admit(sc *servedConn, req *wire.Request) {
 	}
 	select {
 	case s.sem <- struct{}{}:
+		s.span(obs.PhaseAdmission, req.RequestID, admitStart)
 		s.launch(sc, req)
 	default:
 		// Saturated: claim a bounded queue slot and wait for a permit off
@@ -489,6 +586,7 @@ func (s *Server) admit(sc *servedConn, req *wire.Request) {
 			select {
 			case s.sem <- struct{}{}:
 				s.queued.Add(-1)
+				s.span(obs.PhaseAdmission, req.RequestID, admitStart)
 				defer func() { <-s.sem }()
 				defer sc.inflight.Add(-1)
 				s.inflight.Add(1)
@@ -540,6 +638,7 @@ func (s *Server) shedRequest(sc *servedConn, req *wire.Request, msg string) {
 }
 
 func (s *Server) handleRequest(req *wire.Request, sc *servedConn) {
+	defer s.handleNS.Done(s.handleNS.Start())
 	out := NewArgEncoder()
 	status := wire.ReplyNoException
 
@@ -604,6 +703,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	close(s.stop)
 	err := s.lis.Close()
+	if s.metrics != nil {
+		// The per-server pull goes away with the server; the process-wide
+		// frame-pool pull stays (its key is shared and still valid).
+		s.metrics.UnregisterPull(s.pullKey)
+	}
+	if s.msrv != nil {
+		_ = s.msrv.Close()
+	}
 
 	// Let in-flight dispatches write their replies before the connections
 	// go away, but never wait past the caller's deadline.

@@ -33,6 +33,8 @@ func (c *Comm) nextSeq() int {
 
 // Barrier blocks until all ranks of the communicator have entered it.
 func (c *Comm) Barrier() error {
+	h := barrierNS.Load()
+	defer h.Done(h.Start())
 	tag := collTag(opBarrier, c.nextSeq())
 	if c.world.size == 1 {
 		return nil
@@ -69,6 +71,8 @@ func (c *Comm) recvColl(src, tag int) ([]byte, Status, error) {
 // Bcast distributes root's data to every rank along a binomial tree and
 // returns it. Non-root ranks pass data=nil (any value they pass is ignored).
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	h := bcastNS.Load()
+	defer h.Done(h.Start())
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,23 @@
+package rts
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Collective timers. They stay nil — and the probes cost one atomic load
+// plus a nil check — until EnableMetrics installs them, so barriers and
+// broadcasts only pay for clock reads when metrics are on. The pointers are
+// atomic so EnableMetrics may race with in-flight collectives.
+var (
+	barrierNS atomic.Pointer[obs.Histogram]
+	bcastNS   atomic.Pointer[obs.Histogram]
+)
+
+// EnableMetrics publishes the collective timers ("rts.barrier_ns",
+// "rts.bcast_ns") to reg. Passing nil disables them again.
+func EnableMetrics(reg *obs.Registry) {
+	barrierNS.Store(reg.Histogram("rts.barrier_ns"))
+	bcastNS.Store(reg.Histogram("rts.bcast_ns"))
+}

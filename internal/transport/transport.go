@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdr"
@@ -71,6 +72,17 @@ type Options struct {
 	// every other goroutine queued on the connection's write lock — forever.
 	// Zero disables.
 	WriteTimeout time.Duration
+	// TraceHeaders stamps every outbound frame with the PGIOP trace-context
+	// header extension carrying the message's request id, Fragment frames
+	// included, so per-frame tooling can attribute bytes to invocations
+	// without decoding bodies. Inbound extensions are always understood,
+	// whether or not this side stamps its own; peers predating the extension
+	// reject it, so enable only on connections whose peer runs this code.
+	TraceHeaders bool
+	// FrameHook, when set, observes every inbound frame header (with
+	// Header.Trace populated from the extension) before the body is read.
+	// It runs on the reading goroutine; keep it cheap.
+	FrameHook func(h wire.Header)
 }
 
 // writeDeadliner is the optional deadline surface of an underlying stream
@@ -92,6 +104,9 @@ type Conn struct {
 	max      int
 	wd       writeDeadliner
 	wtimeout time.Duration
+	trace    bool
+	hook     func(h wire.Header)
+	ext      [wire.TraceExtLen]byte // scratch for inbound trace extensions (reader-owned)
 
 	// vectored enables the gathered-write (writev) Data path. Only real TCP
 	// connections qualify: on any other stream net.Buffers degrades to one
@@ -100,10 +115,10 @@ type Conn struct {
 	vectored bool
 
 	wmu    sync.Mutex
-	enc    *cdr.Encoder        // scratch body encoder, guarded by wmu
-	vec    [][]byte            // scratch iovec for vectored writes, guarded by wmu
-	harena []byte              // scratch frame-header arena backing vec, guarded by wmu
-	hdr    [wire.HeaderLen]byte // scratch frame header for writeFrames, guarded by wmu
+	enc    *cdr.Encoder            // scratch body encoder, guarded by wmu
+	vec    [][]byte                // scratch iovec for vectored writes, guarded by wmu
+	harena []byte                  // scratch frame-header arena backing vec, guarded by wmu
+	hdr    [wire.MaxHeaderLen]byte // scratch frame header (+ extension), guarded by wmu
 	closed bool
 	cmu    sync.Mutex
 }
@@ -124,6 +139,31 @@ const (
 
 var bufPools [maxPoolClass + 1]sync.Pool
 
+// Frame-pool counters, exported through PoolStats so the observability
+// layer can pull them into a metrics snapshot. A hit is a getBuf served from
+// a pool; a miss is a fresh allocation (cold pool or oversize); a put is a
+// buffer actually returned to a pool.
+var (
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+	poolPuts   atomic.Uint64
+)
+
+// PoolStat is a point-in-time copy of the frame-pool counters.
+type PoolStat struct {
+	Hits, Misses, Puts uint64
+}
+
+// PoolStats reads the cumulative frame-pool counters. They are process-wide:
+// the pools are shared by every connection.
+func PoolStats() PoolStat {
+	return PoolStat{
+		Hits:   poolHits.Load(),
+		Misses: poolMisses.Load(),
+		Puts:   poolPuts.Load(),
+	}
+}
+
 // poolClass returns the smallest class whose buffers hold n bytes.
 func poolClass(n int) int {
 	c := minPoolClass
@@ -137,14 +177,17 @@ func poolClass(n int) int {
 // are plain allocations; putBuf recognizes and drops them.
 func getBuf(n int) *[]byte {
 	if n > 1<<maxPoolClass {
+		poolMisses.Add(1)
 		b := make([]byte, n)
 		return &b
 	}
 	cl := poolClass(n)
 	if p, ok := bufPools[cl].Get().(*[]byte); ok {
+		poolHits.Add(1)
 		*p = (*p)[:n]
 		return p
 	}
+	poolMisses.Add(1)
 	b := make([]byte, n, 1<<cl)
 	return &b
 }
@@ -162,6 +205,7 @@ func putBuf(p *[]byte) {
 	}
 	*p = (*p)[:0]
 	bufPools[poolClass(c)].Put(p)
+	poolPuts.Add(1)
 }
 
 // NewConn wraps a byte stream in PGIOP framing.
@@ -193,6 +237,8 @@ func NewConn(rw io.ReadWriteCloser, opts *Options) *Conn {
 			c.wd = wd
 			c.wtimeout = opts.WriteTimeout
 		}
+		c.trace = opts.TraceHeaders
+		c.hook = opts.FrameHook
 	}
 	return c
 }
@@ -225,9 +271,20 @@ func (c *Conn) WriteMessage(m wire.Message) error {
 		_ = c.wd.SetWriteDeadline(time.Now().Add(c.wtimeout))
 		defer c.wd.SetWriteDeadline(time.Time{})
 	}
-	err := c.writeFrames(m.Type(), b)
+	err := c.writeFrames(m.Type(), b, c.traceOf(m))
 	c.dropHugeScratch()
 	return err
+}
+
+// traceOf returns the trace id to stamp on m's frames: the message's
+// request id when trace-context headers are enabled, zero otherwise (and
+// for the few message types that carry no id).
+func (c *Conn) traceOf(m wire.Message) uint64 {
+	if !c.trace {
+		return 0
+	}
+	id, _ := wire.RequestIDOf(m)
+	return uint64(id)
 }
 
 // scratch returns the connection's reusable body encoder, reset. Callers
@@ -251,13 +308,13 @@ func (c *Conn) dropHugeScratch() {
 
 // writeFrames sends an already-encoded body through the buffered writer,
 // splitting it at the fragment threshold. Callers must hold wmu.
-func (c *Conn) writeFrames(t wire.MsgType, b []byte) error {
+func (c *Conn) writeFrames(t wire.MsgType, b []byte, trace uint64) error {
 	writeFrame := func(t wire.MsgType, more bool, chunk []byte) error {
 		// The header goes through the connection's scratch array: a local
-		// [HeaderLen]byte would be heap-allocated per frame because it
+		// header array would be heap-allocated per frame because it
 		// escapes into the io.Writer call.
-		c.hdr = wire.EncodeHeader(t, c.order, more, len(chunk))
-		if _, err := c.bw.Write(c.hdr[:]); err != nil {
+		n := wire.EncodeHeaderExt(&c.hdr, t, c.order, more, c.trace, len(chunk), trace)
+		if _, err := c.bw.Write(c.hdr[:n]); err != nil {
 			return err
 		}
 		_, err := c.bw.Write(chunk)
@@ -306,12 +363,16 @@ func (c *Conn) writeData(d *wire.Data) error {
 		_ = c.wd.SetWriteDeadline(time.Now().Add(c.wtimeout))
 		defer c.wd.SetWriteDeadline(time.Time{})
 	}
+	var trace uint64
+	if c.trace {
+		trace = uint64(d.RequestID)
+	}
 	if !c.vectored {
 		// Non-TCP streams (pipes, fault-injection wrappers) get the staged
 		// path: append the payload to the scratch body and frame it through
 		// the buffered writer, preserving one-flush-per-message granularity.
 		e.WriteRaw(d.Payload)
-		err := c.writeFrames(wire.MsgData, e.Bytes())
+		err := c.writeFrames(wire.MsgData, e.Bytes(), trace)
 		c.dropHugeScratch()
 		return err
 	}
@@ -326,20 +387,24 @@ func (c *Conn) writeData(d *wire.Data) error {
 	if total > c.frag {
 		nframes = (total + c.frag - 1) / c.frag
 	}
+	hlen := wire.HeaderLen
+	if c.trace {
+		hlen = wire.MaxHeaderLen
+	}
 	c.vec = c.vec[:0]
 	c.harena = c.harena[:0]
-	if cap(c.harena) < nframes*wire.HeaderLen {
+	if cap(c.harena) < nframes*hlen {
 		// Reserve all header space up front: vec holds slices into harena,
 		// so it must not regrow mid-loop.
-		c.harena = make([]byte, 0, nframes*wire.HeaderLen)
+		c.harena = make([]byte, 0, nframes*hlen)
 	}
 	t := wire.MsgData
 	for off := 0; off < total; off += max(c.frag, 1) {
 		end := min(off+c.frag, total)
-		h := wire.EncodeHeader(t, c.order, end < total, end-off)
+		n := wire.EncodeHeaderExt(&c.hdr, t, c.order, end < total, c.trace, end-off, trace)
 		hoff := len(c.harena)
-		c.harena = append(c.harena, h[:]...)
-		c.vec = append(c.vec, c.harena[hoff:hoff+wire.HeaderLen])
+		c.harena = append(c.harena, c.hdr[:n]...)
+		c.vec = append(c.vec, c.harena[hoff:hoff+n])
 		// The frame body is [off, end) of the virtual concatenation
 		// prefix ++ payload; a chunk may straddle the boundary.
 		if off < len(prefix) {
@@ -469,6 +534,18 @@ func (c *Conn) readFrame() (wire.Header, []byte, *[]byte, error) {
 	h, err := wire.DecodeHeader(hb[:])
 	if err != nil {
 		return wire.Header{}, nil, nil, err
+	}
+	if h.HasTrace() {
+		// The trace-context extension sits between the fixed header and the
+		// body; c.ext is reader-owned scratch (ReadMessage is single-
+		// goroutine), so reading it costs no allocation.
+		if _, err := io.ReadFull(c.br, c.ext[:]); err != nil {
+			return wire.Header{}, nil, nil, fmt.Errorf("transport: truncated trace extension: %w", err)
+		}
+		h.Trace = wire.TraceExt(c.ext[:], h.Order())
+	}
+	if c.hook != nil {
+		c.hook(h)
 	}
 	if int(h.Size) > c.max {
 		return wire.Header{}, nil, nil, fmt.Errorf("%w: frame body %d", ErrTooLarge, h.Size)

@@ -8,14 +8,23 @@ import (
 
 // FuzzDecodeHeader throws arbitrary bytes at the header parser. Any input
 // must produce a Header or an error — never a panic — and an accepted
-// header must carry a valid type and round-trip through EncodeHeader.
+// header must carry a valid type and round-trip through EncodeHeaderExt
+// (which preserves the trace-context flag DecodeHeader may have accepted).
 func FuzzDecodeHeader(f *testing.F) {
 	good := EncodeHeader(MsgRequest, cdr.LittleEndian, false, 16)
 	f.Add(good[:])
 	big := EncodeHeader(MsgData, cdr.BigEndian, true, 1<<20)
 	f.Add(big[:])
+	var traced [MaxHeaderLen]byte
+	EncodeHeaderExt(&traced, MsgData, cdr.LittleEndian, true, true, 4096, 0xdeadbeef)
+	f.Add(traced[:HeaderLen]) // trace-flagged fixed header alone
+	f.Add(traced[:])          // with the extension bytes trailing
+	var tbig [MaxHeaderLen]byte
+	EncodeHeaderExt(&tbig, MsgFragment, cdr.BigEndian, false, true, 1<<16, 1)
+	f.Add(tbig[:])
 	f.Add([]byte("PDIS"))                                 // truncated
 	f.Add([]byte("GIOP\x01\x00\x00\x00\x00\x00\x00\x00")) // wrong protocol
+	f.Add([]byte("PDIS\x01\x08\x00\x00\x00\x00\x00\x00")) // reserved flag bit 3
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, b []byte) {
@@ -26,8 +35,9 @@ func FuzzDecodeHeader(f *testing.F) {
 		if !h.Type.Valid() {
 			t.Fatalf("accepted header with invalid type %d", h.Type)
 		}
-		re := EncodeHeader(h.Type, h.Order(), h.More(), int(h.Size))
-		if rh, err := DecodeHeader(re[:]); err != nil || rh != h {
+		var re [MaxHeaderLen]byte
+		EncodeHeaderExt(&re, h.Type, h.Order(), h.More(), h.HasTrace(), int(h.Size), 0)
+		if rh, err := DecodeHeader(re[:HeaderLen]); err != nil || rh != h {
 			t.Fatalf("header %+v does not round-trip: %+v, %v", h, rh, err)
 		}
 	})

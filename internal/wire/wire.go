@@ -17,9 +17,15 @@
 //	offset 4  version 0x01
 //	offset 5  flags   bit 0: body byte order (1 = little endian)
 //	                  bit 1: more fragments follow
+//	                  bit 2: trace-context extension present
 //	offset 6  type    MsgType
 //	offset 7  reserved (0)
 //	offset 8  size    uint32 body length, in the header's byte order
+//
+// When flag bit 2 is set, an 8-byte trace-context extension (the request id
+// of the message this frame belongs to, in the header's byte order) follows
+// the fixed header before the body. Old-format headers — without the flag —
+// decode unchanged; the extension is purely additive.
 //
 // Bodies larger than a connection's fragment threshold are split across a
 // leading message and trailing Fragment messages (transport concern; see
@@ -44,6 +50,18 @@ const (
 	FlagLittleEndian = 1 << 0
 	// FlagMoreFragments marks that the body continues in Fragment messages.
 	FlagMoreFragments = 1 << 1
+	// FlagTraceContext marks that a TraceExtLen-byte trace-context
+	// extension follows the fixed header: the request id of the message the
+	// frame belongs to, in the header's byte order. Every frame of a traced
+	// message carries it — Fragment frames included — so per-frame tooling
+	// can attribute bytes to invocations without decoding bodies. Headers
+	// without the flag (the old format) decode exactly as before.
+	FlagTraceContext = 1 << 2
+	// TraceExtLen is the length of the trace-context header extension.
+	TraceExtLen = 8
+	// MaxHeaderLen is the largest on-wire header: the fixed part plus every
+	// extension.
+	MaxHeaderLen = HeaderLen + TraceExtLen
 )
 
 // MsgType discriminates PGIOP messages.
@@ -137,11 +155,14 @@ type Message interface {
 	EncodeBody(e *cdr.Encoder)
 }
 
-// Header is a decoded message header.
+// Header is a decoded message header. Trace is populated by the transport
+// from the trace-context extension when HasTrace; DecodeHeader itself only
+// sees the fixed HeaderLen bytes and leaves it zero.
 type Header struct {
 	Flags byte
 	Type  MsgType
 	Size  uint32
+	Trace uint64
 }
 
 // Order returns the byte order declared by the header flags.
@@ -154,6 +175,18 @@ func (h Header) Order() cdr.ByteOrder {
 
 // More reports whether Fragment messages follow.
 func (h Header) More() bool { return h.Flags&FlagMoreFragments != 0 }
+
+// HasTrace reports whether a trace-context extension follows the fixed
+// header on the wire.
+func (h Header) HasTrace() bool { return h.Flags&FlagTraceContext != 0 }
+
+// ExtLen returns how many extension bytes follow the fixed header.
+func (h Header) ExtLen() int {
+	if h.HasTrace() {
+		return TraceExtLen
+	}
+	return 0
+}
 
 // EncodeHeader renders a header for a body of the given size in order ord.
 func EncodeHeader(t MsgType, ord cdr.ByteOrder, more bool, size int) [HeaderLen]byte {
@@ -181,6 +214,74 @@ func EncodeHeader(t MsgType, ord cdr.ByteOrder, more bool, size int) [HeaderLen]
 	return b
 }
 
+// EncodeHeaderExt renders a header into b and, when withTrace is set, the
+// trace-context extension carrying trace after it. It returns the number of
+// bytes of b used (HeaderLen, or MaxHeaderLen with the extension). The
+// destination is a caller-owned array so per-frame encoding can reuse one
+// scratch buffer without heap traffic.
+func EncodeHeaderExt(b *[MaxHeaderLen]byte, t MsgType, ord cdr.ByteOrder, more, withTrace bool, size int, trace uint64) int {
+	h := EncodeHeader(t, ord, more, size)
+	copy(b[:HeaderLen], h[:])
+	if !withTrace {
+		return HeaderLen
+	}
+	b[5] |= FlagTraceContext
+	PutTraceExt(b[HeaderLen:MaxHeaderLen], ord, trace)
+	return MaxHeaderLen
+}
+
+// PutTraceExt writes the trace-context extension (TraceExtLen bytes) into b
+// in byte order ord.
+func PutTraceExt(b []byte, ord cdr.ByteOrder, trace uint64) {
+	_ = b[TraceExtLen-1]
+	if ord == cdr.LittleEndian {
+		for i := 0; i < TraceExtLen; i++ {
+			b[i] = byte(trace >> (8 * i))
+		}
+	} else {
+		for i := 0; i < TraceExtLen; i++ {
+			b[TraceExtLen-1-i] = byte(trace >> (8 * i))
+		}
+	}
+}
+
+// TraceExt reads a trace-context extension written by PutTraceExt.
+func TraceExt(b []byte, ord cdr.ByteOrder) uint64 {
+	_ = b[TraceExtLen-1]
+	var v uint64
+	if ord == cdr.LittleEndian {
+		for i := 0; i < TraceExtLen; i++ {
+			v |= uint64(b[i]) << (8 * i)
+		}
+	} else {
+		for i := 0; i < TraceExtLen; i++ {
+			v = v<<8 | uint64(b[i])
+		}
+	}
+	return v
+}
+
+// RequestIDOf returns the request id carried in m's body, for the message
+// types that have one. The transport stamps it into the trace-context
+// extension of every frame of a traced message.
+func RequestIDOf(m Message) (uint32, bool) {
+	switch m := m.(type) {
+	case *Request:
+		return m.RequestID, true
+	case *Reply:
+		return m.RequestID, true
+	case *CancelRequest:
+		return m.RequestID, true
+	case *LocateRequest:
+		return m.RequestID, true
+	case *LocateReply:
+		return m.RequestID, true
+	case *Data:
+		return m.RequestID, true
+	}
+	return 0, false
+}
+
 // DecodeHeader parses and validates a header.
 func DecodeHeader(b []byte) (Header, error) {
 	if len(b) < HeaderLen {
@@ -193,7 +294,7 @@ func DecodeHeader(b []byte) (Header, error) {
 		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, b[4])
 	}
 	h := Header{Flags: b[5], Type: MsgType(b[6])}
-	if h.Flags&^(FlagLittleEndian|FlagMoreFragments) != 0 {
+	if h.Flags&^(FlagLittleEndian|FlagMoreFragments|FlagTraceContext) != 0 {
 		// Reserved flag bits must be zero; garbage here means a corrupt or
 		// alien frame, and rejecting it now beats misreading the body later.
 		return Header{}, fmt.Errorf("%w: reserved flag bits %#x", ErrBadFlags, b[5])
