@@ -5,14 +5,18 @@ GO ?= go
 FUZZTIME ?= 10s
 CHAOSTIMEOUT ?= 120s
 BENCHTIME ?= 20x
+# bench-compare uses a time-based benchtime: at 20 iterations the
+# nanosecond-scale CDR microbenchmarks swing tens of percent run to run,
+# which would make the regression gate flaky.
+COMPARE_BENCHTIME ?= 200ms
 # Coverage floor for internal/obs, the observability layer: its contract is
 # almost entirely behavioral (nil-safety, ring wraparound, snapshot merging),
 # so coverage there is a meaningful proxy. Other packages report only.
 OBS_COVER_FLOOR ?= 70
 
-.PHONY: check vet staticcheck build test race chaos fuzz-smoke bench cover
+.PHONY: check vet staticcheck build test race chaos fuzz-smoke bench bench-compare cover
 
-check: vet staticcheck build test race chaos fuzz-smoke cover
+check: vet staticcheck build test race chaos fuzz-smoke cover bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -50,9 +54,20 @@ chaos:
 # BENCH_datapath.json is the same data parsed for dashboards and scripts.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run '^$$' -bench 'CDRDoubles|DataEcho|RealTransfer' \
+	$(GO) test -run '^$$' -bench 'CDRDoubles|DataEcho|RealTransfer|PipelinedInvoke' \
 		-benchmem -benchtime=$(BENCHTIME) . | tee BENCH_datapath.txt \
 		| ./bin/benchjson > BENCH_datapath.json
+
+# Perf-regression gate: rerun the data-path benchmarks into a scratch file
+# (bin/ is gitignored; the committed BENCH_datapath.json baseline is only
+# rewritten by an explicit `make bench`) and diff against the baseline.
+# Drift warns; a throughput regression past 25% fails.
+bench-compare:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	$(GO) test -run '^$$' -bench 'CDRDoubles|DataEcho|RealTransfer|PipelinedInvoke' \
+		-benchmem -benchtime=$(COMPARE_BENCHTIME) . | ./bin/benchjson > bin/bench-candidate.json
+	./bin/benchdiff BENCH_datapath.json bin/bench-candidate.json
 
 # Per-package coverage report (cover.out is gitignored). The floor is
 # enforced for internal/obs only; every other package is report-only.

@@ -142,6 +142,34 @@ func BenchmarkRealTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelinedInvoke measures sustained invocation throughput with a
+// sliding window of outstanding non-blocking invocations per binding.
+// depth=1 is the classic one-at-a-time engine; depth=8 keeps eight lanes in
+// flight so consecutive invocations overlap their link latency. The client's
+// outbound writes cross a modeled LAN link (a buffering pipe adding a fixed
+// one-way delay without stalling the writer), because loopback TCP has no
+// latency to hide — on it the comparison measures only scheduler noise,
+// which on a single-CPU host drowns the effect the window exists to exploit.
+func BenchmarkPipelinedInvoke(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real stack benchmark in -short mode")
+	}
+	const elems = 2048 // 16 KiB of doubles: latency-bound, below streaming gate
+	for _, depth := range []int{1, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			ips, err := exp.RunPipelined(exp.PipelinedConfig{
+				C: 2, S: 2, Elems: elems, Reps: b.N, Depth: depth,
+				LinkDelay: 250 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(ips, "inv/s")
+		})
+	}
+}
+
 // BenchmarkAblationChunking varies the transfer chunk size: the pipelining
 // granularity trade-off behind the platform's 64 KiB default.
 func BenchmarkAblationChunking(b *testing.B) {
@@ -249,16 +277,23 @@ func BenchmarkCDRDoubles(b *testing.B) {
 				}
 			}
 		})
-		b.Run(fmt.Sprintf("decode-alloc/n=%d", n), func(b *testing.B) {
-			// The allocating variant, kept for comparison with the into path.
+		b.Run(fmt.Sprintf("decode-reuse/n=%d", n), func(b *testing.B) {
+			// The standalone-result variant, kept for comparison with the
+			// into path. It recycles its destination (ReadDoublesUsing): the
+			// predecessor benched the allocating ReadDoubles, whose 4.4 MB/op
+			// at n=2^19 churned the heap enough to distort the memory profile
+			// of every benchmark that ran after it — and no production path
+			// decodes that way (chunks land in preallocated storage).
 			b.ReportAllocs()
 			e := cdr.NewEncoder(cdr.NativeOrder)
 			e.WriteDoubles(vals)
 			buf := e.Bytes()
+			var dst []float64
 			b.SetBytes(int64(8 * n))
 			for i := 0; i < b.N; i++ {
 				d := cdr.NewDecoder(buf, cdr.NativeOrder)
-				if _, err := d.ReadDoubles(); err != nil {
+				var err error
+				if dst, err = d.ReadDoublesUsing(dst); err != nil {
 					b.Fatal(err)
 				}
 			}

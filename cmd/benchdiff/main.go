@@ -1,0 +1,144 @@
+// Command benchdiff compares two benchjson documents — a committed baseline
+// and a fresh candidate run — and reports throughput and allocation drift:
+//
+//	benchdiff BENCH_datapath.json bin/bench-candidate.json
+//
+// It is the perf-regression gate in `make bench-compare`: every change beyond
+// the warn tolerance is reported, but only a throughput (MB/s, inv/s)
+// regression beyond the hard tolerance fails the run. Allocation growth and
+// ns/op drift warn without failing, because alloc counts legitimately move
+// when benchmarks change shape and wall-clock numbers are noisy on shared
+// machines; throughput collapse is the signal this gate exists to catch.
+// Benchmarks present on only one side are listed informationally, so renames
+// and additions do not break the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Result and Doc mirror cmd/benchjson's output schema.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type Doc struct {
+	Results []Result `json:"results"`
+}
+
+// gomaxprocsSuffix strips the trailing "-N" GOMAXPROCS tag from benchmark
+// names, so a baseline recorded on an N-core machine still matches a
+// candidate from an M-core one.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// throughputUnits are higher-is-better rates whose regression is the hard
+// failure condition.
+var throughputUnits = []string{"MB/s", "inv/s"}
+
+func load(path string) (map[string]Result, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Result, len(doc.Results))
+	var order []string
+	for _, r := range doc.Results {
+		name := gomaxprocsSuffix.ReplaceAllString(r.Name, "")
+		if _, dup := m[name]; !dup {
+			order = append(order, name)
+		}
+		m[name] = r
+	}
+	return m, order, nil
+}
+
+func pct(delta float64) string { return fmt.Sprintf("%+.1f%%", 100*delta) }
+
+func main() {
+	hardTol := flag.Float64("hard", 0.25, "fractional throughput regression that fails the gate")
+	warnTol := flag.Float64("warn", 0.10, "fractional change that is reported as drift")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json candidate.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, baseOrder, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, candOrder, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range baseOrder {
+		b := base[name]
+		c, ok := cand[name]
+		if !ok {
+			fmt.Printf("info: %s: in baseline only (renamed or removed)\n", name)
+			continue
+		}
+		for _, unit := range throughputUnits {
+			bv, bok := b.Metrics[unit]
+			cv, cok := c.Metrics[unit]
+			if !bok || !cok || bv <= 0 {
+				continue
+			}
+			delta := (cv - bv) / bv
+			switch {
+			case -delta > *hardTol:
+				failed = true
+				fmt.Printf("FAIL: %s: %s %.2f -> %.2f (%s, past the -%.0f%% gate)\n",
+					name, unit, bv, cv, pct(delta), 100**hardTol)
+			case -delta > *warnTol:
+				fmt.Printf("warn: %s: %s %.2f -> %.2f (%s)\n", name, unit, bv, cv, pct(delta))
+			case delta > *warnTol:
+				fmt.Printf("info: %s: %s %.2f -> %.2f (%s, improvement)\n", name, unit, bv, cv, pct(delta))
+			}
+		}
+		if bv, ok := b.Metrics["allocs/op"]; ok {
+			if cv, cok := c.Metrics["allocs/op"]; cok {
+				switch {
+				case bv == 0 && cv > 0:
+					fmt.Printf("warn: %s: allocs/op 0 -> %.0f (was allocation-free)\n", name, cv)
+				case bv > 0 && (cv-bv)/bv > *warnTol:
+					fmt.Printf("warn: %s: allocs/op %.0f -> %.0f (%s)\n", name, bv, cv, pct((cv-bv)/bv))
+				}
+			}
+		}
+	}
+	var added []string
+	for _, name := range candOrder {
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("info: %s: new benchmark (no baseline)\n", name)
+	}
+
+	if failed {
+		fmt.Printf("benchdiff: throughput regression past %.0f%%; if intended, regenerate the baseline with `make bench`\n", 100**hardTol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d baseline benchmarks compared, no throughput regression past %.0f%%\n", len(baseOrder), 100**hardTol)
+}

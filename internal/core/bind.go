@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cdr"
@@ -46,9 +47,29 @@ type BindOptions struct {
 	// understand the extension (anything running this code).
 	Trace *obs.Recorder
 	// Metrics, when set, receives the binding's client-side resilience
-	// counters (see orb.Client.Metrics).
+	// counters (see orb.Client.Metrics) and the pipeline inflight gauge
+	// ("core.pipeline_inflight").
 	Metrics *obs.Registry
+	// PipelineDepth is the number of invocations that may be outstanding on
+	// this binding at once (0 and 1 both mean the classic one-at-a-time
+	// engine). Each extra lane gets its own duplicated communicator, so the
+	// collective traffic of overlapping invocations cannot interleave;
+	// replies demultiplex by request id on the shared connection. Issuing
+	// more than PipelineDepth concurrent invocations fails with ErrBusy —
+	// as with the depth-1 engine, the SPMD discipline requires every thread
+	// to issue the same invocations in the same order.
+	PipelineDepth int
+	// StreamChunkElems tunes the streamed centralized transfer: large
+	// centralized arguments are gathered, shipped, and scattered in chunks
+	// of this many elements, overlapping collective (un)marshalling with
+	// the wire. 0 means DefaultStreamChunkElems; negative disables
+	// streaming (whole-sequence transfers, the pre-pipelining behavior).
+	StreamChunkElems int
 }
+
+// maxPipelineDepth bounds the lane fan-out so a typo'd depth cannot allocate
+// thousands of communicator contexts.
+const maxPipelineDepth = 64
 
 // newClient builds an orb client configured per the options.
 func (o BindOptions) newClient() *orb.Client {
@@ -87,10 +108,63 @@ type Binding struct {
 	ownsCli bool
 	rec     *obs.Recorder
 
-	// invoking serializes invocations per thread; collective discipline
-	// keeps the threads consistent with each other.
-	invoking chan struct{}
+	// lanes carry invocations: each lane owns a duplicated communicator so
+	// overlapping invocations' collective traffic stays separated, plus a
+	// one-slot free channel acting as its busy latch. Lane 0 reuses the
+	// engine communicator. Lanes are assigned round-robin by laneSeq under
+	// laneMu — a deterministic cursor, so every SPMD thread picks the same
+	// lane for the same invocation without communicating.
+	lanes    []bindLane
+	laneMu   sync.Mutex
+	laneSeq  uint64
+	inflight *obs.Gauge // lanes currently busy; nil when metrics are off
+
+	// chunkElems is the streamed-transfer chunk size in elements; 0 disables
+	// streaming on this binding.
+	chunkElems int
 }
+
+// bindLane is one pipeline slot of a binding.
+type bindLane struct {
+	comm *rts.Comm
+	free chan struct{} // holds one token when the lane is idle
+}
+
+func newLane(c *rts.Comm) bindLane {
+	ln := bindLane{comm: c, free: make(chan struct{}, 1)}
+	ln.free <- struct{}{}
+	return ln
+}
+
+// acquireLane claims the next lane in the deterministic round-robin order,
+// failing with ErrBusy when that lane is still carrying an invocation. The
+// cursor advances even on failure so all threads stay in lockstep provided
+// they observe the SPMD discipline (same calls, same order, at most
+// PipelineDepth outstanding).
+func (b *Binding) acquireLane() (*bindLane, error) {
+	b.laneMu.Lock()
+	ln := &b.lanes[b.laneSeq%uint64(len(b.lanes))]
+	b.laneSeq++
+	b.laneMu.Unlock()
+	select {
+	case <-ln.free:
+		b.inflight.Add(1)
+		return ln, nil
+	default:
+		return nil, ErrBusy
+	}
+}
+
+// releaseLane returns a lane to the pool. Callers must release before
+// completing the invocation's future, so that a caller who has observed
+// completion can immediately issue the next invocation.
+func (b *Binding) releaseLane(ln *bindLane) {
+	b.inflight.Add(-1)
+	ln.free <- struct{}{}
+}
+
+// PipelineDepth reports the number of lanes this binding was built with.
+func (b *Binding) PipelineDepth() int { return len(b.lanes) }
 
 // SPMDBind collectively binds all the computing threads of comm to the named
 // SPMD object, resolving the name through the PARDIS naming domain at
@@ -187,15 +261,48 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 	for _, desc := range descs {
 		ops[desc.Name] = desc
 	}
+	depth := o.PipelineDepth
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > maxPipelineDepth {
+		depth = maxPipelineDepth
+	}
+	// Lane 0 rides the engine communicator; the extra lanes each get a
+	// duplicated context, allocated in one collective round. Every rank
+	// clamps depth from the shared options identically, so the Dups call
+	// count agrees.
+	lanes := make([]bindLane, 1, depth)
+	lanes[0] = newLane(engine)
+	if depth > 1 {
+		extra, err := engine.Dups(depth - 1)
+		if err != nil {
+			client.Close()
+			return nil, err
+		}
+		for _, c := range extra {
+			lanes = append(lanes, newLane(c))
+		}
+	}
+	ce := o.StreamChunkElems
+	if ce == 0 {
+		ce = DefaultStreamChunkElems
+	} else if ce < 0 {
+		ce = 0
+	}
 	b := &Binding{
-		comm:     engine,
-		client:   client,
-		ref:      ref,
-		ops:      ops,
-		method:   o.Method,
-		ownsCli:  true,
-		rec:      o.Trace,
-		invoking: make(chan struct{}, 1),
+		comm:       engine,
+		client:     client,
+		ref:        ref,
+		ops:        ops,
+		method:     o.Method,
+		ownsCli:    true,
+		rec:        o.Trace,
+		lanes:      lanes,
+		chunkElems: ce,
+	}
+	if o.Metrics != nil {
+		b.inflight = o.Metrics.Gauge("core.pipeline_inflight")
 	}
 	if o.Method == Multiport && !ref.Multiport() {
 		b.Close()

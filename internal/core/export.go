@@ -447,8 +447,17 @@ func (o *Object) bucket(token uint32) *dataBucket {
 
 func (o *Object) dropBucket(token uint32) {
 	o.bucketMu.Lock()
+	b := o.buckets[token]
 	delete(o.buckets, token)
 	o.bucketMu.Unlock()
+	if b != nil {
+		// Return any frames still buffered — e.g. chunks past the first
+		// failure of a streamed transfer, which the receive loop stopped
+		// pulling — to the transport pool. A late handleData racing this
+		// drain can at worst strand its one frame for the garbage collector;
+		// it cannot block, because nothing else drains b.ch after the drop.
+		drainData(b.ch)
+	}
 }
 
 // connLost poisons every bucket fed by the lost connection with a nil

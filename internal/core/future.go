@@ -87,39 +87,29 @@ func (f *Future) WaitTimeout(d time.Duration) (scalars []byte, err error, ok boo
 // that thread's share of the invocation (including result delivery and the
 // post-invocation synchronization) is complete.
 //
-// Invocations on one binding are serialized: a second Invoke/InvokeNB
-// before the first resolves fails with ErrBusy rather than interleaving
-// collective traffic.
+// Up to the binding's PipelineDepth invocations may be outstanding at
+// once, each on its own lane (duplicated communicator); issuing more
+// fails with ErrBusy rather than interleaving collective traffic. All
+// threads must issue overlapping invocations in the same order, so they
+// agree on the lane assignments.
 func (b *Binding) InvokeNB(op string, scalars []byte, args []DistArg) *Future {
-	f := newFuture()
-	f.rec, f.rank = b.rec, int32(b.comm.Rank())
-	select {
-	case b.invoking <- struct{}{}:
-	default:
-		f.complete(nil, ErrBusy)
-		return f
-	}
-	go func() {
-		defer func() { <-b.invoking }()
-		res, err := b.invoke(b.method, op, scalars, args, nil)
-		f.complete(res, err)
-	}()
-	return f
+	return b.InvokeNBMethod(b.method, op, scalars, args)
 }
 
 // InvokeNBMethod is InvokeNB with an explicit transfer method.
 func (b *Binding) InvokeNBMethod(method Method, op string, scalars []byte, args []DistArg) *Future {
 	f := newFuture()
 	f.rec, f.rank = b.rec, int32(b.comm.Rank())
-	select {
-	case b.invoking <- struct{}{}:
-	default:
-		f.complete(nil, ErrBusy)
+	ln, err := b.acquireLane()
+	if err != nil {
+		f.complete(nil, err)
 		return f
 	}
 	go func() {
-		defer func() { <-b.invoking }()
-		res, err := b.invoke(method, op, scalars, args, nil)
+		res, err := b.invoke(ln, method, op, scalars, args, nil)
+		// Release before completing, so a caller that has waited on the
+		// future can immediately issue the next invocation on this lane.
+		b.releaseLane(ln)
 		f.complete(res, err)
 	}()
 	return f

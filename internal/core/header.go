@@ -15,11 +15,19 @@ import (
 type invocationHeader struct {
 	Op          string
 	Method      Method
-	Token       uint32 // ties multi-port Data transfers to this invocation
+	Streamed    bool   // centralized only: argument data follows as chunked Data messages
+	ChunkElems  uint32 // streamed only: request-leg chunk size, in elements
+	Token       uint32 // ties multi-port and streamed Data transfers to this invocation
 	ClientRanks int
 	Scalars     []byte // opaque marshalled non-distributed arguments
 	Args        []headerArg
 }
+
+// wireMethodStreamed is the on-the-wire method code for a streamed
+// centralized invocation. It is a distinct code (not a flag) so that peers
+// predating the streaming protocol reject the header cleanly instead of
+// misreading the chunk-size field as argument data.
+const wireMethodStreamed = uint32(Multiport) + 1
 
 type headerArg struct {
 	Dir    Dir
@@ -31,7 +39,14 @@ type headerArg struct {
 
 func (h *invocationHeader) encode(e *cdr.Encoder) {
 	e.WriteString(h.Op)
-	e.WriteEnum(uint32(h.Method))
+	m := uint32(h.Method)
+	if h.Streamed {
+		m = wireMethodStreamed
+	}
+	e.WriteEnum(m)
+	if h.Streamed {
+		e.WriteULong(h.ChunkElems)
+	}
 	e.WriteULong(h.Token)
 	e.WriteULong(uint32(h.ClientRanks))
 	e.WriteOctets(h.Scalars)
@@ -48,7 +63,7 @@ func (h *invocationHeader) encode(e *cdr.Encoder) {
 		} else {
 			dist.EncodeLayout(e, a.Layout)
 		}
-		if h.Method == Centralized && a.Dir != Out {
+		if h.Method == Centralized && !h.Streamed && a.Dir != Out {
 			e.WriteOctets(a.Data)
 		}
 	}
@@ -64,10 +79,21 @@ func decodeInvocationHeader(d *cdr.Decoder) (*invocationHeader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: method: %v", ErrBadHeader, err)
 	}
-	if m > uint32(Multiport) {
+	if m > wireMethodStreamed {
 		return nil, fmt.Errorf("%w: method %d", ErrBadHeader, m)
 	}
-	h.Method = Method(m)
+	if m == wireMethodStreamed {
+		h.Method = Centralized
+		h.Streamed = true
+		if h.ChunkElems, err = d.ReadULong(); err != nil {
+			return nil, fmt.Errorf("%w: chunk elems: %v", ErrBadHeader, err)
+		}
+		if h.ChunkElems == 0 || h.ChunkElems > 1<<30 {
+			return nil, fmt.Errorf("%w: chunk elems %d", ErrBadHeader, h.ChunkElems)
+		}
+	} else {
+		h.Method = Method(m)
+	}
 	if h.Token, err = d.ReadULong(); err != nil {
 		return nil, fmt.Errorf("%w: token: %v", ErrBadHeader, err)
 	}
@@ -112,7 +138,7 @@ func decodeInvocationHeader(d *cdr.Decoder) (*invocationHeader, error) {
 				return nil, fmt.Errorf("%w: arg %d layout: %v", ErrBadHeader, i, err)
 			}
 		}
-		if h.Method == Centralized && a.Dir != Out {
+		if h.Method == Centralized && !h.Streamed && a.Dir != Out {
 			if a.Data, err = d.ReadOctets(); err != nil {
 				return nil, fmt.Errorf("%w: arg %d data: %v", ErrBadHeader, i, err)
 			}
@@ -135,19 +161,22 @@ type replyArg struct {
 	Data   []byte // centralized Out/InOut only
 }
 
-func (h *replyHeader) encode(e *cdr.Encoder, method Method) {
+// encode writes the reply extension. In a streamed centralized invocation
+// (streamed true) result data travels as chunked Data messages written
+// before the Reply, so only the lengths ride in the header.
+func (h *replyHeader) encode(e *cdr.Encoder, method Method, streamed bool) {
 	e.WriteOctets(h.Scalars)
 	e.WriteULong(uint32(len(h.Args)))
 	for _, a := range h.Args {
 		e.WriteEnum(uint32(a.Dir))
 		e.WriteULongLong(uint64(a.Length))
-		if method == Centralized && a.Dir != In {
+		if method == Centralized && !streamed && a.Dir != In {
 			e.WriteOctets(a.Data)
 		}
 	}
 }
 
-func decodeReplyHeader(d *cdr.Decoder, method Method) (*replyHeader, error) {
+func decodeReplyHeader(d *cdr.Decoder, method Method, streamed bool) (*replyHeader, error) {
 	var h replyHeader
 	var err error
 	if h.Scalars, err = d.ReadOctets(); err != nil {
@@ -179,7 +208,7 @@ func decodeReplyHeader(d *cdr.Decoder, method Method) (*replyHeader, error) {
 			return nil, fmt.Errorf("%w: reply arg %d length %d", ErrBadHeader, i, length)
 		}
 		a.Length = int(length)
-		if method == Centralized && a.Dir != In {
+		if method == Centralized && !streamed && a.Dir != In {
 			if a.Data, err = d.ReadOctets(); err != nil {
 				return nil, fmt.Errorf("%w: reply arg %d data: %v", ErrBadHeader, i, err)
 			}

@@ -73,8 +73,8 @@ func TestReplyHeaderRoundTrip(t *testing.T) {
 			},
 		}
 		e := cdr.NewEncoder(cdr.NativeOrder)
-		h.encode(e, method)
-		got, err := decodeReplyHeader(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder), method)
+		h.encode(e, method, false)
+		got, err := decodeReplyHeader(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder), method, false)
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -84,6 +84,59 @@ func TestReplyHeaderRoundTrip(t *testing.T) {
 		if method == Centralized && !bytes.Equal(got.Args[1].Data, h.Args[1].Data) {
 			t.Fatal("centralized reply lost data")
 		}
+	}
+	// Streamed replies carry lengths only: the result data travels as chunked
+	// Data messages written before the Reply.
+	sh := &replyHeader{Args: []replyArg{{Dir: Out, Length: 77, Data: []byte{1, 2}}}}
+	se := cdr.NewEncoder(cdr.NativeOrder)
+	sh.encode(se, Centralized, true)
+	sgot, err := decodeReplyHeader(cdr.NewDecoder(se.Bytes(), cdr.NativeOrder), Centralized, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sgot.Args[0].Length != 77 || sgot.Args[0].Data != nil {
+		t.Fatalf("streamed reply header %+v", sgot.Args[0])
+	}
+}
+
+// TestStreamedInvocationHeaderRoundTrip pins the streamed header wiring: the
+// wire method code is distinct (old decoders reject it cleanly), the chunk
+// size travels, and no inline data is encoded.
+func TestStreamedInvocationHeaderRoundTrip(t *testing.T) {
+	h := &invocationHeader{
+		Op: "diffusion", Method: Centralized, Streamed: true, ChunkElems: 8192,
+		Token: 99, ClientRanks: 4, Scalars: []byte{1},
+		Args: []headerArg{
+			{Dir: In, Elem: "double", Layout: mustLayout(t, 100000, 4)},
+			{Dir: Out, Elem: "double", Spec: dist.Block{}},
+		},
+	}
+	e := cdr.NewEncoder(cdr.NativeOrder)
+	h.encode(e)
+	got, err := decodeInvocationHeader(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Streamed || got.Method != Centralized || got.ChunkElems != 8192 {
+		t.Fatalf("streamed header %+v", got)
+	}
+	if got.Args[0].Data != nil {
+		t.Fatal("streamed header carried inline data")
+	}
+	// A zero chunk size is rejected (it would make the schedule infinite).
+	bad := *h
+	bad.ChunkElems = 0
+	e = cdr.NewEncoder(cdr.NativeOrder)
+	bad.encode(e)
+	if _, err := decodeInvocationHeader(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder)); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+	// Method codes past the streamed one stay rejected.
+	e = cdr.NewEncoder(cdr.NativeOrder)
+	e.WriteString("op")
+	e.WriteEnum(wireMethodStreamed + 1)
+	if _, err := decodeInvocationHeader(cdr.NewDecoder(e.Bytes(), cdr.NativeOrder)); err == nil {
+		t.Fatal("unknown method accepted")
 	}
 }
 
@@ -95,8 +148,9 @@ func TestHeaderDecodeNeverPanics(t *testing.T) {
 			}
 		}()
 		decodeInvocationHeader(cdr.NewDecoder(data, cdr.LittleEndian))
-		decodeReplyHeader(cdr.NewDecoder(data, cdr.LittleEndian), Centralized)
-		decodeReplyHeader(cdr.NewDecoder(data, cdr.LittleEndian), Multiport)
+		decodeReplyHeader(cdr.NewDecoder(data, cdr.LittleEndian), Centralized, false)
+		decodeReplyHeader(cdr.NewDecoder(data, cdr.LittleEndian), Centralized, true)
+		decodeReplyHeader(cdr.NewDecoder(data, cdr.LittleEndian), Multiport, false)
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {

@@ -80,16 +80,20 @@ func (b *Binding) Invoke(op string, scalars []byte, args []DistArg) ([]byte, err
 // InvokeMethod is Invoke with an explicit transfer method and optional
 // timing collection.
 func (b *Binding) InvokeMethod(method Method, op string, scalars []byte, args []DistArg, timing *Timing) ([]byte, error) {
-	select {
-	case b.invoking <- struct{}{}:
-	default:
-		return nil, ErrBusy
+	ln, err := b.acquireLane()
+	if err != nil {
+		return nil, err
 	}
-	defer func() { <-b.invoking }()
-	return b.invoke(method, op, scalars, args, timing)
+	defer b.releaseLane(ln)
+	return b.invoke(ln, method, op, scalars, args, timing)
 }
 
-func (b *Binding) invoke(method Method, op string, scalars []byte, args []DistArg, timing *Timing) ([]byte, error) {
+// invoke runs one collective invocation on the given lane. Every collective
+// in the invocation (token agreement, gathers/scatters, meta share, error
+// agreement) rides the lane's communicator, so invocations on different
+// lanes overlap without their traffic interleaving.
+func (b *Binding) invoke(ln *bindLane, method Method, op string, scalars []byte, args []DistArg, timing *Timing) ([]byte, error) {
+	comm := ln.comm
 	start := time.Now()
 	if timing != nil {
 		*timing = Timing{}
@@ -119,12 +123,12 @@ func (b *Binding) invoke(method Method, op string, scalars []byte, args []DistAr
 
 	// Agree on the invocation token.
 	var tokenBytes []byte
-	if b.comm.Rank() == 0 {
+	if comm.Rank() == 0 {
 		e := cdr.NewEncoder(cdr.NativeOrder)
 		e.WriteULong(tokenCounter.Add(1))
 		tokenBytes = e.Bytes()
 	}
-	tokenBytes, err := b.comm.Bcast(0, tokenBytes)
+	tokenBytes, err := comm.Bcast(0, tokenBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -136,9 +140,12 @@ func (b *Binding) invoke(method Method, op string, scalars []byte, args []DistAr
 
 	switch method {
 	case Centralized:
-		return b.invokeCentralized(token, op, scalars, args, desc, timing)
+		if b.streamEligible(args) {
+			return b.invokeCentralizedStreamed(comm, token, op, scalars, args, desc, timing)
+		}
+		return b.invokeCentralized(comm, token, op, scalars, args, desc, timing)
 	case Multiport:
-		return b.invokeMultiport(token, op, scalars, args, desc, timing)
+		return b.invokeMultiport(comm, token, op, scalars, args, desc, timing)
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", method)
 	}
@@ -147,15 +154,17 @@ func (b *Binding) invoke(method Method, op string, scalars []byte, args []DistAr
 // invokeCentralized implements the paper's §3.2 client side: synchronize,
 // gather and marshal at the communicating thread, one request message, then
 // scatter the results.
-func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
-	// Gather the distributed arguments at thread 0.
+func (b *Binding) invokeCentralized(comm *rts.Comm, token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
+	// Gather the distributed arguments at thread 0. The gathers run on the
+	// lane communicator so concurrent invocations on other lanes cannot
+	// intercept the traffic.
 	gatherStart := time.Now()
 	payloads := make([][]byte, len(args))
 	for i, a := range args {
 		if a.Dir == Out {
 			continue
 		}
-		p, err := a.Seq.GatherMarshal(0)
+		p, err := gatherMarshalOn(comm, a.Seq)
 		if err != nil {
 			return nil, err
 		}
@@ -167,11 +176,11 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 	b.span(token, obs.PhaseGather, gatherStart)
 
 	var meta invokeMeta
-	if b.comm.Rank() == 0 {
+	if comm.Rank() == 0 {
 		packStart := time.Now()
 		h := &invocationHeader{
 			Op: op, Method: Centralized, Token: token,
-			ClientRanks: b.comm.Size(), Scalars: scalars,
+			ClientRanks: comm.Size(), Scalars: scalars,
 			Args: make([]headerArg, len(args)),
 		}
 		for i, a := range args {
@@ -195,9 +204,9 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 			timing.SendRecv = time.Since(sendStart)
 		}
 		b.span(token, obs.PhaseSendRecv, sendStart)
-		meta = metaFromReply(replyBytes, err, Centralized)
+		meta = metaFromReply(replyBytes, err, Centralized, false)
 	}
-	if err := b.shareMeta(&meta); err != nil {
+	if err := shareMeta(comm, &meta); err != nil {
 		return nil, err
 	}
 	if meta.err != nil {
@@ -220,10 +229,10 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 				}
 			}
 			var data []byte
-			if b.comm.Rank() == 0 {
+			if comm.Rank() == 0 {
 				data = meta.datas[i]
 			}
-			if err := a.Seq.ScatterUnmarshal(0, data); err != nil {
+			if err := scatterUnmarshalOn(comm, a.Seq, data); err != nil {
 				return err
 			}
 		}
@@ -233,7 +242,7 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 		timing.Scatter = time.Since(scatterStart)
 	}
 	b.span(token, obs.PhaseScatter, scatterStart)
-	if agreed := b.agreeError(scatterErr); agreed != nil {
+	if agreed := agreeError(comm, scatterErr); agreed != nil {
 		return nil, agreed
 	}
 	return meta.scalars, nil
@@ -249,9 +258,9 @@ func (b *Binding) invokeCentralized(token uint32, op string, scalars []byte, arg
 // into the agreement instead of returned early, so a thread whose data
 // connection was cut mid-frame cannot strand the others in a collective
 // they entered and it skipped.
-func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
-	me := b.comm.Rank()
-	cRanks := b.comm.Size()
+func (b *Binding) invokeMultiport(comm *rts.Comm, token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
+	me := comm.Rank()
+	cRanks := comm.Size()
 	sRanks := b.ref.Threads
 
 	sink := make(chan *wire.Data, bucketCapacity)
@@ -388,20 +397,20 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 	var meta invokeMeta
 	if me == 0 && launched {
 		res := <-replyCh
-		meta = metaFromReply(res.payload, res.err, Multiport)
+		meta = metaFromReply(res.payload, res.err, Multiport, false)
 	}
 	if timing != nil {
 		timing.SendRecv = time.Since(sendStart)
 	}
 	b.span(token, obs.PhaseSendRecv, sendStart)
-	if err := b.shareMeta(&meta); err != nil {
+	if err := shareMeta(comm, &meta); err != nil {
 		return nil, err
 	}
 	phaseErr := localErr
 	if phaseErr == nil {
 		phaseErr = meta.err
 	}
-	if agreed := b.agreeError(phaseErr); agreed != nil {
+	if agreed := agreeError(comm, phaseErr); agreed != nil {
 		return nil, agreed
 	}
 
@@ -450,7 +459,7 @@ func (b *Binding) invokeMultiport(token uint32, op string, scalars []byte, args 
 	// with error agreement so a thread whose return flows failed cannot
 	// leave the others in a hung barrier.
 	barrierStart := time.Now()
-	agreed := b.agreeError(recvErr)
+	agreed := agreeError(comm, recvErr)
 	if timing != nil {
 		timing.Barrier = time.Since(barrierStart)
 	}
@@ -526,8 +535,6 @@ func agreeError(comm *rts.Comm, local error) error {
 	return agreed
 }
 
-func (b *Binding) agreeError(local error) error { return agreeError(b.comm, local) }
-
 // invokeMeta is the invocation outcome the communicating thread shares with
 // the others.
 type invokeMeta struct {
@@ -537,7 +544,7 @@ type invokeMeta struct {
 	datas   [][]byte // centralized only; not broadcast (thread 0 scatters)
 }
 
-func metaFromReply(payload []byte, err error, method Method) invokeMeta {
+func metaFromReply(payload []byte, err error, method Method, streamed bool) invokeMeta {
 	if err != nil {
 		return invokeMeta{err: err}
 	}
@@ -545,7 +552,7 @@ func metaFromReply(payload []byte, err error, method Method) invokeMeta {
 	if derr != nil {
 		return invokeMeta{err: derr}
 	}
-	rh, derr := decodeReplyHeader(d, method)
+	rh, derr := decodeReplyHeader(d, method, streamed)
 	if derr != nil {
 		return invokeMeta{err: derr}
 	}
@@ -558,11 +565,12 @@ func metaFromReply(payload []byte, err error, method Method) invokeMeta {
 }
 
 // shareMeta broadcasts thread 0's invocation outcome (status, scalar
-// results, result lengths) to all threads. The centralized data payloads
-// stay at thread 0, which scatters them.
-func (b *Binding) shareMeta(m *invokeMeta) error {
+// results, result lengths) to all threads over the invocation's lane
+// communicator. The centralized data payloads stay at thread 0, which
+// scatters them.
+func shareMeta(comm *rts.Comm, m *invokeMeta) error {
 	var payload []byte
-	if b.comm.Rank() == 0 {
+	if comm.Rank() == 0 {
 		e := cdr.NewEncoder(cdr.NativeOrder)
 		encodeMetaErr(e, m.err)
 		e.WriteOctets(m.scalars)
@@ -572,11 +580,11 @@ func (b *Binding) shareMeta(m *invokeMeta) error {
 		}
 		payload = e.Bytes()
 	}
-	payload, err := b.comm.Bcast(0, payload)
+	payload, err := comm.Bcast(0, payload)
 	if err != nil {
 		return err
 	}
-	if b.comm.Rank() == 0 {
+	if comm.Rank() == 0 {
 		return nil
 	}
 	d := cdr.NewDecoder(payload, cdr.NativeOrder)

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dseq"
+	"repro/internal/obs"
+	"repro/internal/rts"
+	"repro/internal/transport"
+)
+
+// pendingCheck records what a window slot's outstanding invocation must
+// deliver when its future resolves.
+type pendingCheck struct {
+	op      string
+	wantVal float64 // value every element must hold after completion
+	wantSum float64 // expected "sum" reply (op == "sum" only)
+}
+
+// TestPipelinedWindowStress keeps a window of overlapping invocations
+// outstanding per binding — chunk-streamed both ways, staggered by injected
+// write delays — and checks every future resolves with its own invocation's
+// results (no cross-token mixups) and no goroutines leak. Run under -race via
+// the race Makefile target, this is the data-race check for the lane engine.
+func TestPipelinedWindowStress(t *testing.T) {
+	checkGoroutines(t, "stress", func(t *testing.T) {
+		const (
+			depth = 4
+			reps  = 24
+			n     = 768 // 6 chunks of 128: every invocation streams both legs
+		)
+		tc := startCluster(t, 2, false, nil)
+		plan := transport.NewFaultPlan(7)
+		plan.Delay = 200 * time.Microsecond
+		plan.DelayEvery = 3
+		opts := BindOptions{
+			Method: Centralized, Timeout: testTimeout,
+			PipelineDepth:    depth,
+			StreamChunkElems: 128,
+			Transport:        &transport.Options{Wrap: plan.Wrap},
+		}
+		tc.runClientOpts(t, 2, opts, func(c *rts.Comm, b *Binding) error {
+			if got := b.PipelineDepth(); got != depth {
+				return fmt.Errorf("PipelineDepth() = %d, want %d", got, depth)
+			}
+			// Each window slot owns its sequence and a distinct element value,
+			// so a reply delivered to the wrong token is detectable.
+			seqs := make([]*dseq.Seq[float64], depth)
+			vals := make([]float64, depth)
+			for s := range seqs {
+				seq, err := dseq.New(c, dseq.Float64, n, nil)
+				if err != nil {
+					return err
+				}
+				vals[s] = float64(s + 1)
+				v := vals[s]
+				seq.FillFunc(func(int) float64 { return v })
+				seqs[s] = seq
+			}
+			window := make([]*Future, depth)
+			pending := make([]pendingCheck, depth)
+
+			settle := func(s int) error {
+				f := window[s]
+				if f == nil {
+					return nil
+				}
+				window[s] = nil
+				reply, err := f.Wait()
+				if err != nil {
+					return fmt.Errorf("slot %d (%s): %w", s, pending[s].op, err)
+				}
+				d, err := ScalarDecoder(reply)
+				if err != nil {
+					return err
+				}
+				switch pending[s].op {
+				case "scale":
+					got, err := d.ReadLong()
+					if err != nil {
+						return err
+					}
+					if got != n {
+						return fmt.Errorf("slot %d: scale reply %d, want %d", s, got, n)
+					}
+				case "sum":
+					got, err := d.ReadDouble()
+					if err != nil {
+						return err
+					}
+					if got != pending[s].wantSum {
+						return fmt.Errorf("slot %d: sum reply %v, want %v", s, got, pending[s].wantSum)
+					}
+				}
+				for i, v := range seqs[s].LocalData() {
+					if v != pending[s].wantVal {
+						return fmt.Errorf("slot %d: element %d holds %v, want %v", s, i, v, pending[s].wantVal)
+					}
+				}
+				return nil
+			}
+
+			for rep := 0; rep < reps; rep++ {
+				s := rep % depth
+				if err := settle(s); err != nil {
+					return err
+				}
+				if rep%2 == 0 {
+					// scale doubles the slot's value in place (InOut, streamed
+					// both directions).
+					pending[s] = pendingCheck{op: "scale", wantVal: vals[s] * 2}
+					vals[s] *= 2
+					window[s] = b.InvokeNB("scale", scaleScalars(2), []DistArg{InOutSeq(seqs[s])})
+				} else {
+					// sum reads the slot's value (In, streamed request leg) —
+					// powers of two times small integers, so sums are exact.
+					pending[s] = pendingCheck{op: "sum", wantVal: vals[s], wantSum: vals[s] * n}
+					window[s] = b.InvokeNB("sum", ScalarEncoder().Bytes(), []DistArg{InSeq(seqs[s])})
+				}
+			}
+			for s := range window {
+				if err := settle(s); err != nil {
+					return err
+				}
+			}
+			// The engine is still healthy after the storm: a blocking call works.
+			reply, err := b.Invoke("sum", ScalarEncoder().Bytes(), []DistArg{InSeq(seqs[0])})
+			if err != nil {
+				return err
+			}
+			d, err := ScalarDecoder(reply)
+			if err != nil {
+				return err
+			}
+			got, err := d.ReadDouble()
+			if err != nil {
+				return err
+			}
+			if want := vals[0] * n; got != want {
+				return fmt.Errorf("final sum %v, want %v", got, want)
+			}
+			return nil
+		})
+	})
+}
+
+// TestPipelineErrBusy checks the lane discipline at its edge: an invocation
+// issued while its round-robin lane is still carrying one fails with ErrBusy
+// on every rank, the cursor still advances (so all ranks stay in lockstep),
+// and the binding keeps working afterwards.
+func TestPipelineErrBusy(t *testing.T) {
+	tc := startCluster(t, 1, false, nil)
+	opts := BindOptions{Method: Centralized, Timeout: testTimeout, PipelineDepth: 2}
+	tc.runClientOpts(t, 2, opts, func(c *rts.Comm, b *Binding) error {
+		seq, err := dseq.New(c, dseq.Float64, 64, nil)
+		if err != nil {
+			return err
+		}
+		seq.FillFunc(func(int) float64 { return 1 })
+		// Make the next round-robin lane busy by taking its token directly —
+		// deterministic on every rank, unlike racing a real invocation.
+		b.laneMu.Lock()
+		ln := &b.lanes[b.laneSeq%uint64(len(b.lanes))]
+		b.laneMu.Unlock()
+		<-ln.free
+		f := b.InvokeNB("sum", ScalarEncoder().Bytes(), []DistArg{InSeq(seq)})
+		if _, err := f.Wait(); !errors.Is(err, ErrBusy) {
+			return fmt.Errorf("overflowing the window: %v, want ErrBusy", err)
+		}
+		ln.free <- struct{}{}
+		// The failed issue advanced the cursor on every rank equally, so the
+		// binding is still coherent: the next collective call succeeds.
+		reply, err := b.Invoke("sum", ScalarEncoder().Bytes(), []DistArg{InSeq(seq)})
+		if err != nil {
+			return fmt.Errorf("after ErrBusy: %w", err)
+		}
+		d, err := ScalarDecoder(reply)
+		if err != nil {
+			return err
+		}
+		if got, err := d.ReadDouble(); err != nil || got != 64 {
+			return fmt.Errorf("after ErrBusy: sum %v err %v, want 64", got, err)
+		}
+		return nil
+	})
+}
+
+// TestPipelineDepthClamps pins the lane-count policy: zero and one both mean
+// the classic engine, and absurd depths clamp to maxPipelineDepth instead of
+// allocating thousands of communicator contexts.
+func TestPipelineDepthClamps(t *testing.T) {
+	tc := startCluster(t, 1, false, nil)
+	for _, tt := range []struct{ ask, want int }{{0, 1}, {1, 1}, {3, 3}, {10 * maxPipelineDepth, maxPipelineDepth}} {
+		opts := BindOptions{Method: Centralized, Timeout: testTimeout, PipelineDepth: tt.ask}
+		tc.runClientOpts(t, 1, opts, func(c *rts.Comm, b *Binding) error {
+			if got := b.PipelineDepth(); got != tt.want {
+				return fmt.Errorf("PipelineDepth(ask %d) = %d, want %d", tt.ask, got, tt.want)
+			}
+			return nil
+		})
+	}
+}
+
+// TestStreamedChunkAllocs is the allocation guard for the chunked transfer
+// path: the marginal cost of each extra chunk in a streamed invocation's
+// steady state must stay within a small fixed budget (pooled frames, recycled
+// chunk buffers — not a fresh payload per chunk). Measured end to end, so it
+// bounds both the send and receive sides of both legs.
+func TestStreamedChunkAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement in -short mode")
+	}
+	const (
+		chunk      = 256
+		smallElems = 8 * chunk  // 8 chunks per leg
+		bigElems   = 40 * chunk // 40 chunks per leg
+		extraChunk = 2 * (40 - 8)
+	)
+	tc := startCluster(t, 1, false, nil)
+	opts := BindOptions{Method: Centralized, Timeout: testTimeout, StreamChunkElems: chunk}
+	tc.runClientOpts(t, 1, opts, func(c *rts.Comm, b *Binding) error {
+		measure := func(elems int) (float64, error) {
+			seq, err := dseq.New(c, dseq.Float64, elems, nil)
+			if err != nil {
+				return 0, err
+			}
+			seq.FillFunc(func(int) float64 { return 1 })
+			// Warm pools and connections outside the measured runs.
+			if _, err := b.Invoke("scale", scaleScalars(1), []DistArg{InOutSeq(seq)}); err != nil {
+				return 0, err
+			}
+			var invokeErr error
+			allocs := testing.AllocsPerRun(6, func() {
+				if _, err := b.Invoke("scale", scaleScalars(1), []DistArg{InOutSeq(seq)}); err != nil {
+					invokeErr = err
+				}
+			})
+			return allocs, invokeErr
+		}
+		small, err := measure(smallElems)
+		if err != nil {
+			return err
+		}
+		big, err := measure(bigElems)
+		if err != nil {
+			return err
+		}
+		perChunk := (big - small) / extraChunk
+		t.Logf("streamed invocation allocs: %.0f at %d chunks/leg, %.0f at %d chunks/leg (%.1f per extra chunk)",
+			small, smallElems/chunk, big, bigElems/chunk, perChunk)
+		// The whole-process budget per marginal chunk (client marshal, server
+		// scatter, reply gather, client store, channel plumbing). Without the
+		// pooled frame and recycled payload paths this is hundreds.
+		const budget = 40
+		if perChunk > budget {
+			return fmt.Errorf("streamed transfer allocates %.1f per extra chunk, budget %d", perChunk, budget)
+		}
+		return nil
+	})
+}
+
+// TestSpansAllocFreeWhenTracingOff pins the per-chunk observability cost when
+// no recorder is attached: the span helpers sit on the chunk hot loops, so
+// with tracing off they must record nothing and allocate nothing.
+func TestSpansAllocFreeWhenTracingOff(t *testing.T) {
+	b := &Binding{}
+	o := &Object{}
+	allocs := testing.AllocsPerRun(200, func() {
+		b.span(7, obs.PhaseChunkSend, time.Time{})
+		b.spanDur(7, obs.PhaseChunkRecv, time.Time{}, time.Millisecond)
+		o.span(7, obs.PhaseChunkRecv, time.Time{})
+	})
+	if allocs != 0 {
+		t.Fatalf("span helpers with tracing off allocate %.1f/run, want 0", allocs)
+	}
+}

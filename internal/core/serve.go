@@ -10,6 +10,7 @@ import (
 	"repro/internal/dseq"
 	"repro/internal/obs"
 	"repro/internal/orb"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -184,12 +185,12 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 		}
 	}
 
-	// Buckets exist to accumulate multi-port transfers and attachments;
-	// centralized calls carry their data inline, so skip the bucket (and
-	// its buffered channel) entirely for them. dropBucket still runs in
-	// case a stray Data message created one for this token.
+	// Buckets exist to accumulate multi-port and streamed transfers (plus
+	// attachments); plain centralized calls carry their data inline, so skip
+	// the bucket (and its buffered channel) entirely for them. dropBucket
+	// still runs in case a stray Data message created one for this token.
 	var bucket *dataBucket
-	if h.Method == Multiport {
+	if h.Method == Multiport || h.Streamed {
 		bucket = o.bucket(h.Token)
 	}
 	defer o.dropBucket(h.Token)
@@ -200,6 +201,9 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 	// upcall coherently everywhere instead of wedging the collective loop.
 	recvStart := time.Now()
 	recvErr := func() error {
+		if h.Streamed {
+			return o.receiveStreamed(bucket, h, args)
+		}
 		for i, a := range h.Args {
 			if a.Dir == Out {
 				continue
@@ -267,14 +271,19 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 	sendErr := func() error {
 		for i, a := range h.Args {
 			rh.Args[i] = replyArg{Dir: a.Dir, Length: args[i].Len()}
-			if a.Dir == In {
-				continue
-			}
 			if a.Dir == InOut && args[i].Len() != a.Layout.Length {
 				return &orb.SystemException{
 					RepoID:  orb.RepoMarshal,
 					Message: fmt.Sprintf("handler resized inout arg %d from %d to %d", i, a.Layout.Length, args[i].Len()),
 				}
+			}
+		}
+		if h.Streamed {
+			return o.sendStreamed(bucket, h, args)
+		}
+		for i, a := range h.Args {
+			if a.Dir == In {
+				continue
 			}
 			switch h.Method {
 			case Centralized:
@@ -317,10 +326,147 @@ func (o *Object) processCall(h *invocationHeader) (reply []byte, stop bool, err 
 
 	if me == 0 {
 		e := orb.NewArgEncoder()
-		rh.encode(e, h.Method)
+		rh.encode(e, h.Method, h.Streamed)
 		reply = e.Bytes()
 	}
 	return reply, stop, nil
+}
+
+// receiveStreamed consumes a streamed centralized request's chunk schedule:
+// for every In/InOut argument, thread 0 pulls the scheduled chunks off the
+// token's bucket and the threads collectively scatter each one. The schedule
+// always runs to completion — after a failure thread 0 substitutes fail
+// markers instead of pulling — so the collective loop cannot desynchronize,
+// and the first failure is reported once the schedule is done.
+func (o *Object) receiveStreamed(bucket *dataBucket, h *invocationHeader, args []dseq.Transferable) error {
+	me := o.comm.Rank()
+	ce := int(h.ChunkElems)
+	var firstErr error
+	for i, a := range h.Args {
+		if a.Dir == Out {
+			continue
+		}
+		st, ok := args[i].(dseq.StreamTransferable)
+		if !ok {
+			// Deterministic from the sequence types, so every thread returns
+			// here together, before any chunk collective.
+			return &orb.SystemException{RepoID: orb.RepoMarshal, Message: fmt.Sprintf("arg %d does not support streamed transfers", i)}
+		}
+		l := a.Layout.Length
+		nchunks := chunkCount(l, ce)
+		for k := 0; k < nchunks; k++ {
+			start, n := chunkRange(l, ce, k)
+			chunkStart := time.Now()
+			var payload []byte
+			var frame *wire.Data
+			if me == 0 {
+				if firstErr != nil {
+					payload = dseq.FailMarker
+				} else if d, err := nextChunk(bucket.ch, o.stop, o.opts.DataTimeout, uint32(i), false, start, n, k == nchunks-1); err != nil {
+					firstErr = err
+					payload = dseq.FailMarker
+				} else {
+					frame, payload = d, d.Payload
+				}
+			}
+			err := st.ScatterUnmarshalRange(o.comm, 0, start, n, payload)
+			if frame != nil {
+				frame.Release()
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			o.span(h.Token, obs.PhaseChunkRecv, chunkStart)
+		}
+	}
+	if firstErr != nil {
+		return &orb.SystemException{RepoID: orb.RepoMarshal, Message: firstErr.Error()}
+	}
+	return nil
+}
+
+// sendStreamed returns a streamed centralized invocation's Out/InOut results
+// as chunked Data messages: the threads collectively gather-marshal each
+// scheduled chunk and thread 0 writes it to the client's connection, before
+// the Reply is encoded — same-connection ordering then guarantees the client
+// holds every chunk once it sees the Reply. The reply-leg chunk size is
+// recomputed from the final result lengths exactly as the client will.
+func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []dseq.Transferable) error {
+	me := o.comm.Rank()
+	outLens := make([]int, 0, len(args))
+	for i, a := range h.Args {
+		if a.Dir != In {
+			outLens = append(outLens, args[i].Len())
+		}
+	}
+	ce := chunkElemsFor(int(h.ChunkElems), outLens)
+	var conn *transport.Conn
+	var firstErr error
+	gatherDown := false // stop issuing collectives after one fails
+	connDown := false   // stop writing after the connection fails
+	for i, a := range h.Args {
+		if a.Dir == In {
+			continue
+		}
+		st, ok := args[i].(dseq.StreamTransferable)
+		if !ok {
+			return &orb.SystemException{RepoID: orb.RepoMarshal, Message: fmt.Sprintf("arg %d does not support streamed transfers", i)}
+		}
+		l := args[i].Len()
+		nchunks := chunkCount(l, ce)
+		for k := 0; k < nchunks; k++ {
+			start, n := chunkRange(l, ce, k)
+			chunkStart := time.Now()
+			var payload []byte
+			if !gatherDown {
+				p, err := st.GatherMarshalRange(o.comm, 0, start, n)
+				if err != nil {
+					gatherDown = true
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					payload = p
+				}
+			}
+			if me != 0 {
+				o.span(h.Token, obs.PhaseChunkSend, chunkStart)
+				continue
+			}
+			if firstErr != nil {
+				payload = dseq.FailMarker
+			}
+			if !connDown && conn == nil {
+				c, err := bucket.conn(0, o.stop, attachTimeout)
+				if err != nil {
+					connDown = true
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					conn = c
+				}
+			}
+			if !connDown {
+				msg := &wire.Data{
+					RequestID: h.Token, ArgIndex: uint32(i), SrcRank: 0, DstRank: 0,
+					DstOff: uint64(start), Count: uint64(n), Reply: true,
+					Flags: chunkFlags(k == nchunks-1), Payload: payload,
+				}
+				if err := conn.WriteMessage(msg); err != nil {
+					connDown = true
+					if firstErr == nil {
+						firstErr = err
+					}
+				}
+			}
+			o.span(h.Token, obs.PhaseChunkSend, chunkStart)
+		}
+	}
+	if firstErr != nil {
+		return &orb.SystemException{RepoID: orb.RepoComm, Message: firstErr.Error()}
+	}
+	return nil
 }
 
 // receiveMoves consumes the expected inbound transfers for one argument on

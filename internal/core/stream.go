@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dseq"
+	"repro/internal/obs"
+	"repro/internal/orb"
+	"repro/internal/rts"
+	"repro/internal/wire"
+)
+
+// Streamed centralized transfers: instead of gathering a whole argument at
+// thread 0, marshalling it, and only then sending one giant request, the
+// engine walks each large argument in fixed chunks — gathering chunk k+1
+// over the runtime system while chunk k is on the wire. The reply leg is
+// symmetric: the server gathers and writes result chunks before the Reply,
+// and the client scatters them as it drains its sink. Both sides derive the
+// same chunk schedule from the lengths and the chunk size in the header, so
+// no per-chunk control traffic is needed.
+
+// DefaultStreamChunkElems is the streamed-transfer chunk size when
+// BindOptions.StreamChunkElems is zero. 8192 doubles (64 KiB payloads) sit
+// comfortably above the per-message overhead and below the frame limit.
+const DefaultStreamChunkElems = 8192
+
+// maxStreamChunks bounds the total number of chunks in one direction of one
+// invocation; the chunk size is raised until the schedule fits. The bound
+// keeps a whole reply leg inside one data sink (capacity bucketCapacity):
+// reply chunks are written before the Reply message, so they may all be
+// buffered before the client starts draining.
+const maxStreamChunks = 1024
+
+// chunkElemsFor returns the chunk size for a transfer leg: base elements,
+// doubled until the leg's total chunk count (across all its arguments, whose
+// element lengths are given) fits maxStreamChunks. Both peers compute it
+// from the same inputs, so the schedules agree without negotiation.
+func chunkElemsFor(base int, lengths []int) int {
+	ce := base
+	if ce < 1 {
+		ce = 1
+	}
+	for {
+		total := 0
+		for _, l := range lengths {
+			total += chunkCount(l, ce)
+		}
+		if total <= maxStreamChunks {
+			return ce
+		}
+		ce *= 2
+	}
+}
+
+func chunkCount(length, ce int) int {
+	if length <= 0 {
+		return 0
+	}
+	return (length + ce - 1) / ce
+}
+
+// chunkRange returns the k-th chunk's [start, start+n) range.
+func chunkRange(length, ce, k int) (start, n int) {
+	start = k * ce
+	n = ce
+	if length-start < n {
+		n = length - start
+	}
+	return start, n
+}
+
+func chunkFlags(last bool) byte {
+	f := byte(wire.DataFlagChunk)
+	if last {
+		f |= wire.DataFlagLast
+	}
+	return f
+}
+
+// streamEligible decides whether an invocation takes the streamed
+// centralized path. The decision is a pure function of the binding options
+// and the arguments' global lengths and types, so every SPMD thread decides
+// identically without communicating: streaming must be enabled, every
+// argument must support range transfers, and at least one In/InOut argument
+// must be large enough (two chunks) for the overlap to pay.
+func (b *Binding) streamEligible(args []DistArg) bool {
+	if b.chunkElems <= 0 || len(args) == 0 {
+		return false
+	}
+	big := false
+	for _, a := range args {
+		if _, ok := a.Seq.(dseq.StreamTransferable); !ok {
+			return false
+		}
+		if a.Dir != Out && a.Seq.Len() >= 2*b.chunkElems {
+			big = true
+		}
+	}
+	return big
+}
+
+// gatherMarshalOn gathers and marshals a whole sequence at root 0 over the
+// given (lane) communicator. Sequences that support range transfers use
+// them — required under pipelining, where a transfer on the sequence's own
+// communicator could interleave with another lane's — and others fall back
+// to the sequence's communicator (safe only at pipeline depth 1).
+func gatherMarshalOn(c *rts.Comm, seq dseq.Transferable) ([]byte, error) {
+	if st, ok := seq.(dseq.StreamTransferable); ok {
+		return st.GatherMarshalRange(c, 0, 0, seq.Len())
+	}
+	return seq.GatherMarshal(0)
+}
+
+// scatterUnmarshalOn is the inverse of gatherMarshalOn.
+func scatterUnmarshalOn(c *rts.Comm, seq dseq.Transferable, payload []byte) error {
+	if st, ok := seq.(dseq.StreamTransferable); ok {
+		return st.ScatterUnmarshalRange(c, 0, 0, seq.Len(), payload)
+	}
+	return seq.ScatterUnmarshal(0, payload)
+}
+
+// nextChunk pulls the next expected stream chunk from a data channel,
+// validating that it is exactly the scheduled one. A nil message is the
+// connection-loss poison. On any error the frame (if any) has been
+// released; on success the caller owns the frame and must Release it.
+func nextChunk(ch <-chan *wire.Data, stop <-chan struct{}, timeout time.Duration, argIdx uint32, reply bool, start, n int, last bool) (*wire.Data, error) {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case d := <-ch:
+		if d == nil {
+			return nil, &orb.SystemException{RepoID: orb.RepoComm, Message: "data connection lost mid-stream"}
+		}
+		if d.ArgIndex != argIdx || d.Reply != reply || !d.Chunked() ||
+			d.DstOff != uint64(start) || d.Count != uint64(n) || d.LastChunk() != last {
+			err := fmt.Errorf("%w: stream chunk arg %d off %d count %d last %v, want arg %d off %d count %d last %v",
+				ErrBadHeader, d.ArgIndex, d.DstOff, d.Count, d.LastChunk(), argIdx, start, n, last)
+			d.Release()
+			return nil, err
+		}
+		return d, nil
+	case <-stop:
+		return nil, ErrStopped
+	case <-deadline:
+		return nil, fmt.Errorf("core: stream chunk (arg %d, off %d) timed out after %v", argIdx, start, timeout)
+	}
+}
+
+// drainData empties a data channel without blocking, returning any pooled
+// frames still buffered in it.
+func drainData(ch chan *wire.Data) {
+	for {
+		select {
+		case d := <-ch:
+			if d != nil {
+				d.Release()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// invokeCentralizedStreamed is invokeCentralized with the staged
+// gather→pack→send replaced by a chunked pipeline. The collective schedule
+// is fixed: every thread walks the same chunks of the same arguments in the
+// same order, and local failures are carried through the schedule (thread 0
+// substitutes fail-marker payloads) rather than breaking it, so a failure
+// surfaces as one agreed error instead of a stranded collective.
+func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
+	me := comm.Rank()
+	inLens := make([]int, 0, len(args))
+	for _, a := range args {
+		if a.Dir != Out {
+			inLens = append(inLens, a.Seq.Len())
+		}
+	}
+	ce := chunkElemsFor(b.chunkElems, inLens)
+
+	type replyResult struct {
+		payload []byte
+		err     error
+	}
+	var sink chan *wire.Data
+	replyCh := make(chan replyResult, 1)
+	launched := false
+	sendStart := time.Now()
+
+	// The communicating thread launches the request first — the header
+	// travels ahead of the chunks, which the server buffers per token
+	// either way — then joins the collective chunk schedule.
+	if me == 0 {
+		sink = make(chan *wire.Data, bucketCapacity)
+		b.client.RegisterDataSink(token, sink)
+		defer func() {
+			b.client.UnregisterDataSink(token)
+			drainData(sink)
+		}()
+		packStart := time.Now()
+		h := &invocationHeader{
+			Op: op, Method: Centralized, Streamed: true, ChunkElems: uint32(ce),
+			Token: token, ClientRanks: comm.Size(), Scalars: scalars,
+			Args: make([]headerArg, len(args)),
+		}
+		for i, a := range args {
+			h.Args[i] = headerArg{Dir: a.Dir, Elem: a.Seq.ElemName()}
+			if a.Dir == Out {
+				h.Args[i].Spec = a.Seq.Spec()
+			} else {
+				h.Args[i].Layout = a.Seq.Layout()
+			}
+		}
+		e := orb.NewArgEncoder()
+		h.encode(e)
+		if timing != nil {
+			timing.Pack = time.Since(packStart)
+		}
+		b.span(token, obs.PhasePack, packStart)
+		launched = true
+		go func() {
+			payload, err := b.client.Invoke(b.ref, op, e.Bytes(), false)
+			replyCh <- replyResult{payload: payload, err: err}
+		}()
+	}
+
+	// Request leg: gather-marshal chunk k over the runtime system while
+	// chunk k-1 is on the wire. After a collective gather fails on this
+	// thread it stops issuing gathers (the peers fail their next collective
+	// and stop too); thread 0 keeps the wire schedule alive with fail
+	// markers so the server's receive loop stays aligned.
+	gatherTotal := time.Duration(0)
+	var streamErr error // this thread's first failure
+	gatherDown := false
+	for i, a := range args {
+		if a.Dir == Out {
+			continue
+		}
+		st := a.Seq.(dseq.StreamTransferable)
+		l := a.Seq.Len()
+		nchunks := chunkCount(l, ce)
+		for k := 0; k < nchunks; k++ {
+			start, n := chunkRange(l, ce, k)
+			chunkStart := time.Now()
+			var payload []byte
+			if !gatherDown {
+				p, err := st.GatherMarshalRange(comm, 0, start, n)
+				if err != nil {
+					gatherDown = true
+					if streamErr == nil {
+						streamErr = err
+					}
+				} else {
+					payload = p
+				}
+			}
+			gatherTotal += time.Since(chunkStart)
+			if me != 0 {
+				b.span(token, obs.PhaseChunkSend, chunkStart)
+				continue
+			}
+			if streamErr != nil {
+				payload = dseq.FailMarker
+			}
+			d := &wire.Data{
+				RequestID: token, ArgIndex: uint32(i), SrcRank: 0, DstRank: 0,
+				DstOff: uint64(start), Count: uint64(n),
+				Flags: chunkFlags(k == nchunks-1), Payload: payload,
+			}
+			if err := b.client.SendData(b.ref, d); err != nil && streamErr == nil {
+				// Wire failures surface in the control path's error taxonomy
+				// (COMM_FAILURE), not as raw transport errors, so callers can
+				// classify a dead peer the same way on every transfer path.
+				streamErr = &orb.SystemException{RepoID: orb.RepoComm, Message: err.Error()}
+			}
+			b.span(token, obs.PhaseChunkSend, chunkStart)
+		}
+	}
+	if timing != nil {
+		timing.Gather = gatherTotal
+	}
+	b.spanDur(token, obs.PhaseGather, sendStart, gatherTotal)
+
+	// The communicating thread collects the reply (bounded by the client
+	// timeout); everyone shares it, then agrees on the request leg.
+	var meta invokeMeta
+	if me == 0 && launched {
+		res := <-replyCh
+		meta = metaFromReply(res.payload, res.err, Centralized, true)
+	}
+	if timing != nil {
+		timing.SendRecv = time.Since(sendStart)
+	}
+	b.span(token, obs.PhaseSendRecv, sendStart)
+	if err := shareMeta(comm, &meta); err != nil {
+		return nil, err
+	}
+	phaseErr := streamErr
+	if phaseErr == nil {
+		phaseErr = meta.err
+	}
+	if agreed := agreeError(comm, phaseErr); agreed != nil {
+		return nil, agreed
+	}
+
+	// Reply leg: the server wrote every reply chunk before the Reply on the
+	// same connection, so by now they are in (or streaming into) the sink in
+	// schedule order. The reply chunk size is recomputed from the result
+	// lengths exactly as the server did, so the schedules agree.
+	outLens := make([]int, 0, len(args))
+	for i, a := range args {
+		if a.Dir != In {
+			outLens = append(outLens, meta.lengths[i])
+		}
+	}
+	ceOut := chunkElemsFor(ce, outLens)
+	scatterStart := time.Now()
+	scatterErr := func() error {
+		var firstErr error
+		for i, a := range args {
+			if a.Dir == In {
+				continue
+			}
+			if a.Dir == Out {
+				if err := a.Seq.ResizeAlloc(meta.lengths[i]); err != nil {
+					return err
+				}
+			} else if meta.lengths[i] != a.Seq.Len() {
+				return fmt.Errorf("%w: inout arg %d length %d from server, have %d", ErrBadHeader, i, meta.lengths[i], a.Seq.Len())
+			}
+			st := a.Seq.(dseq.StreamTransferable)
+			l := meta.lengths[i]
+			nchunks := chunkCount(l, ceOut)
+			for k := 0; k < nchunks; k++ {
+				start, n := chunkRange(l, ceOut, k)
+				chunkStart := time.Now()
+				var payload []byte
+				var frame *wire.Data
+				if me == 0 {
+					if firstErr != nil {
+						payload = dseq.FailMarker
+					} else if d, err := nextChunk(sink, nil, b.client.Timeout, uint32(i), true, start, n, k == nchunks-1); err != nil {
+						firstErr = err
+						payload = dseq.FailMarker
+					} else {
+						frame, payload = d, d.Payload
+					}
+				}
+				err := st.ScatterUnmarshalRange(comm, 0, start, n, payload)
+				if frame != nil {
+					frame.Release()
+				}
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				b.span(token, obs.PhaseChunkRecv, chunkStart)
+			}
+		}
+		return firstErr
+	}()
+	if timing != nil {
+		timing.Scatter = time.Since(scatterStart)
+	}
+	b.span(token, obs.PhaseScatter, scatterStart)
+	if agreed := agreeError(comm, scatterErr); agreed != nil {
+		return nil, agreed
+	}
+	return meta.scalars, nil
+}

@@ -229,18 +229,49 @@ func (s *Seq[T]) GatherTo(root int) ([]T, error) {
 		return nil, nil
 	}
 	full := make([]T, s.layout.Length)
-	for r, chunk := range chunks {
-		vals, err := UnmarshalChunk(s.codec, chunk)
-		if err != nil {
-			return nil, err
+	merge := func(r int) error {
+		want := s.layout.Count(r)
+		ivs := s.layout.Intervals[r]
+		if len(ivs) == 1 {
+			// Contiguous ownership (the common Block case): decode straight
+			// into the rank's slot of full, skipping the staging slice.
+			iv := ivs[0]
+			n, err := UnmarshalChunkInto(s.codec, chunks[r], full[iv.Start:iv.End()])
+			if err != nil {
+				return err
+			}
+			if n != want {
+				return fmt.Errorf("%w: rank %d sent %d of %d elements", ErrLayout, r, n, want)
+			}
+			return nil
 		}
-		if len(vals) != s.layout.Count(r) {
-			return nil, fmt.Errorf("%w: rank %d sent %d of %d elements", ErrLayout, r, len(vals), s.layout.Count(r))
+		vals, err := UnmarshalChunk(s.codec, chunks[r])
+		if err != nil {
+			return err
+		}
+		if len(vals) != want {
+			return fmt.Errorf("%w: rank %d sent %d of %d elements", ErrLayout, r, len(vals), want)
 		}
 		off := 0
-		for _, iv := range s.layout.Intervals[r] {
+		for _, iv := range ivs {
 			copy(full[iv.Start:iv.End()], vals[off:off+iv.Len])
 			off += iv.Len
+		}
+		return nil
+	}
+	// Ranks write disjoint regions of full, so large gathers unmarshal every
+	// rank's chunk in parallel.
+	errs := make([]error, len(chunks))
+	if s.layout.Length >= parallelMinElems && len(chunks) > 1 {
+		pfor(len(chunks), func(r int) { errs[r] = merge(r) })
+	} else {
+		for r := range chunks {
+			errs[r] = merge(r)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return full, nil
@@ -256,7 +287,7 @@ func (s *Seq[T]) ScatterFrom(root int, full []T) error {
 			return fmt.Errorf("%w: scattering %d elements into a %d-element sequence", ErrLayout, len(full), s.layout.Length)
 		}
 		parts = make([][]byte, s.comm.Size())
-		for r := 0; r < s.comm.Size(); r++ {
+		build := func(r int) {
 			ivs := s.layout.Intervals[r]
 			if len(ivs) == 1 {
 				// Contiguous assignment (the common Block case): marshal the
@@ -264,13 +295,22 @@ func (s *Seq[T]) ScatterFrom(root int, full []T) error {
 				// no staging slice is needed.
 				iv := ivs[0]
 				parts[r] = MarshalChunk(s.codec, full[iv.Start:iv.End()])
-				continue
+				return
 			}
 			vals := make([]T, 0, s.layout.Count(r))
 			for _, iv := range ivs {
 				vals = append(vals, full[iv.Start:iv.End()]...)
 			}
 			parts[r] = MarshalChunk(s.codec, vals)
+		}
+		// Each rank's part marshals independently out of full, so large
+		// scatters render them in parallel.
+		if s.layout.Length >= parallelMinElems && s.comm.Size() > 1 {
+			pfor(s.comm.Size(), build)
+		} else {
+			for r := 0; r < s.comm.Size(); r++ {
+				build(r)
+			}
 		}
 	}
 	chunk, err := s.comm.Scatter(root, parts)

@@ -1,0 +1,61 @@
+package dseq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelMinElems gates the parallel (un)marshalling paths: below this many
+// elements the goroutine fan-out costs more than the codec work it divides.
+// The threshold is in elements, not bytes, because the codecs' cost scales
+// with element count (fixed-width elements memcpy; variable-width ones walk
+// each element either way).
+const parallelMinElems = 1 << 15
+
+// pfor runs f(i) for every i in [0, n) across up to GOMAXPROCS goroutines.
+// Work is claimed from a shared atomic counter, so uneven iteration costs
+// (one rank owning most of a range, say) balance themselves instead of
+// stalling on a static partition. f must be safe to call concurrently for
+// distinct i; pfor returns only after every call has finished. Small n runs
+// inline on the caller's goroutine.
+func pfor(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	// The caller's goroutine is worker zero, so the common two-core case
+	// spawns a single goroutine.
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		f(i)
+	}
+	wg.Wait()
+}

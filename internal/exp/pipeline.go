@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dseq"
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/rts"
+	"repro/internal/transport"
+)
+
+// PipelinedConfig describes a pipelined-invocation throughput measurement: a
+// c-thread SPMD client keeps a sliding window of Depth non-blocking
+// invocations outstanding against an s-thread SPMD object over loopback TCP,
+// each invocation carrying one "in" dsequence<double> of Elems elements.
+type PipelinedConfig struct {
+	C, S  int
+	Elems int
+	Reps  int
+	// Depth is the binding's pipeline depth and the size of the sliding
+	// window of outstanding futures. 1 reproduces the classic one-at-a-time
+	// engine and is the baseline the speedup is measured against.
+	Depth int
+	// LinkDelay, when positive, models a network link: every client-side
+	// outbound write is delivered to the wire LinkDelay later by a buffering
+	// pipe that does NOT stall the writer, so concurrent requests overlap
+	// their latency exactly as they would crossing a real LAN/WAN. Zero
+	// means raw loopback — which has no latency to hide, so it measures
+	// only the engine's multiplexing overhead.
+	LinkDelay time.Duration
+}
+
+// latencyPipe models one direction of a network link on top of a real
+// stream: Write returns as soon as the bytes are queued, and a pump
+// goroutine releases each chunk onto the inner stream once its delay has
+// elapsed. Queued chunks age concurrently (FIFO order is preserved), which
+// is what distinguishes link latency from link bandwidth — a window of
+// requests written back to back arrives back to back, one delay later.
+type latencyPipe struct {
+	inner io.ReadWriteCloser
+	delay time.Duration
+	ch    chan delayedChunk
+	done  chan struct{}
+	once  sync.Once
+
+	mu   sync.Mutex
+	werr error
+}
+
+type delayedChunk struct {
+	due time.Time
+	buf []byte
+}
+
+func newLatencyPipe(inner io.ReadWriteCloser, delay time.Duration) *latencyPipe {
+	p := &latencyPipe{
+		inner: inner,
+		delay: delay,
+		ch:    make(chan delayedChunk, 4096),
+		done:  make(chan struct{}),
+	}
+	go p.pump()
+	return p
+}
+
+func (p *latencyPipe) pump() {
+	for {
+		select {
+		case c := <-p.ch:
+			if wait := time.Until(c.due); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-t.C:
+				case <-p.done:
+					t.Stop()
+					return
+				}
+			}
+			if _, err := p.inner.Write(c.buf); err != nil {
+				p.mu.Lock()
+				p.werr = err
+				p.mu.Unlock()
+				return
+			}
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (p *latencyPipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	err := p.werr
+	p.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	c := delayedChunk{due: time.Now().Add(p.delay), buf: append([]byte(nil), b...)}
+	select {
+	case p.ch <- c:
+		return len(b), nil
+	case <-p.done:
+		return 0, io.ErrClosedPipe
+	}
+}
+
+func (p *latencyPipe) Read(b []byte) (int, error) { return p.inner.Read(b) }
+
+func (p *latencyPipe) Close() error {
+	p.once.Do(func() { close(p.done) })
+	return p.inner.Close()
+}
+
+// RunPipelined executes the configuration and returns the sustained
+// invocation rate (completed invocations per second of the communicating
+// thread's wall clock, after one unmeasured warm-up invocation). Each window
+// slot owns its argument sequence, so an invocation's data is never touched
+// while its future is outstanding — the discipline InvokeNB requires.
+func RunPipelined(cfg PipelinedConfig) (float64, error) {
+	if cfg.C < 1 || cfg.S < 1 || cfg.Elems < 0 || cfg.Reps < 1 || cfg.Depth < 1 {
+		return 0, fmt.Errorf("exp: invalid pipelined config %+v", cfg)
+	}
+	const timeout = 60 * time.Second
+
+	ns, err := naming.NewServer("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ns.Close()
+
+	xferDesc := core.OpDesc{Name: "xfer", Args: []core.ArgDesc{{Name: "arr", Dir: core.In, Elem: "double"}}}
+	serverW := rts.NewWorld(cfg.S, rts.Options{RecvTimeout: timeout})
+	defer serverW.Close()
+	serverErr := make(chan error, 1)
+	objects := make([]*core.Object, cfg.S)
+	var objMu sync.Mutex
+	ready := make(chan struct{})
+	var once sync.Once
+	go func() {
+		serverErr <- serverW.Run(func(c *rts.Comm) error {
+			obj, err := core.Export(c, core.ExportOptions{
+				TypeID:     "IDL:pardis/bench:1.0",
+				Name:       "bench",
+				NameServer: ns.Addr(),
+				Server:     orb.ServerOptions{},
+			}, []core.Operation{{
+				Desc:    xferDesc,
+				NewArgs: core.SeqArgsFloat64(xferDesc.Args),
+				Handler: func(call *core.ServerCall) error { return nil },
+			}})
+			if err != nil {
+				once.Do(func() { close(ready) })
+				return err
+			}
+			objMu.Lock()
+			objects[c.Rank()] = obj
+			objMu.Unlock()
+			if c.Rank() == 0 {
+				once.Do(func() { close(ready) })
+			}
+			return obj.Serve()
+		})
+	}()
+	<-ready
+	defer func() {
+		objMu.Lock()
+		objs := append([]*core.Object(nil), objects...)
+		objMu.Unlock()
+		for _, o := range objs {
+			if o != nil {
+				o.Close()
+			}
+		}
+		<-serverErr
+	}()
+
+	clientW := rts.NewWorld(cfg.C, rts.Options{RecvTimeout: timeout})
+	defer clientW.Close()
+	var elapsed time.Duration
+	err = clientW.Run(func(c *rts.Comm) error {
+		opts := core.BindOptions{
+			Method: core.Centralized, Timeout: timeout, PipelineDepth: cfg.Depth,
+		}
+		if cfg.LinkDelay > 0 {
+			opts.Transport = &transport.Options{Wrap: func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+				return newLatencyPipe(rw, cfg.LinkDelay)
+			}}
+		}
+		b, err := core.SPMDBind(c, "bench", ns.Addr(), opts)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		seqs := make([]*dseq.Seq[float64], cfg.Depth)
+		for i := range seqs {
+			if seqs[i], err = dseq.New(c, dseq.Float64, cfg.Elems, nil); err != nil {
+				return err
+			}
+			seqs[i].FillFunc(func(g int) float64 { return float64(g) })
+		}
+		// Warm the connections and code paths once, unmeasured.
+		if _, err := b.Invoke("xfer", core.ScalarEncoder().Bytes(), []core.DistArg{core.InSeq(seqs[0])}); err != nil {
+			return err
+		}
+		window := make([]*core.Future, cfg.Depth)
+		start := time.Now()
+		for rep := 0; rep < cfg.Reps; rep++ {
+			slot := rep % cfg.Depth
+			if f := window[slot]; f != nil {
+				if _, err := f.Wait(); err != nil {
+					return fmt.Errorf("rep %d: %w", rep-cfg.Depth, err)
+				}
+			}
+			window[slot] = b.InvokeNB("xfer", core.ScalarEncoder().Bytes(), []core.DistArg{core.InSeq(seqs[slot])})
+		}
+		for slot, f := range window {
+			if f == nil {
+				continue
+			}
+			if _, err := f.Wait(); err != nil {
+				return fmt.Errorf("drain slot %d: %w", slot, err)
+			}
+		}
+		if c.Rank() == 0 {
+			elapsed = time.Since(start)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("exp: pipelined run measured no elapsed time")
+	}
+	return float64(cfg.Reps) / elapsed.Seconds(), nil
+}

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunPipelined drives the pipelined-throughput harness end to end at a
+// small scale: the sliding window must complete every invocation (the rate
+// is positive), both with and without the modeled link delay, and invalid
+// configurations are rejected before any worlds spin up.
+func TestRunPipelined(t *testing.T) {
+	if _, err := RunPipelined(PipelinedConfig{C: 0, S: 1, Elems: 1, Reps: 1, Depth: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := RunPipelined(PipelinedConfig{C: 1, S: 1, Elems: 1, Reps: 1, Depth: 0}); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	for _, cfg := range []PipelinedConfig{
+		{C: 2, S: 2, Elems: 512, Reps: 12, Depth: 4},
+		{C: 2, S: 2, Elems: 512, Reps: 12, Depth: 4, LinkDelay: 100 * time.Microsecond},
+	} {
+		ips, err := RunPipelined(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if ips <= 0 {
+			t.Fatalf("%+v: nonpositive rate %v", cfg, ips)
+		}
+	}
+}

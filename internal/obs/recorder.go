@@ -47,13 +47,19 @@ const (
 	PhaseRecvXfer
 	// PhaseSendXfer is the server-side send of distributed results.
 	PhaseSendXfer
+	// PhaseChunkSend is one streamed-transfer chunk on its way out: the
+	// collective gather-marshal of the range plus the wire write.
+	PhaseChunkSend
+	// PhaseChunkRecv is one streamed-transfer chunk on its way in: the wait
+	// for the frame plus the collective scatter-unmarshal of the range.
+	PhaseChunkRecv
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"bind", "invoke", "gather", "pack", "sendrecv", "scatter", "unpack",
 	"barrier", "future-wait", "admission", "queue", "upcall", "recv-xfer",
-	"send-xfer",
+	"send-xfer", "chunk-send", "chunk-recv",
 }
 
 func (p Phase) String() string {

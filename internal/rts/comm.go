@@ -142,6 +142,39 @@ func (c *Comm) Dup() (*Comm, error) {
 	return &Comm{world: c.world, rank: c.rank, ctx: decodeInt(idBuf)}, nil
 }
 
+// Dups collectively creates n independent communicators at once: rank 0
+// allocates all n context ids and a single broadcast agrees on them, so the
+// round costs one collective instead of n back-to-back Dups. The pipelined
+// invocation engine uses it to set up its lanes — one duplicated context per
+// concurrently outstanding invocation.
+func (c *Comm) Dups(n int) ([]*Comm, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("rts: Dups(%d)", n)
+	}
+	ids := make([]int64, n)
+	if c.rank == 0 {
+		for i := range ids {
+			ids[i] = int64(c.world.allocCtx())
+		}
+	}
+	buf, err := c.bcastRoot0(Int64sToBytes(ids))
+	if err != nil {
+		return nil, err
+	}
+	got, err := BytesToInt64s(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(got) != n {
+		return nil, fmt.Errorf("rts: Dups(%d) agreed on %d contexts", n, len(got))
+	}
+	out := make([]*Comm, n)
+	for i := range out {
+		out[i] = &Comm{world: c.world, rank: c.rank, ctx: int(got[i])}
+	}
+	return out, nil
+}
+
 // bcastRoot0 broadcasts data from rank 0 inside Dup, before the new context
 // exists; it reuses the collective machinery of the current context.
 func (c *Comm) bcastRoot0(data []byte) ([]byte, error) {

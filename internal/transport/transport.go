@@ -271,7 +271,7 @@ func (c *Conn) WriteMessage(m wire.Message) error {
 		_ = c.wd.SetWriteDeadline(time.Now().Add(c.wtimeout))
 		defer c.wd.SetWriteDeadline(time.Time{})
 	}
-	err := c.writeFrames(m.Type(), b, c.traceOf(m))
+	err := c.writeFrames(m.Type(), b, c.traceOf(m), 0)
 	c.dropHugeScratch()
 	return err
 }
@@ -307,13 +307,15 @@ func (c *Conn) dropHugeScratch() {
 }
 
 // writeFrames sends an already-encoded body through the buffered writer,
-// splitting it at the fragment threshold. Callers must hold wmu.
-func (c *Conn) writeFrames(t wire.MsgType, b []byte, trace uint64) error {
+// splitting it at the fragment threshold. xflags is OR'd into every frame
+// header's flag byte (the stream-chunk marker). Callers must hold wmu.
+func (c *Conn) writeFrames(t wire.MsgType, b []byte, trace uint64, xflags byte) error {
 	writeFrame := func(t wire.MsgType, more bool, chunk []byte) error {
 		// The header goes through the connection's scratch array: a local
 		// header array would be heap-allocated per frame because it
 		// escapes into the io.Writer call.
 		n := wire.EncodeHeaderExt(&c.hdr, t, c.order, more, c.trace, len(chunk), trace)
+		c.hdr[5] |= xflags
 		if _, err := c.bw.Write(c.hdr[:n]); err != nil {
 			return err
 		}
@@ -367,12 +369,18 @@ func (c *Conn) writeData(d *wire.Data) error {
 	if c.trace {
 		trace = uint64(d.RequestID)
 	}
+	// Chunked Data frames advertise themselves in the header so per-frame
+	// tooling can meter streamed bulk bytes without decoding bodies.
+	var xflags byte
+	if d.Chunked() {
+		xflags = wire.FlagStreamChunk
+	}
 	if !c.vectored {
 		// Non-TCP streams (pipes, fault-injection wrappers) get the staged
 		// path: append the payload to the scratch body and frame it through
 		// the buffered writer, preserving one-flush-per-message granularity.
 		e.WriteRaw(d.Payload)
-		err := c.writeFrames(wire.MsgData, e.Bytes(), trace)
+		err := c.writeFrames(wire.MsgData, e.Bytes(), trace, xflags)
 		c.dropHugeScratch()
 		return err
 	}
@@ -402,6 +410,7 @@ func (c *Conn) writeData(d *wire.Data) error {
 	for off := 0; off < total; off += max(c.frag, 1) {
 		end := min(off+c.frag, total)
 		n := wire.EncodeHeaderExt(&c.hdr, t, c.order, end < total, c.trace, end-off, trace)
+		c.hdr[5] |= xflags
 		hoff := len(c.harena)
 		c.harena = append(c.harena, c.hdr[:n]...)
 		c.vec = append(c.vec, c.harena[hoff:hoff+n])

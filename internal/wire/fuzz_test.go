@@ -24,7 +24,9 @@ func FuzzDecodeHeader(f *testing.F) {
 	f.Add(tbig[:])
 	f.Add([]byte("PDIS"))                                 // truncated
 	f.Add([]byte("GIOP\x01\x00\x00\x00\x00\x00\x00\x00")) // wrong protocol
-	f.Add([]byte("PDIS\x01\x08\x00\x00\x00\x00\x00\x00")) // reserved flag bit 3
+	f.Add([]byte("PDIS\x01\x08\x08\x00\x00\x00\x00\x40")) // stream-chunk flag on a Data frame
+	f.Add([]byte("PDIS\x01\x0f\x08\x00\x00\x00\x00\x40")) // every defined flag at once
+	f.Add([]byte("PDIS\x01\x10\x00\x00\x00\x00\x00\x00")) // reserved flag bit 4
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, b []byte) {
@@ -37,6 +39,11 @@ func FuzzDecodeHeader(f *testing.F) {
 		}
 		var re [MaxHeaderLen]byte
 		EncodeHeaderExt(&re, h.Type, h.Order(), h.More(), h.HasTrace(), int(h.Size), 0)
+		if h.StreamChunk() {
+			// The stream-chunk marker is OR'd onto frames by the transport
+			// rather than passed through EncodeHeaderExt; mirror that here.
+			re[5] |= FlagStreamChunk
+		}
 		if rh, err := DecodeHeader(re[:HeaderLen]); err != nil || rh != h {
 			t.Fatalf("header %+v does not round-trip: %+v, %v", h, rh, err)
 		}
@@ -57,6 +64,8 @@ func FuzzDecodeBody(f *testing.F) {
 		&MessageError{},
 		&Fragment{Payload: []byte("tail")},
 		&Data{RequestID: 6, ArgIndex: 1, SrcRank: 2, DstRank: 3, DstOff: 4, Count: 2, Payload: []byte("xyzw")},
+		&Data{RequestID: 9, ArgIndex: 0, DstOff: 8192, Count: 4, Flags: DataFlagChunk, Payload: []byte("chnk")},
+		&Data{RequestID: 10, ArgIndex: 2, DstOff: 0, Count: 4, Reply: true, Flags: DataFlagChunk | DataFlagLast, Payload: []byte("last")},
 		&Ping{Nonce: 7},
 		&Pong{Nonce: 8},
 	} {

@@ -189,11 +189,27 @@ func (*Fragment) Type() MsgType { return MsgFragment }
 
 func (f *Fragment) EncodeBody(e *cdr.Encoder) { e.WriteRaw(f.Payload) }
 
+// Data flag bits (the Flags octet of a Data body).
+const (
+	// DataFlagChunk marks a chunk of a streamed centralized transfer: DstOff
+	// and Count address the argument's global index space, and the chunks of
+	// one argument follow the deterministic schedule both sides derive from
+	// the invocation header (length and chunk size).
+	DataFlagChunk = 1 << 0
+	// DataFlagLast marks the final chunk of its argument's stream.
+	DataFlagLast = 1 << 1
+)
+
 // Data is the PARDIS multi-port extension message: one contiguous piece of
 // one distributed argument of one outstanding request, flowing directly
 // between computing threads. DstOff and Count are in elements; the payload
 // is a packed CDR array of the argument's element type in the sender's byte
 // order (declared by the message header).
+//
+// The Flags octet occupies what older encoders emitted as the first padding
+// byte after Reply: old-format bodies therefore decode with Flags zero, and
+// old decoders skip a new-format Flags octet as padding — the field is
+// backward- and forward-compatible by construction.
 type Data struct {
 	RequestID uint32
 	ArgIndex  uint32 // which distributed argument of the operation
@@ -202,6 +218,7 @@ type Data struct {
 	DstOff    uint64 // destination local offset, in elements
 	Count     uint64 // number of elements
 	Reply     bool   // false: client→server ("in" flow); true: server→client
+	Flags     byte   // DataFlag* bits; zero for plain multi-port moves
 	Payload   []byte
 
 	// release returns the transport buffer backing Payload to its pool.
@@ -210,13 +227,20 @@ type Data struct {
 	release func()
 }
 
+// Chunked reports whether the message is a chunk of a streamed transfer.
+func (m *Data) Chunked() bool { return m.Flags&DataFlagChunk != 0 }
+
+// LastChunk reports whether the message is the final chunk of its argument.
+func (m *Data) LastChunk() bool { return m.Flags&DataFlagLast != 0 }
+
 func (*Data) Type() MsgType { return MsgData }
 
 // DataPrefixLen is the encoded size of a Data body up to and including the
 // octet-sequence count that precedes the payload: four uint32 fields (16
 // bytes), two 8-aligned uint64s at offsets 16 and 24, the Reply bool at 32,
-// padding to 36, and the uint32 payload length. Payload bytes start at this
-// offset in every Data body.
+// the Flags octet at 33 (zero-padding in the old format), padding to 36, and
+// the uint32 payload length. Payload bytes start at this offset in every
+// Data body.
 const DataPrefixLen = 40
 
 // EncodeBodyPrefix encodes everything up to and including the payload length
@@ -232,6 +256,7 @@ func (m *Data) EncodeBodyPrefix(e *cdr.Encoder) {
 	e.WriteULongLong(m.DstOff)
 	e.WriteULongLong(m.Count)
 	e.WriteBool(m.Reply)
+	e.WriteOctet(m.Flags)
 	e.WriteULong(uint32(len(m.Payload)))
 }
 
@@ -301,6 +326,12 @@ func decodeData(d *cdr.Decoder) (*Data, error) {
 	}
 	if m.Reply, err = d.ReadBool(); err != nil {
 		return nil, err
+	}
+	if m.Flags, err = d.ReadOctet(); err != nil {
+		return nil, err
+	}
+	if m.Flags&^(DataFlagChunk|DataFlagLast) != 0 {
+		return nil, fmt.Errorf("%w: reserved Data flag bits %#x", ErrBadBody, m.Flags)
 	}
 	if m.Payload, err = d.ReadOctets(); err != nil {
 		return nil, err

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+// encodeOldFormatData renders a Data body the way pre-pipelining encoders
+// did: the byte after Reply is alignment padding (zero), not a Flags octet.
+func encodeOldFormatData(d *Data, ord cdr.ByteOrder) []byte {
+	e := cdr.NewEncoder(ord)
+	e.WriteULong(d.RequestID)
+	e.WriteULong(d.ArgIndex)
+	e.WriteULong(d.SrcRank)
+	e.WriteULong(d.DstRank)
+	e.WriteULongLong(d.DstOff)
+	e.WriteULongLong(d.Count)
+	e.WriteBool(d.Reply)
+	e.WriteOctets(d.Payload) // WriteULong count pads 33..35 with zeros
+	return e.Bytes()
+}
+
+// TestDataOldFormatDecodes pins backward compatibility: a body produced by an
+// old encoder (no Flags octet, zero padding) decodes with Flags == 0 and all
+// other fields intact, and is byte-identical to a new-format body with zero
+// Flags — so old decoders likewise accept new-format zero-flag bodies.
+func TestDataOldFormatDecodes(t *testing.T) {
+	for _, ord := range bothOrders {
+		d := &Data{
+			RequestID: 42, ArgIndex: 1, SrcRank: 2, DstRank: 3,
+			DstOff: 4096, Count: 512, Reply: true, Payload: []byte{9, 8, 7, 6},
+		}
+		old := encodeOldFormatData(d, ord)
+		e := cdr.NewEncoder(ord)
+		d.EncodeBody(e)
+		if string(old) != string(e.Bytes()) {
+			t.Fatalf("%v: zero-flag new-format body differs from old-format body", ord)
+		}
+		m, err := DecodeBody(MsgData, old, ord)
+		if err != nil {
+			t.Fatalf("%v: old-format body rejected: %v", ord, err)
+		}
+		got := m.(*Data)
+		if got.Flags != 0 || got.Chunked() || got.LastChunk() {
+			t.Fatalf("%v: old-format body decoded with flags %#x", ord, got.Flags)
+		}
+		if got.RequestID != d.RequestID || got.DstOff != d.DstOff || got.Count != d.Count ||
+			!got.Reply || string(got.Payload) != string(d.Payload) {
+			t.Fatalf("%v: old-format body fields corrupted: %+v", ord, got)
+		}
+	}
+}
+
+// TestDataChunkFlagsRoundTrip checks the chunk framing bits survive an
+// encode/decode cycle and that the accessors reflect them.
+func TestDataChunkFlagsRoundTrip(t *testing.T) {
+	for _, ord := range bothOrders {
+		for _, flags := range []byte{0, DataFlagChunk, DataFlagChunk | DataFlagLast} {
+			d := &Data{RequestID: 7, ArgIndex: 2, DstOff: 65536, Count: 8192,
+				Flags: flags, Payload: []byte{1, 2, 3, 4}}
+			e := cdr.NewEncoder(ord)
+			d.EncodeBody(e)
+			m, err := DecodeBody(MsgData, e.Bytes(), ord)
+			if err != nil {
+				t.Fatalf("%v flags %#x: %v", ord, flags, err)
+			}
+			got := m.(*Data)
+			if got.Flags != flags {
+				t.Fatalf("%v: flags %#x decoded as %#x", ord, flags, got.Flags)
+			}
+			if got.Chunked() != (flags&DataFlagChunk != 0) || got.LastChunk() != (flags&DataFlagLast != 0) {
+				t.Fatalf("%v: accessors disagree with flags %#x", ord, flags)
+			}
+		}
+	}
+}
+
+// TestDataReservedFlagBitsRejected checks garbage in the flags octet is
+// refused instead of silently accepted (only the chunk bits are defined).
+func TestDataReservedFlagBitsRejected(t *testing.T) {
+	d := &Data{RequestID: 1, Count: 1, Payload: []byte{1}}
+	e := cdr.NewEncoder(cdr.NativeOrder)
+	d.EncodeBody(e)
+	body := append([]byte(nil), e.Bytes()...)
+	body[33] = 0x80 // reserved bit in the Flags octet
+	if _, err := DecodeBody(MsgData, body, cdr.NativeOrder); !errors.Is(err, ErrBadBody) {
+		t.Fatalf("reserved Data flag bits accepted (err=%v)", err)
+	}
+}
+
+// TestHeaderStreamChunkFlag checks the new header bit decodes, the accessor
+// sees it, older-format headers (bit clear) are untouched, and the next
+// reserved bit is still rejected.
+func TestHeaderStreamChunkFlag(t *testing.T) {
+	h := EncodeHeader(MsgData, cdr.LittleEndian, true, 4096)
+	h[5] |= FlagStreamChunk
+	got, err := DecodeHeader(h[:])
+	if err != nil {
+		t.Fatalf("stream-chunk header rejected: %v", err)
+	}
+	if !got.StreamChunk() || !got.More() || got.Type != MsgData || got.Size != 4096 {
+		t.Fatalf("stream-chunk header decoded wrong: %+v", got)
+	}
+
+	old := EncodeHeader(MsgData, cdr.LittleEndian, false, 64)
+	oh, err := DecodeHeader(old[:])
+	if err != nil {
+		t.Fatalf("old-format header rejected: %v", err)
+	}
+	if oh.StreamChunk() {
+		t.Fatal("old-format header reports stream-chunk")
+	}
+
+	bad := EncodeHeader(MsgData, cdr.BigEndian, false, 1)
+	bad[5] |= 1 << 4
+	if _, err := DecodeHeader(bad[:]); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("reserved header bit 4 accepted (err=%v)", err)
+	}
+}

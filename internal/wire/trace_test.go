@@ -66,7 +66,7 @@ func TestOldFormatHeaderStillDecodes(t *testing.T) {
 
 func TestReservedFlagBitsStillRejected(t *testing.T) {
 	b := EncodeHeader(MsgRequest, cdr.BigEndian, false, 0)
-	b[5] |= 1 << 3 // first still-reserved bit above the trace flag
+	b[5] |= 1 << 4 // first still-reserved bit above the stream-chunk flag
 	if _, err := DecodeHeader(b[:]); !errors.Is(err, ErrBadFlags) {
 		t.Fatalf("reserved bit accepted: %v", err)
 	}

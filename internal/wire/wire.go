@@ -18,6 +18,7 @@
 //	offset 5  flags   bit 0: body byte order (1 = little endian)
 //	                  bit 1: more fragments follow
 //	                  bit 2: trace-context extension present
+//	                  bit 3: frame belongs to a streamed chunk transfer
 //	offset 6  type    MsgType
 //	offset 7  reserved (0)
 //	offset 8  size    uint32 body length, in the header's byte order
@@ -25,11 +26,39 @@
 // When flag bit 2 is set, an 8-byte trace-context extension (the request id
 // of the message this frame belongs to, in the header's byte order) follows
 // the fixed header before the body. Old-format headers — without the flag —
-// decode unchanged; the extension is purely additive.
+// decode unchanged; the extension is purely additive. Flag bit 3 is likewise
+// purely informational: it marks frames carrying a chunk of a streamed
+// centralized transfer so per-frame tooling can separate pipelined bulk data
+// from control traffic without decoding bodies.
 //
 // Bodies larger than a connection's fragment threshold are split across a
 // leading message and trailing Fragment messages (transport concern; see
 // internal/transport).
+//
+// # Reply ordering and request multiplexing
+//
+// PGIOP connections are multiplexed: a peer may have any number of requests
+// outstanding on one connection, and replies carry the request id they answer.
+// A server MAY answer requests in any order — receivers MUST dispatch each
+// Reply (and each Data frame) by its request id rather than by arrival order.
+// The only ordering PGIOP does guarantee is per-message-stream FIFO: the Data
+// chunks of one streamed argument arrive in the order they were sent on that
+// connection, and all reply-direction Data chunks of a request precede its
+// Reply on the wire.
+//
+// # Chunked transfers
+//
+// A streamed centralized transfer moves a distributed argument as a sequence
+// of Data messages (the chunk framing) instead of embedding it in the
+// Request/Reply body. Each chunk's DstOff/Count address a range of the
+// argument's global index space, Flags carries DataFlagChunk (plus
+// DataFlagLast on the final chunk of an argument), and the chunk schedule is
+// derived deterministically on both sides from the argument length and the
+// chunk size announced in the invocation header — so neither side needs
+// per-chunk control traffic. Flow control is structural: a sender may never
+// have more chunk frames outstanding for one request than the receiver's
+// per-request buffer bound (see internal/core), and chunk sizes are chosen so
+// a whole argument fits inside that bound.
 package wire
 
 import (
@@ -57,6 +86,12 @@ const (
 	// can attribute bytes to invocations without decoding bodies. Headers
 	// without the flag (the old format) decode exactly as before.
 	FlagTraceContext = 1 << 2
+	// FlagStreamChunk marks a frame that carries (part of) a Data message of
+	// a streamed chunk transfer. Purely informational — the receiver's
+	// demultiplexing is driven by the Data body, not this bit — but it lets
+	// wire-level tooling meter pipelined bulk bytes without decoding bodies.
+	// Headers without the flag (the old format) decode exactly as before.
+	FlagStreamChunk = 1 << 3
 	// TraceExtLen is the length of the trace-context header extension.
 	TraceExtLen = 8
 	// MaxHeaderLen is the largest on-wire header: the fixed part plus every
@@ -180,6 +215,10 @@ func (h Header) More() bool { return h.Flags&FlagMoreFragments != 0 }
 // header on the wire.
 func (h Header) HasTrace() bool { return h.Flags&FlagTraceContext != 0 }
 
+// StreamChunk reports whether the frame is marked as part of a streamed
+// chunk transfer.
+func (h Header) StreamChunk() bool { return h.Flags&FlagStreamChunk != 0 }
+
 // ExtLen returns how many extension bytes follow the fixed header.
 func (h Header) ExtLen() int {
 	if h.HasTrace() {
@@ -294,7 +333,7 @@ func DecodeHeader(b []byte) (Header, error) {
 		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, b[4])
 	}
 	h := Header{Flags: b[5], Type: MsgType(b[6])}
-	if h.Flags&^(FlagLittleEndian|FlagMoreFragments|FlagTraceContext) != 0 {
+	if h.Flags&^(FlagLittleEndian|FlagMoreFragments|FlagTraceContext|FlagStreamChunk) != 0 {
 		// Reserved flag bits must be zero; garbage here means a corrupt or
 		// alien frame, and rejecting it now beats misreading the body later.
 		return Header{}, fmt.Errorf("%w: reserved flag bits %#x", ErrBadFlags, b[5])
