@@ -13,10 +13,16 @@ COMPARE_BENCHTIME ?= 200ms
 # almost entirely behavioral (nil-safety, ring wraparound, snapshot merging),
 # so coverage there is a meaningful proxy. Other packages report only.
 OBS_COVER_FLOOR ?= 70
+# internal/testutil is the shared leak-checking harness; a hole there
+# silently weakens every suite that trusts it, so it gets a floor too.
+TESTUTIL_COVER_FLOOR ?= 85
+# swarm-smoke bounds the massive fan-in suite; the full swarm plus the
+# soak must drain well inside this or something is wedged.
+SWARMTIMEOUT ?= 300s
 
-.PHONY: check vet staticcheck build test race chaos fuzz-smoke bench bench-compare cover
+.PHONY: check vet staticcheck build test race chaos swarm-smoke fuzz-smoke bench bench-compare cover
 
-check: vet staticcheck build test race chaos fuzz-smoke cover bench-compare
+check: vet staticcheck build test race chaos swarm-smoke fuzz-smoke cover bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +53,13 @@ race:
 chaos:
 	$(GO) test -race -timeout=$(CHAOSTIMEOUT) -run='Chaos|Fault|Keepalive|Shutdown|Failover|Admission|CircuitOpen|Saturated|CloseConnection' ./internal/core ./internal/orb
 
+# Massive fan-in gate: the swarm benchmarks (bounded client counts, shared
+# multiplexed connections) and the bind/invoke/drain soak, under the race
+# detector. Proves the connection-scale invariants — goroutines o(clients),
+# books balanced, nothing leaked after the drain — on every commit.
+swarm-smoke:
+	$(GO) test -race -timeout=$(SWARMTIMEOUT) -run='TestSwarm|TestSoak' ./internal/exp
+
 # Each fuzz target gets a short bounded run; `go test` allows only one
 # -fuzz pattern per invocation, hence one line per target.
 # Data-path benchmarks with allocation counts. BENCH_datapath.txt is
@@ -69,8 +82,9 @@ bench-compare:
 		-benchmem -benchtime=$(COMPARE_BENCHTIME) . | ./bin/benchjson > bin/bench-candidate.json
 	./bin/benchdiff BENCH_datapath.json bin/bench-candidate.json
 
-# Per-package coverage report (cover.out is gitignored). The floor is
-# enforced for internal/obs only; every other package is report-only.
+# Per-package coverage report (cover.out is gitignored). Floors are
+# enforced for internal/obs and internal/testutil; every other package is
+# report-only.
 cover:
 	@$(GO) test -coverprofile=cover.out -cover ./... > cover-report.out || \
 		{ cat cover-report.out; exit 1; }
@@ -82,7 +96,16 @@ cover:
 			if (pct + 0 < floor) { \
 				printf "FAIL: internal/obs coverage %.1f%% is below the %d%% floor\n", pct, floor; exit 1 \
 			} \
-			printf "internal/obs coverage %.1f%% (floor %d%%; other packages report-only)\n", pct, floor \
+			printf "internal/obs coverage %.1f%% (floor %d%%)\n", pct, floor \
+		}' cover-report.out
+	@awk -v floor=$(TESTUTIL_COVER_FLOOR) ' \
+		$$2 == "repro/internal/testutil" && $$4 == "coverage:" { pct = $$5; sub(/%/, "", pct); found = 1 } \
+		END { \
+			if (!found) { print "internal/testutil coverage not reported"; exit 1 } \
+			if (pct + 0 < floor) { \
+				printf "FAIL: internal/testutil coverage %.1f%% is below the %d%% floor\n", pct, floor; exit 1 \
+			} \
+			printf "internal/testutil coverage %.1f%% (floor %d%%; other packages report-only)\n", pct, floor \
 		}' cover-report.out
 
 fuzz-smoke:

@@ -14,6 +14,9 @@
 //	pardis-bench -real -c 4 -s 4 -elems 262144 -reps 5
 //	pardis-bench -overload          # admission-control shedding demo
 //	pardis-bench -failover          # replica failover + breaker recovery demo
+//	pardis-bench -swarm -clients 10000
+//	                                # massive fan-in: 10k concurrent clients
+//	                                # over multiplexed shared connections
 //	pardis-bench -real -memprofile mem.pprof -cpuprofile cpu.pprof
 //	                                # profile the real data plane
 //	pardis-bench -real -metrics     # print a JSON metrics snapshot after the run
@@ -47,8 +50,13 @@ func main() {
 	reps := flag.Int("reps", 5, "(real mode) repetitions")
 	overload := flag.Bool("overload", false, "run the admission-control overload scenario")
 	failover := flag.Bool("failover", false, "run the replica failover scenario")
-	clients := flag.Int("clients", 16, "(overload mode) concurrent clients")
-	requests := flag.Int("requests", 60, "(overload/failover mode) requests per client")
+	swarm := flag.Bool("swarm", false, "run the massive fan-in swarm benchmark")
+	clients := flag.Int("clients", 16, "(overload/swarm mode) concurrent clients")
+	requests := flag.Int("requests", 60, "(overload/failover/swarm mode) requests per client")
+	sharedConns := flag.Int("shared-conns", 0, "(swarm mode) multiplexed connections; 0 picks one per 256 clients")
+	workDelay := flag.Duration("work-delay", 0, "(swarm mode) simulated servant work per request")
+	payload := flag.Int("payload", 512, "(swarm mode) echoed payload bytes")
+	maxInFlight := flag.Int("max-in-flight", 0, "(swarm mode) server MaxInFlight; 0 uses the default")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metrics := flag.Bool("metrics", false, "(real mode) print a JSON metrics snapshot after the run")
@@ -82,6 +90,10 @@ func main() {
 		}()
 	}
 
+	if *swarm {
+		runSwarm(*clients, *requests, *sharedConns, *workDelay, *payload, *maxInFlight)
+		return
+	}
 	if *overload {
 		runOverload(*clients, *requests)
 		return

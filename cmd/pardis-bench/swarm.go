@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/orb"
+)
+
+// runSwarm is the massive fan-in benchmark: thousands of concurrent clients
+// multiplexed over a handful of shared connections against one orb server,
+// proving the connection-scale invariants live — goroutines o(clients),
+// every request resolving as a reply or a TRANSIENT shed, and nothing
+// leaked after the drain.
+func runSwarm(clients, requests, sharedConns int, workDelay time.Duration, payload, maxInFlight int) {
+	if requests == 60 {
+		// The overload-mode default is too heavy at swarm client counts;
+		// swarm wants breadth, not depth.
+		requests = 5
+	}
+	cfg := exp.SwarmConfig{
+		Clients:           clients,
+		RequestsPerClient: requests,
+		SharedConns:       sharedConns,
+		WorkDelay:         workDelay,
+		PayloadBytes:      payload,
+		Server: orb.ServerOptions{
+			MaxInFlight:     maxInFlight,
+			MaxConnInFlight: -1, // shared conns aggregate all clients
+		},
+	}
+	fmt.Printf("swarm: %d clients x %d requests, payload %dB, work %v\n",
+		cfg.Clients, cfg.RequestsPerClient, cfg.PayloadBytes, cfg.WorkDelay)
+	rep, err := exp.RunSwarm(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	total := uint64(cfg.Clients * cfg.RequestsPerClient)
+	if rep.Completed+rep.Shed+rep.Failed != total {
+		log.Fatalf("request accounting broken: %d+%d+%d != %d",
+			rep.Completed, rep.Shed, rep.Failed, total)
+	}
+	if rep.Failed > 0 {
+		log.Fatalf("%d requests failed with non-TRANSIENT errors", rep.Failed)
+	}
+	if rep.PoolOutstanding != 0 {
+		log.Fatalf("frame pool leaked %+d buffers", rep.PoolOutstanding)
+	}
+	overhead := rep.PeakGoroutines - rep.BaseGoroutines - cfg.Clients
+	fmt.Printf("orb-stack goroutine overhead beyond the %d drivers: %d\n", cfg.Clients, overhead)
+	rate := float64(rep.Completed) / rep.Elapsed.Seconds()
+	fmt.Printf("throughput: %.0f req/s completed (%.1f%% shed)\n",
+		rate, 100*float64(rep.Shed)/float64(total))
+}

@@ -65,6 +65,32 @@ type BindOptions struct {
 	// the wire. 0 means DefaultStreamChunkElems; negative disables
 	// streaming (whole-sequence transfers, the pre-pipelining behavior).
 	StreamChunkElems int
+	// ShareConnection lets this binding share one multiplexed client engine
+	// — and therefore one connection per endpoint — with every other
+	// ShareConnection binding in the process whose client-relevant options
+	// match. The orb client already demultiplexes concurrent replies by
+	// request id, so sharing costs nothing in correctness; what it buys is
+	// massive fan-in: thousands of cheap bindings to one server ride a
+	// handful of connections instead of opening one each. Shared clients are
+	// reference-counted — the last Close of a sharing binding closes the
+	// underlying client. The shared client reports the generic principal
+	// "spmd-client/shared" instead of a per-rank one.
+	ShareConnection bool
+}
+
+// sharedClients holds the process-wide reference-counted client engines
+// behind ShareConnection bindings.
+var sharedClients = orb.NewClientPool()
+
+// clientKey fingerprints every option that changes the built client's wire
+// behaviour, so only identically-configured bindings share an engine.
+// Pointer-valued options (Transport, Trace, Metrics) are identified by
+// pointer: distinct instances mean distinct wiring even when the contents
+// happen to match.
+func (o BindOptions) clientKey() string {
+	return fmt.Sprintf("to=%v tr=%p retry=%v ka=%v/%v bk=%v rec=%p met=%p",
+		o.Timeout, o.Transport, o.Retry, o.KeepaliveInterval, o.KeepaliveTimeout,
+		o.Breaker, o.Trace, o.Metrics)
 }
 
 // maxPipelineDepth bounds the lane fan-out so a typo'd depth cannot allocate
@@ -106,7 +132,11 @@ type Binding struct {
 	ops     map[string]OpDesc
 	method  Method
 	ownsCli bool
-	rec     *obs.Recorder
+	// sharedKey, when non-empty, marks the client as borrowed from the
+	// process-wide shared pool under that key; Close releases the reference
+	// instead of closing the client.
+	sharedKey string
+	rec       *obs.Recorder
 
 	// lanes carry invocations: each lane owns a duplicated communicator so
 	// overlapping invocations' collective traffic stays separated, plus a
@@ -221,8 +251,28 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 	if err != nil {
 		return nil, err
 	}
-	client := o.newClient()
-	client.Principal = fmt.Sprintf("spmd-client/%d", engine.Rank())
+	var sharedKey string
+	var client *orb.Client
+	if o.ShareConnection {
+		sharedKey = o.clientKey()
+		client = sharedClients.Acquire(sharedKey, func() *orb.Client {
+			cli := o.newClient()
+			cli.Principal = "spmd-client/shared"
+			return cli
+		})
+	} else {
+		client = o.newClient()
+		client.Principal = fmt.Sprintf("spmd-client/%d", engine.Rank())
+	}
+	// closeCli is the error-path teardown: drop the pool reference for a
+	// shared client, close a private one.
+	closeCli := func() {
+		if sharedKey != "" {
+			sharedClients.Release(sharedKey)
+		} else {
+			client.Close()
+		}
+	}
 
 	// Thread 0 fetches the interface description; everyone shares it.
 	var tableBytes []byte
@@ -236,25 +286,25 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 	}
 	tableBytes, err = engine.Bcast(0, tableBytes)
 	if err != nil {
-		client.Close()
+		closeCli()
 		return nil, err
 	}
 	if len(tableBytes) == 0 {
-		client.Close()
+		closeCli()
 		return nil, fmt.Errorf("%w: empty interface description", ErrBadHeader)
 	}
 	if tableBytes[0] == '!' {
-		client.Close()
+		closeCli()
 		return nil, fmt.Errorf("core: describing object: %s", tableBytes[1:])
 	}
 	d, err := orb.ArgDecoder(tableBytes[1:])
 	if err != nil {
-		client.Close()
+		closeCli()
 		return nil, err
 	}
 	descs, err := decodeOpTable(d)
 	if err != nil {
-		client.Close()
+		closeCli()
 		return nil, err
 	}
 	ops := make(map[string]OpDesc, len(descs))
@@ -277,7 +327,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 	if depth > 1 {
 		extra, err := engine.Dups(depth - 1)
 		if err != nil {
-			client.Close()
+			closeCli()
 			return nil, err
 		}
 		for _, c := range extra {
@@ -297,6 +347,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 		ops:        ops,
 		method:     o.Method,
 		ownsCli:    true,
+		sharedKey:  sharedKey,
 		rec:        o.Trace,
 		lanes:      lanes,
 		chunkElems: ce,
@@ -347,8 +398,15 @@ func (b *Binding) Comm() *rts.Comm { return b.comm }
 // Ops returns the bound object's operation descriptions, keyed by name.
 func (b *Binding) Ops() map[string]OpDesc { return b.ops }
 
-// Close releases this thread's client connections. Local, idempotent.
+// Close releases this thread's client connections: a private client is
+// closed, a shared one has its pool reference dropped (the last sharer's
+// Close closes it). Local, idempotent.
 func (b *Binding) Close() {
+	if b.sharedKey != "" {
+		sharedClients.Release(b.sharedKey)
+		b.sharedKey = ""
+		return
+	}
 	if b.ownsCli {
 		b.client.Close()
 	}

@@ -11,7 +11,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,6 +18,7 @@ import (
 
 	"repro/internal/dseq"
 	"repro/internal/rts"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
 
@@ -128,28 +128,6 @@ func (tc *testCluster) runClientOpts(t *testing.T, cRanks int, opts BindOptions,
 	}
 }
 
-// checkGoroutines runs body as a subtest (so its cleanups fall inside the
-// measurement window), then waits for the goroutine count to return to the
-// pre-body level, catching leaked invocation or connection goroutines.
-func checkGoroutines(t *testing.T, name string, body func(t *testing.T)) {
-	before := runtime.NumGoroutine()
-	t.Run(name, body)
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		now := runtime.NumGoroutine()
-		if now <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
-			return
-		}
-		time.Sleep(25 * time.Millisecond)
-	}
-}
-
 // assertCoherentFailure gathers every rank's error at rank 0 and checks
 // they all failed with the very same error.
 func assertCoherentFailure(c *rts.Comm, err error) error {
@@ -179,7 +157,7 @@ func TestChaosInvocationFailsCoherently(t *testing.T) {
 	for _, method := range []Method{Centralized, Multiport} {
 		for _, mode := range []string{"cut-mid-frame", "corrupt-header"} {
 			method, mode := method, mode
-			checkGoroutines(t, fmt.Sprintf("%v/%s", method, mode), func(t *testing.T) {
+			testutil.CheckGoroutines(t, fmt.Sprintf("%v/%s", method, mode), func(t *testing.T) {
 				var rig faultRig
 				if mode == "cut-mid-frame" {
 					plan := transport.NewFaultPlan(7)
@@ -248,7 +226,7 @@ func TestFutureWaitTwice(t *testing.T) {
 }
 
 func TestFutureWaitAfterConnDied(t *testing.T) {
-	checkGoroutines(t, "body", func(t *testing.T) {
+	testutil.CheckGoroutines(t, "body", func(t *testing.T) {
 		plan := transport.NewFaultPlan(5)
 		plan.CutAfterWriteBytes = 1 // first armed write kills the stream
 		rig := &armedWrap{plan: plan}
@@ -277,7 +255,7 @@ func TestFutureWaitAfterConnDied(t *testing.T) {
 }
 
 func TestFutureOutstandingAtWorldShutdown(t *testing.T) {
-	checkGoroutines(t, "body", func(t *testing.T) {
+	testutil.CheckGoroutines(t, "body", func(t *testing.T) {
 		tc := startCluster(t, 2, true, nil)
 		plan := transport.NewFaultPlan(3)
 		plan.CutAfterWriteBytes = 1
@@ -379,7 +357,7 @@ func (s *blackholeStream) Close() error {
 // must surface the same error through the collective agreement — no
 // DataTimeout stall, no incoherent split.
 func TestKeepaliveSurfacesKilledServerCoherently(t *testing.T) {
-	checkGoroutines(t, "body", func(t *testing.T) {
+	testutil.CheckGoroutines(t, "body", func(t *testing.T) {
 		rig := &blackholeRig{}
 		tc := startCluster(t, 2, true, nil)
 		const interval = 100 * time.Millisecond
@@ -426,7 +404,7 @@ func TestKeepaliveSurfacesKilledServerCoherently(t *testing.T) {
 // completed, the drain must not wedge either side, every rank must agree on
 // the eventual failure, and nothing may leak.
 func TestObjectShutdownRacesInFlightInvocations(t *testing.T) {
-	checkGoroutines(t, "body", func(t *testing.T) {
+	testutil.CheckGoroutines(t, "body", func(t *testing.T) {
 		tc := startCluster(t, 2, true, nil)
 		tc.runClient(t, 2, Multiport, func(c *rts.Comm, b *Binding) error {
 			const n = 256

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dseq"
 	"repro/internal/obs"
 	"repro/internal/rts"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
 
@@ -26,7 +27,7 @@ type pendingCheck struct {
 // results (no cross-token mixups) and no goroutines leak. Run under -race via
 // the race Makefile target, this is the data-race check for the lane engine.
 func TestPipelinedWindowStress(t *testing.T) {
-	checkGoroutines(t, "stress", func(t *testing.T) {
+	testutil.CheckGoroutines(t, "stress", func(t *testing.T) {
 		const (
 			depth = 4
 			reps  = 24

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dseq"
+	"repro/internal/rts"
+	"repro/internal/testutil"
+)
+
+// TestShareConnectionPoolsOneClient is the core-level ShareConnection proof:
+// four SPMD ranks binding with identical options ride exactly one pooled
+// client engine, a matching re-bind on the same rank reuses it, invocations
+// still work through the shared engine, and the pool drains to empty once
+// every sharing binding has closed.
+func TestShareConnectionPoolsOneClient(t *testing.T) {
+	testutil.CheckGoroutines(t, "share", func(t *testing.T) {
+		tc := startCluster(t, 2, true, nil)
+		opts := BindOptions{Method: Centralized, Timeout: testTimeout, ShareConnection: true}
+		w := rts.NewWorld(4, rts.Options{RecvTimeout: testTimeout})
+		defer w.Close()
+		err := w.Run(func(c *rts.Comm) error {
+			b, err := SPMDBind(c, "example", tc.ns.Addr(), opts)
+			if err != nil {
+				return err
+			}
+			defer b.Close()
+			// SPMDBindRef acquires the pooled client before its collective
+			// describe round, so once any rank is bound, all four acquisitions
+			// have landed — and they must have coalesced into one entry.
+			if n := sharedClients.Size(); n != 1 {
+				return fmt.Errorf("rank %d: pool holds %d clients with 4 sharing ranks bound, want 1", c.Rank(), n)
+			}
+			// A second identically-configured binding reuses the same engine.
+			b2, err := SPMDBind(c, "example", tc.ns.Addr(), opts)
+			if err != nil {
+				return err
+			}
+			defer b2.Close()
+			if b.client != b2.client {
+				return fmt.Errorf("rank %d: identically-configured sharing bindings got distinct clients", c.Rank())
+			}
+			if n := sharedClients.Size(); n != 1 {
+				return fmt.Errorf("rank %d: pool grew to %d on a matching re-bind, want 1", c.Rank(), n)
+			}
+			// The shared engine still carries a real collective invocation.
+			const n = 128
+			arr, err := dseq.New(c, dseq.Float64, n, nil)
+			if err != nil {
+				return err
+			}
+			arr.FillFunc(func(g int) float64 { return float64(g) })
+			if _, err := b.Invoke("scale", scaleScalars(2), []DistArg{InOutSeq(arr)}); err != nil {
+				return fmt.Errorf("invoke through shared client: %w", err)
+			}
+			full, err := arr.Collect()
+			if err != nil {
+				return err
+			}
+			for i, v := range full {
+				if v != float64(i)*2 {
+					return fmt.Errorf("full[%d] = %v through shared client, want %v", i, v, float64(i)*2)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := sharedClients.Size(); n != 0 {
+			t.Errorf("pool holds %d clients after every sharing binding closed, want 0", n)
+		}
+	})
+}
+
+// TestShareConnectionKeysAndRelease pins the pool's keying and refcount
+// semantics: differently-configured sharing bindings get distinct engines,
+// private bindings never touch the pool, Close is idempotent per binding,
+// and the last release empties the pool.
+func TestShareConnectionKeysAndRelease(t *testing.T) {
+	testutil.CheckGoroutines(t, "keys", func(t *testing.T) {
+		tc := startCluster(t, 1, false, nil)
+		w := rts.NewWorld(1, rts.Options{RecvTimeout: testTimeout})
+		defer w.Close()
+		err := w.Run(func(c *rts.Comm) error {
+			a, err := SPMDBind(c, "example", tc.ns.Addr(),
+				BindOptions{Timeout: testTimeout, ShareConnection: true})
+			if err != nil {
+				return err
+			}
+			defer a.Close()
+			b, err := SPMDBind(c, "example", tc.ns.Addr(),
+				BindOptions{Timeout: testTimeout / 2, ShareConnection: true})
+			if err != nil {
+				return err
+			}
+			defer b.Close()
+			if a.client == b.client {
+				return fmt.Errorf("bindings with different timeouts shared one client engine")
+			}
+			if n := sharedClients.Size(); n != 2 {
+				return fmt.Errorf("pool holds %d clients for 2 distinct configurations, want 2", n)
+			}
+			// A private binding stays out of the pool entirely.
+			priv, err := SPMDBind(c, "example", tc.ns.Addr(), BindOptions{Timeout: testTimeout})
+			if err != nil {
+				return err
+			}
+			if n := sharedClients.Size(); n != 2 {
+				priv.Close()
+				return fmt.Errorf("private binding changed the pool size to %d", n)
+			}
+			priv.Close()
+			// Close releases exactly one reference and is idempotent: the
+			// second Close must not underflow b's entry or touch a's.
+			b.Close()
+			b.Close()
+			if n := sharedClients.Size(); n != 1 {
+				return fmt.Errorf("pool holds %d after releasing one of two configurations, want 1", n)
+			}
+			a.Close()
+			if n := sharedClients.Size(); n != 0 {
+				return fmt.Errorf("pool holds %d after the last release, want 0", n)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}

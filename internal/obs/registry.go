@@ -146,6 +146,38 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed durations
+// from the power-of-two buckets. The estimate is the exclusive upper bound of
+// the bucket in which the q-th observation falls, so it overshoots by at most
+// 2x — the right direction for latency SLO assertions ("p99 below X" proven
+// with the conservative bound). A nil or empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based; ceil(q*total) without FP edge
+	// trouble at q=1.
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(int64(1) << i)
+		}
+	}
+	return time.Duration(int64(1) << (histBuckets - 1))
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
 	Count uint64 `json:"count"`

@@ -60,7 +60,7 @@ type Client struct {
 	nextID atomic.Uint32
 
 	mu     sync.Mutex
-	conns  map[string]*clientConn
+	conns  map[string]*connSlot
 	closed bool
 
 	bkMu     sync.Mutex
@@ -74,10 +74,20 @@ type Client struct {
 func NewClient() *Client {
 	return &Client{
 		MaxForwards: 3,
-		conns:       make(map[string]*clientConn),
+		conns:       make(map[string]*connSlot),
 		breakers:    make(map[string]*breaker),
 		sinks:       make(map[uint32]chan *wire.Data),
 	}
+}
+
+// connSlot serializes connection establishment per address. The client used
+// to dial while holding the client-wide connection-map lock, which made one
+// slow or unreachable endpoint stall every invocation on every other
+// endpoint; with a slot per address, only callers of the same endpoint wait
+// on its dial, and the map lock is held just long enough to find the slot.
+type connSlot struct {
+	mu sync.Mutex
+	cc *clientConn // nil or broken: the next use redials
 }
 
 // RetryPolicy bounds the automatic retries the client performs for
@@ -222,18 +232,27 @@ func (c *Client) countConnBroken() { c.obsInit(); c.mConnBroken.Inc() }
 // conn returns (dialing if necessary) the cached connection to addr.
 func (c *Client) conn(addr string) (*clientConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, ErrClientClosed
 	}
-	if cc, ok := c.conns[addr]; ok {
+	slot := c.conns[addr]
+	if slot == nil {
+		slot = &connSlot{}
+		c.conns[addr] = slot
+	}
+	c.mu.Unlock()
+
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if cc := slot.cc; cc != nil {
 		cc.mu.Lock()
 		broken := cc.err != nil
 		cc.mu.Unlock()
 		if !broken {
 			return cc, nil
 		}
-		delete(c.conns, addr)
+		slot.cc = nil
 	}
 	dial := c.Dialer
 	if dial == nil {
@@ -243,6 +262,16 @@ func (c *Client) conn(addr string) (*clientConn, error) {
 	if err != nil {
 		return nil, &SystemException{RepoID: RepoComm, Message: err.Error()}
 	}
+	// Close may have run while we dialed (the dial holds only the slot
+	// lock); publishing now would leak the connection past Close, so
+	// re-check under the client lock before the connection becomes visible.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		tc.Close()
+		return nil, ErrClientClosed
+	}
+	c.mu.Unlock()
 	cc := &clientConn{
 		conn:    tc,
 		client:  c,
@@ -251,7 +280,7 @@ func (c *Client) conn(addr string) (*clientConn, error) {
 		done:    make(chan struct{}),
 	}
 	cc.touch()
-	c.conns[addr] = cc
+	slot.cc = cc
 	go cc.readLoop()
 	if c.KeepaliveInterval > 0 {
 		go cc.keepaliveLoop(c.KeepaliveInterval, c.KeepaliveTimeout)
@@ -264,10 +293,43 @@ func (c *Client) conn(addr string) (*clientConn, error) {
 // the poisoned connection.
 func (c *Client) dropConn(cc *clientConn) {
 	c.mu.Lock()
-	if cur, ok := c.conns[cc.addr]; ok && cur == cc {
-		delete(c.conns, cc.addr)
+	slot := c.conns[cc.addr]
+	c.mu.Unlock()
+	if slot == nil {
+		return
+	}
+	slot.mu.Lock()
+	if slot.cc == cc {
+		slot.cc = nil
+	}
+	slot.mu.Unlock()
+}
+
+// NumConns reports how many live (unbroken) connections the client holds.
+// Connection-sharing tests and the swarm harness assert fan-in shapes with
+// it: N bindings sharing one client to one server must show exactly one.
+func (c *Client) NumConns() int {
+	c.mu.Lock()
+	slots := make([]*connSlot, 0, len(c.conns))
+	for _, slot := range c.conns {
+		slots = append(slots, slot)
 	}
 	c.mu.Unlock()
+	n := 0
+	for _, slot := range slots {
+		slot.mu.Lock()
+		cc := slot.cc
+		slot.mu.Unlock()
+		if cc == nil {
+			continue
+		}
+		cc.mu.Lock()
+		if cc.err == nil {
+			n++
+		}
+		cc.mu.Unlock()
+	}
+	return n
 }
 
 // keepaliveLoop mirrors the server's liveness probing from the client side:
@@ -408,13 +470,27 @@ func (c *Client) poisonSinks() {
 	c.sinkMu.Unlock()
 }
 
+// replyChans pools the one-shot reply-waiter channels: every request/reply
+// invocation needs a buffered channel for its demuxed reply, and at massive
+// fan-in that is per-request session state worth recycling. A channel may
+// only return to the pool when it is provably quiescent — the reply was
+// received and consumed (the read loop deletes the pending entry before
+// sending, so no later send can target it). Channels abandoned on timeout
+// (a late reply may still land in the buffer) or closed by fail() are left
+// for the GC.
+var replyChans = sync.Pool{New: func() any { return make(chan *wire.Reply, 1) }}
+
+func putReplyCh(ch chan *wire.Reply) { replyChans.Put(ch) }
+
 func (cc *clientConn) register(id uint32) (chan *wire.Reply, error) {
+	ch := replyChans.Get().(chan *wire.Reply)
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if cc.err != nil {
+		// The channel was never visible to the read loop; recycle it.
+		putReplyCh(ch)
 		return nil, cc.err
 	}
-	ch := make(chan *wire.Reply, 1)
 	cc.pending[id] = ch
 	return ch, nil
 }
@@ -599,6 +675,9 @@ func (c *Client) await(cc *clientConn, ch chan *wire.Reply, id uint32, deadline 
 			}
 			return nil, err
 		}
+		// The reply was consumed and the read loop removed the pending entry
+		// before sending it: the channel is empty and unreachable — recycle.
+		putReplyCh(ch)
 		return reply, nil
 	case <-timeout:
 		cc.unregister(id)
@@ -765,14 +844,20 @@ func (c *Client) Close() {
 		return
 	}
 	c.closed = true
-	conns := make([]*clientConn, 0, len(c.conns))
-	for _, cc := range c.conns {
-		conns = append(conns, cc)
+	slots := make([]*connSlot, 0, len(c.conns))
+	for _, slot := range c.conns {
+		slots = append(slots, slot)
 	}
-	c.conns = map[string]*clientConn{}
+	c.conns = map[string]*connSlot{}
 	c.mu.Unlock()
-	for _, cc := range conns {
-		cc.fail(ErrClientClosed)
-		<-cc.done
+	for _, slot := range slots {
+		slot.mu.Lock()
+		cc := slot.cc
+		slot.cc = nil
+		slot.mu.Unlock()
+		if cc != nil {
+			cc.fail(ErrClientClosed)
+			<-cc.done
+		}
 	}
 }

@@ -1,0 +1,49 @@
+package orb
+
+import (
+	"sync"
+
+	"repro/internal/cdr"
+)
+
+// Reply-writer scratch pooling. Every dispatched request needs a CDR encoder
+// for its reply body; at massive fan-in that is the dominant per-request
+// allocation on the server. Encoders are recycled through small size classes
+// (mirroring the transport frame pools) so a burst of large replies does not
+// leave megabyte buffers pinned under a steady state of small ones: each
+// class has its own sync.Pool and an encoder returns to the class its grown
+// capacity fits, while anything beyond the largest class is dropped for the
+// GC.
+var encClasses = [...]int{
+	4 << 10,  // typical scalar/short-sequence replies
+	64 << 10, // bulk argument pages
+	4 << 20,  // matches the transport pool's largest frame class
+}
+
+var encPools [len(encClasses)]sync.Pool
+
+// getReplyEncoder returns a ready argument encoder (order octet written)
+// from the smallest class with a pooled encoder, or a fresh one.
+func getReplyEncoder() *cdr.Encoder {
+	for i := range encPools {
+		if v := encPools[i].Get(); v != nil {
+			e := v.(*cdr.Encoder)
+			ResetArgEncoder(e)
+			return e
+		}
+	}
+	return NewArgEncoder()
+}
+
+// putReplyEncoder recycles an encoder into its size class. The caller must
+// be done with every Bytes() slice taken from it: the next getReplyEncoder
+// will overwrite the buffer.
+func putReplyEncoder(e *cdr.Encoder) {
+	for i, max := range encClasses {
+		if e.Cap() <= max {
+			encPools[i].Put(e)
+			return
+		}
+	}
+	// Larger than the biggest class: let the GC take it rather than pin it.
+}

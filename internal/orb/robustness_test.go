@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cdr"
+	"repro/internal/testutil"
 )
 
 // --- admission control ---
@@ -37,12 +38,19 @@ func blockingServer(t *testing.T, opts ServerOptions, key []byte) (*Server, stri
 // a TRANSIENT system exception — they do not queue without bound, and the
 // admitted requests still complete once the servant unblocks.
 func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	defer testutil.LeakCheck(t)()
 	const maxInFlight, queueDepth = 2, 1
 	srv, addr, release := blockingServer(t, ServerOptions{
 		MaxInFlight:     maxInFlight,
 		QueueDepth:      queueDepth,
 		MaxConnInFlight: -1, // isolate the global caps
 	}, []byte("sat"))
+	// Teardown order under the leak check (defers run LIFO, before the
+	// blockingServer cleanup): unblock the servant, close the server, then
+	// measure goroutines.
+	defer srv.Close()
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
 
 	c := NewClient()
 	c.Timeout = 10 * time.Second
@@ -73,7 +81,7 @@ func TestAdmissionShedsWhenSaturated(t *testing.T) {
 		}
 	}
 
-	close(release)
+	releaseOnce()
 	for i := 0; i < maxInFlight+queueDepth; i++ {
 		select {
 		case err := <-errs:
@@ -101,11 +109,13 @@ func TestAdmissionShedsWhenSaturated(t *testing.T) {
 // connection cannot hold more than MaxConnInFlight requests even when the
 // global budget has room.
 func TestPerConnectionCapSheds(t *testing.T) {
-	_, addr, release := blockingServer(t, ServerOptions{
+	defer testutil.LeakCheck(t)()
+	srv, addr, release := blockingServer(t, ServerOptions{
 		MaxInFlight:     64,
 		MaxConnInFlight: 2,
 		QueueDepth:      64,
 	}, []byte("fair"))
+	defer srv.Close()
 	defer close(release)
 
 	c := NewClient()
@@ -201,6 +211,7 @@ func TestClientKeepaliveDetectsFrozenServer(t *testing.T) {
 // connects and then never speaks (and never answers pings) is dropped within
 // the grace period and counted in the stats.
 func TestServerKeepaliveDropsSilentClient(t *testing.T) {
+	defer testutil.LeakCheck(t)()
 	srv, err := NewServerOpts("127.0.0.1:0", ServerOptions{
 		KeepaliveInterval: 50 * time.Millisecond,
 	})
@@ -240,7 +251,11 @@ func TestServerKeepaliveDropsSilentClient(t *testing.T) {
 // keeps its connection and delivers its reply; only then is CloseConnection
 // sent and the connection torn down.
 func TestShutdownDrainsInFlightAndShedsNew(t *testing.T) {
+	defer testutil.LeakCheck(t)()
 	srv, addr, release := blockingServer(t, ServerOptions{}, []byte("drain"))
+	defer srv.Close()
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
 
 	c := NewClient()
 	c.Timeout = 10 * time.Second
@@ -281,7 +296,7 @@ func TestShutdownDrainsInFlightAndShedsNew(t *testing.T) {
 	}
 
 	// The in-flight request still completes successfully.
-	close(release)
+	releaseOnce()
 	select {
 	case err := <-inflight:
 		if err != nil {
@@ -303,7 +318,11 @@ func TestShutdownDrainsInFlightAndShedsNew(t *testing.T) {
 // TestShutdownDeadlineAbandonsStuckDispatch pins the bounded-drain contract:
 // a dispatch that never finishes cannot hold Shutdown past its context.
 func TestShutdownDeadlineAbandonsStuckDispatch(t *testing.T) {
+	defer testutil.LeakCheck(t)()
 	srv, addr, release := blockingServer(t, ServerOptions{}, []byte("stuck"))
+	// The abandoned dispatch drains only once the servant is released, so the
+	// ordering is: release, then an unbounded Close, then the leak check.
+	defer srv.Close()
 	defer close(release)
 
 	c := NewClient()
@@ -366,10 +385,7 @@ func TestCloseConnectionProactiveReconnect(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		c.mu.Lock()
-		n := len(c.conns)
-		c.mu.Unlock()
-		if n == 0 {
+		if c.NumConns() == 0 {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -45,6 +45,7 @@ const (
 	DefaultQueueDepth        = 256
 	DefaultWriteTimeout      = 10 * time.Second
 	DefaultKeepaliveInterval = 30 * time.Second
+	DefaultWorkerIdleTimeout = time.Second
 )
 
 // ServerOptions configure a Server's robustness layer: admission control,
@@ -52,11 +53,15 @@ const (
 // "use the defaults"; negative durations disable the corresponding feature.
 type ServerOptions struct {
 	// MaxInFlight caps requests being dispatched concurrently across all
-	// connections. Default DefaultMaxInFlight; negative disables the cap.
+	// connections. It also bounds the dispatch worker pool: the server never
+	// runs more worker goroutines than requests it would admit concurrently.
+	// Default DefaultMaxInFlight; negative disables the cap.
 	MaxInFlight int
 	// MaxConnInFlight caps requests in flight (dispatching or queued) on one
 	// connection, so a single aggressive client cannot monopolize the global
-	// budget. Default DefaultMaxConnInFlight; negative disables the cap.
+	// budget. With many cheap client bindings multiplexed onto one shared
+	// connection (core.BindOptions.ShareConnection), the cap applies to their
+	// aggregate. Default DefaultMaxConnInFlight; negative disables the cap.
 	MaxConnInFlight int
 	// QueueDepth bounds how many admitted requests may wait for an
 	// in-flight slot once MaxInFlight is saturated. A request arriving with
@@ -64,6 +69,12 @@ type ServerOptions struct {
 	// the server never queues without bound. Default DefaultQueueDepth;
 	// negative disables queueing (saturation sheds at once).
 	QueueDepth int
+	// WorkerIdleTimeout is how long an idle dispatch worker goroutine
+	// lingers before it is reaped, so the pool shrinks back after a load
+	// spike instead of pinning peak-sized goroutine counts forever. Default
+	// DefaultWorkerIdleTimeout; negative keeps idle workers alive until
+	// shutdown.
+	WorkerIdleTimeout time.Duration
 	// WriteTimeout bounds every reply/keepalive write so one client that
 	// stopped reading cannot wedge the connection's writers. Default
 	// DefaultWriteTimeout; negative disables.
@@ -84,9 +95,12 @@ type ServerOptions struct {
 	Logf func(format string, args ...any)
 	// Metrics, when set, receives this server's observability wiring: the
 	// admission/liveness counters from Stats and the process-wide transport
-	// frame-pool counters become pull sources, and servant dispatch latency
-	// feeds the "orb.server.handle_ns" histogram. Collection is pull-based,
-	// so the request path pays nothing beyond the counters it already kept.
+	// frame-pool counters become pull sources, servant dispatch latency
+	// feeds the "orb.server.handle_ns" histogram, and full server-side
+	// request latency (arrival to reply written, queue wait included) feeds
+	// "orb.server.dispatch_ns". Collection is pull-based, so the request
+	// path pays nothing beyond the counters it already kept plus one clock
+	// read per request.
 	Metrics *obs.Registry
 	// MetricsAddr, when non-empty, serves Metrics (obs.Default when Metrics
 	// is nil) as JSON over HTTP on this address; the endpoint lives until
@@ -115,6 +129,12 @@ func (o ServerOptions) withDefaults() ServerOptions {
 		o.QueueDepth = DefaultQueueDepth
 	case o.QueueDepth < 0:
 		o.QueueDepth = 0
+	}
+	switch {
+	case o.WorkerIdleTimeout == 0:
+		o.WorkerIdleTimeout = DefaultWorkerIdleTimeout
+	case o.WorkerIdleTimeout < 0:
+		o.WorkerIdleTimeout = 0 // never reap
 	}
 	switch {
 	case o.WriteTimeout == 0:
@@ -147,6 +167,10 @@ type ServerStats struct {
 	// InFlight and Queued are the current gauges.
 	InFlight int
 	Queued   int
+	// Conns is the current number of accepted connections being served.
+	Conns int
+	// Workers is the current size of the dispatch worker pool (busy + idle).
+	Workers int
 }
 
 // Server is the PARDIS object adapter plus its network engine: it listens on
@@ -160,6 +184,14 @@ type ServerStats struct {
 // bounded overflow queue (excess is shed with TRANSIENT), writes carry
 // deadlines so a stuck reader cannot wedge a connection, and idle peers are
 // pinged and dropped when silent too long.
+//
+// The engine is sized for massive fan-in (DESIGN.md §13): goroutines are
+// O(connections + concurrent dispatches), never O(requests). Each accepted
+// connection costs exactly one serve-loop goroutine; admitted requests are
+// executed by a shared pool of reusable dispatch workers that grows on
+// demand up to MaxInFlight and shrinks after WorkerIdleTimeout; queued
+// requests hold a queue slot, not a goroutine; and a single scanner
+// goroutine runs keepalive probing for every connection.
 type Server struct {
 	lis  *transport.Listener
 	host string
@@ -172,15 +204,26 @@ type Server struct {
 	conns    map[*servedConn]struct{}
 	closed   bool
 
-	// stop is closed when the server begins shutting down; queued requests
-	// waiting for an in-flight slot give up on it.
+	// stop is closed when the server begins shutting down; idle workers and
+	// the scanner/reaper loops give up on it.
 	stop chan struct{}
 	// draining sheds all new requests with TRANSIENT once Shutdown begins.
 	draining atomic.Bool
 
-	// sem holds the in-flight dispatch permits; queued counts requests
-	// waiting for a permit (bounded by QueueDepth).
-	sem      chan struct{}
+	// Dispatch engine (all under dmu): ready is the LIFO stack of parked
+	// workers, workers counts live worker goroutines (busy + idle), queue
+	// holds admitted requests waiting for a worker (bounded by QueueDepth),
+	// and stopped marks the engine torn down. The queue-check-then-park
+	// ordering in workerLoop and the handoff in dispatch are serialized by
+	// dmu, which is what makes a queued item impossible to strand: a worker
+	// only parks after observing an empty queue, and an item only queues
+	// after observing no parked workers.
+	dmu     sync.Mutex
+	ready   []*dispatchWorker
+	workers int
+	queue   []workItem
+	stopped bool
+
 	queued   atomic.Int64
 	inflight atomic.Int64
 
@@ -189,20 +232,27 @@ type Server struct {
 	keepaliveDrops atomic.Uint64
 
 	// Observability wiring (ServerOptions.Metrics/Trace): rec records
-	// admission spans, handleNS times servant dispatches, msrv is the
-	// optional HTTP endpoint, pullKey identifies this server's pull source
-	// for unregistration at shutdown.
-	rec      *obs.Recorder
-	metrics  *obs.Registry
-	handleNS *obs.Histogram
-	msrv     *obs.MetricsServer
-	pullKey  string
+	// admission spans, handleNS times servant dispatches, dispatchNS times
+	// arrival-to-reply request latency, msrv is the optional HTTP endpoint,
+	// pullKey identifies this server's pull source for unregistration at
+	// shutdown.
+	rec        *obs.Recorder
+	metrics    *obs.Registry
+	handleNS   *obs.Histogram
+	dispatchNS *obs.Histogram
+	msrv       *obs.MetricsServer
+	pullKey    string
 
-	// wg tracks connection serve loops, keepalive loops and the accept
-	// loop; reqWg tracks in-flight request dispatches so Shutdown can let
-	// replies drain before tearing connections down.
-	wg    sync.WaitGroup
-	reqWg sync.WaitGroup
+	// wg tracks connection serve loops, the keepalive scanner, the worker
+	// reaper and the accept loop; reqWg tracks admitted requests
+	// (dispatching or queued) so Shutdown can let replies drain before
+	// tearing connections down. workerWg tracks the dispatch worker
+	// goroutines separately: a clean shutdown waits for them, but a
+	// deadline-expired drain abandons a stuck worker exactly as it abandons
+	// the stuck dispatch it is running.
+	wg       sync.WaitGroup
+	reqWg    sync.WaitGroup
+	workerWg sync.WaitGroup
 	// Logf, when set, receives connection-level error reports. It defaults
 	// to a silent logger; tests install t.Logf.
 	Logf func(format string, args ...any)
@@ -215,16 +265,35 @@ type servedConn struct {
 	// inflight counts this connection's requests dispatching or queued.
 	inflight atomic.Int64
 	// lastRead is the unix-nano time of the last successful read; the
-	// keepalive loop measures idleness against it.
+	// keepalive scanner measures idleness against it.
 	lastRead atomic.Int64
-	// done is closed when the serve loop exits, stopping the keepalive loop.
-	done chan struct{}
+	// lastPing and nonce belong to the keepalive scanner goroutine alone.
+	lastPing time.Time
+	nonce    uint32
 }
 
 func (sc *servedConn) touch() { sc.lastRead.Store(time.Now().UnixNano()) }
 
 func (sc *servedConn) idle(now time.Time) time.Duration {
 	return now.Sub(time.Unix(0, sc.lastRead.Load()))
+}
+
+// workItem is one admitted request en route to a dispatch worker.
+type workItem struct {
+	sc  *servedConn
+	req *wire.Request
+	// arrival is the unix-nano admission stamp for spans and the dispatch
+	// latency histogram; 0 when neither is enabled.
+	arrival int64
+}
+
+// dispatchWorker is one pooled dispatcher goroutine. Its channel has
+// capacity 1 so a handoff from admit never blocks: a worker is on the ready
+// stack only while its channel is empty, and popping it is what grants the
+// right to send exactly one item (or, for the reaper, to close the channel).
+type dispatchWorker struct {
+	ch       chan workItem
+	parkedAt int64 // unix-nano park stamp, read by the reaper under dmu
 }
 
 // NewServer listens on addr ("host:port", port 0 for ephemeral) with default
@@ -255,7 +324,6 @@ func NewServerOpts(addr string, opts ServerOptions) (*Server, error) {
 		servants: make(map[string]Servant),
 		conns:    make(map[*servedConn]struct{}),
 		stop:     make(chan struct{}),
-		sem:      make(chan struct{}, opts.MaxInFlight),
 		Logf:     func(string, ...any) {},
 	}
 	if opts.Logf != nil {
@@ -269,6 +337,7 @@ func NewServerOpts(addr string, opts ServerOptions) (*Server, error) {
 	if reg != nil {
 		s.metrics = reg
 		s.handleNS = reg.Histogram("orb.server.handle_ns")
+		s.dispatchNS = reg.Histogram("orb.server.dispatch_ns")
 		// Pulls are read at snapshot time only. Several servers (the
 		// per-thread adapters of one SPMD object) sharing a registry each
 		// register under their own address, and the snapshot sums their
@@ -282,6 +351,8 @@ func NewServerOpts(addr string, opts ServerOptions) (*Server, error) {
 			put("orb.server.keepalive_drops", int64(st.KeepaliveDrops))
 			put("orb.server.in_flight", int64(st.InFlight))
 			put("orb.server.queued", int64(st.Queued))
+			put("orb.server.conns", int64(st.Conns))
+			put("orb.server.workers", int64(st.Workers))
 		})
 		reg.RegisterPull("transport.pool", pullPoolStats)
 		if opts.MetricsAddr != "" {
@@ -295,6 +366,14 @@ func NewServerOpts(addr string, opts ServerOptions) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if opts.WorkerIdleTimeout > 0 {
+		s.wg.Add(1)
+		go s.reaperLoop()
+	}
+	if opts.KeepaliveInterval > 0 {
+		s.wg.Add(1)
+		go s.keepaliveScanner()
+	}
 	return s, nil
 }
 
@@ -304,6 +383,7 @@ func pullPoolStats(put func(string, int64)) {
 	put("transport.pool.hits", int64(st.Hits))
 	put("transport.pool.misses", int64(st.Misses))
 	put("transport.pool.puts", int64(st.Puts))
+	put("transport.pool.outstanding", st.Outstanding())
 }
 
 // MetricsEndpoint returns the bound address of the metrics HTTP endpoint,
@@ -315,10 +395,11 @@ func (s *Server) MetricsEndpoint() string {
 	return s.msrv.Addr()
 }
 
-// spanStart stamps the wall clock for a later span, or 0 when tracing is
-// off so untraced servers skip the clock read.
-func (s *Server) spanStart() int64 {
-	if s.rec == nil {
+// arrivalStamp reads the clock once per request when either spans or the
+// dispatch latency histogram want it; 0 otherwise so untraced, unmetered
+// servers skip the clock read.
+func (s *Server) arrivalStamp() int64 {
+	if s.rec == nil && s.dispatchNS == nil {
 		return 0
 	}
 	return time.Now().UnixNano()
@@ -404,12 +485,20 @@ func (s *Server) dataHandler() DataHandler {
 
 // Stats returns a snapshot of the admission-control and liveness counters.
 func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	nconns := len(s.conns)
+	s.mu.Unlock()
+	s.dmu.Lock()
+	nworkers := s.workers
+	s.dmu.Unlock()
 	return ServerStats{
 		Dispatched:     s.dispatched.Load(),
 		Shed:           s.shed.Load(),
 		KeepaliveDrops: s.keepaliveDrops.Load(),
 		InFlight:       int(s.inflight.Load()),
 		Queued:         int(s.queued.Load()),
+		Conns:          nconns,
+		Workers:        nworkers,
 	}
 }
 
@@ -420,7 +509,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		sc := &servedConn{conn: conn, done: make(chan struct{})}
+		sc := &servedConn{conn: conn}
 		sc.touch()
 		s.mu.Lock()
 		if s.closed {
@@ -432,19 +521,19 @@ func (s *Server) acceptLoop() {
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(sc)
-		if s.opts.KeepaliveInterval > 0 {
-			s.wg.Add(1)
-			go s.keepaliveLoop(sc)
-		}
 	}
 }
 
-// keepaliveLoop watches one connection's read activity: silent past the
-// interval, it probes with a Ping; silent past the grace period too, it
-// declares the peer dead and closes the connection, which unblocks the serve
-// loop. This is what turns a SIGKILL'd peer (no FIN on the wire) into a
-// prompt error instead of an indefinite stall.
-func (s *Server) keepaliveLoop(sc *servedConn) {
+// keepaliveScanner is the server-wide liveness prober: one goroutine walks
+// every connection on a shared tick, probing idle peers with a Ping and
+// dropping those silent past the grace period. Before the fan-in refactor
+// each connection ran its own keepalive goroutine; at thousands of
+// connections that doubled the goroutine bill for a loop that is almost
+// always asleep. Ping writes ride the server's write deadline, so one wedged
+// peer can stall a scan pass by at most WriteTimeout; dead-peer drops are
+// plain Close calls and never block. This is what turns a SIGKILL'd peer (no
+// FIN on the wire) into a prompt error instead of an indefinite stall.
+func (s *Server) keepaliveScanner() {
 	defer s.wg.Done()
 	interval := s.opts.KeepaliveInterval
 	grace := s.opts.KeepaliveTimeout
@@ -457,29 +546,37 @@ func (s *Server) keepaliveLoop(sc *servedConn) {
 	}
 	t := time.NewTicker(tick)
 	defer t.Stop()
-	var nonce uint32
-	var lastPing time.Time
+	var scratch []*servedConn
 	for {
 		select {
-		case <-sc.done:
-			return
 		case <-s.stop:
 			return
 		case now := <-t.C:
-			idle := sc.idle(now)
-			if idle >= interval+grace {
-				s.keepaliveDrops.Add(1)
-				s.Logf("orb: server keepalive: peer silent %v, dropping connection", idle)
-				sc.conn.Close()
-				return
+			scratch = scratch[:0]
+			s.mu.Lock()
+			for sc := range s.conns {
+				scratch = append(scratch, sc)
 			}
-			if idle >= interval && now.Sub(lastPing) >= interval {
-				lastPing = now
-				nonce++
-				if err := sc.conn.WriteMessage(&wire.Ping{Nonce: nonce}); err != nil {
-					// The serve loop will observe the broken stream.
-					return
+			s.mu.Unlock()
+			for _, sc := range scratch {
+				idle := sc.idle(now)
+				if idle >= interval+grace {
+					s.keepaliveDrops.Add(1)
+					s.Logf("orb: server keepalive: peer silent %v, dropping connection", idle)
+					sc.conn.Close() // the serve loop observes the close and exits
+					continue
 				}
+				if idle >= interval && now.Sub(sc.lastPing) >= interval {
+					sc.lastPing = now
+					sc.nonce++
+					if err := sc.conn.WriteMessage(&wire.Ping{Nonce: sc.nonce}); err != nil {
+						continue // the serve loop will observe the broken stream
+					}
+				}
+			}
+			// Don't let a burst of connections pin a huge scratch array.
+			if cap(scratch) > 4096 && len(s.conns) < 1024 {
+				scratch = nil
 			}
 		}
 	}
@@ -488,7 +585,6 @@ func (s *Server) keepaliveLoop(sc *servedConn) {
 func (s *Server) serveConn(sc *servedConn) {
 	defer s.wg.Done()
 	defer func() {
-		close(sc.done)
 		sc.conn.Close()
 		s.mu.Lock()
 		delete(s.conns, sc)
@@ -551,12 +647,13 @@ func (s *Server) serveConn(sc *servedConn) {
 }
 
 // admit applies admission control to one inbound request: shed while
-// draining, shed past the per-connection cap, dispatch immediately when an
-// in-flight permit is free, otherwise wait on the bounded queue — and shed
-// when that too is full. Shedding replies TRANSIENT at once; the request is
-// never silently queued without bound.
+// draining, shed past the per-connection cap, hand to the dispatch engine
+// when it has room (an idle worker, a worker slot to grow into, or a bounded
+// queue slot) — and shed when all three are exhausted. Shedding replies
+// TRANSIENT at once; the request is never silently queued without bound, and
+// admission itself never blocks the connection's serve loop.
 func (s *Server) admit(sc *servedConn, req *wire.Request) {
-	admitStart := s.spanStart()
+	arrival := s.arrivalStamp()
 	if s.draining.Load() {
 		s.shedRequest(sc, req, "server draining")
 		return
@@ -566,60 +663,174 @@ func (s *Server) admit(sc *servedConn, req *wire.Request) {
 		s.shedRequest(sc, req, fmt.Sprintf("connection request cap %d reached", s.opts.MaxConnInFlight))
 		return
 	}
-	select {
-	case s.sem <- struct{}{}:
-		s.span(obs.PhaseAdmission, req.RequestID, admitStart)
-		s.launch(sc, req)
-	default:
-		// Saturated: claim a bounded queue slot and wait for a permit off
-		// the serve loop, so the connection keeps reading.
-		if q := s.queued.Add(1); q > int64(s.opts.QueueDepth) {
-			s.queued.Add(-1)
-			sc.inflight.Add(-1)
-			s.shedRequest(sc, req, fmt.Sprintf("server saturated (%d in flight, %d queued)",
-				s.opts.MaxInFlight, s.opts.QueueDepth))
-			return
-		}
-		s.reqWg.Add(1)
-		go func() {
-			defer s.reqWg.Done()
-			select {
-			case s.sem <- struct{}{}:
-				s.queued.Add(-1)
-				s.span(obs.PhaseAdmission, req.RequestID, admitStart)
-				defer func() { <-s.sem }()
-				defer sc.inflight.Add(-1)
-				s.inflight.Add(1)
-				s.dispatched.Add(1)
-				s.handleRequest(req, sc)
-				s.inflight.Add(-1)
-			case <-s.stop:
-				s.queued.Add(-1)
-				sc.inflight.Add(-1)
-				s.shedRequest(sc, req, "server draining")
-			case <-sc.done:
-				s.queued.Add(-1)
-				sc.inflight.Add(-1)
-			}
-		}()
+	s.reqWg.Add(1)
+	if ok, reason := s.dispatch(workItem{sc: sc, req: req, arrival: arrival}); !ok {
+		s.reqWg.Done()
+		sc.inflight.Add(-1)
+		s.shedRequest(sc, req, reason)
 	}
 }
 
-// launch runs one admitted request on its own goroutine (holding an
-// in-flight permit), so a long-running upcall (an SPMD collective invocation
-// coordinating other ranks) does not block subsequent traffic on the
-// connection.
-func (s *Server) launch(sc *servedConn, req *wire.Request) {
-	s.reqWg.Add(1)
+// dispatch routes one admitted item into the worker pool: direct handoff to
+// a parked worker, a fresh worker while the pool is below MaxInFlight, or a
+// bounded queue slot. It reports false (with the shed reason) when the
+// engine is saturated or stopped.
+func (s *Server) dispatch(it workItem) (bool, string) {
+	s.dmu.Lock()
+	if s.stopped {
+		s.dmu.Unlock()
+		return false, "server draining"
+	}
+	if n := len(s.ready); n > 0 {
+		w := s.ready[n-1]
+		s.ready[n-1] = nil
+		s.ready = s.ready[:n-1]
+		s.dmu.Unlock()
+		w.ch <- it // never blocks: parked workers have an empty channel
+		return true, ""
+	}
+	if s.workers < s.opts.MaxInFlight {
+		s.workers++
+		s.dmu.Unlock()
+		w := &dispatchWorker{ch: make(chan workItem, 1)}
+		s.workerWg.Add(1)
+		go s.workerLoop(w, it)
+		return true, ""
+	}
+	if len(s.queue) < s.opts.QueueDepth {
+		s.queue = append(s.queue, it)
+		s.queued.Add(1)
+		s.dmu.Unlock()
+		return true, ""
+	}
+	s.dmu.Unlock()
+	return false, fmt.Sprintf("server saturated (%d in flight, %d queued)",
+		s.opts.MaxInFlight, s.opts.QueueDepth)
+}
+
+// workerLoop is one pooled dispatcher: run the handed item, then keep
+// pulling queued work; with the queue empty, park on the ready stack and
+// sleep until the next handoff, the reaper, or shutdown.
+func (s *Server) workerLoop(w *dispatchWorker, it workItem) {
+	defer s.workerWg.Done()
+	for {
+		s.runItem(it)
+		s.dmu.Lock()
+		if len(s.queue) > 0 {
+			// FIFO: admitted order is dispatch order.
+			it = s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue[len(s.queue)-1] = workItem{}
+			s.queue = s.queue[:len(s.queue)-1]
+			s.queued.Add(-1)
+			s.dmu.Unlock()
+			continue
+		}
+		if s.stopped {
+			s.workers--
+			s.dmu.Unlock()
+			return
+		}
+		w.parkedAt = time.Now().UnixNano()
+		s.ready = append(s.ready, w)
+		s.dmu.Unlock()
+		select {
+		case next, ok := <-w.ch:
+			if !ok {
+				return // reaped; the reaper already decremented workers
+			}
+			it = next
+		case <-s.stop:
+			// Shutdown while parked. If we are still on the ready stack,
+			// remove ourselves and exit. If not, a popper owns our channel:
+			// either admit is handing us one final item (run it — it was
+			// admitted, and reqWg holds Shutdown open for it) or the reaper
+			// is about to close the channel.
+			if s.unpark(w) {
+				return
+			}
+			next, ok := <-w.ch
+			if !ok {
+				return
+			}
+			it = next
+		}
+	}
+}
+
+// unpark removes w from the ready stack if it is still there, releasing its
+// worker slot. It reports false when another goroutine already popped w.
+func (s *Server) unpark(w *dispatchWorker) bool {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	for i, rw := range s.ready {
+		if rw == w {
+			copy(s.ready[i:], s.ready[i+1:])
+			s.ready[len(s.ready)-1] = nil
+			s.ready = s.ready[:len(s.ready)-1]
+			s.workers--
+			return true
+		}
+	}
+	return false
+}
+
+// reaperLoop shrinks the worker pool after load drops: workers parked longer
+// than WorkerIdleTimeout are popped off the ready stack and their channels
+// closed, which makes the worker goroutine exit. The ready stack is LIFO, so
+// the longest-idle workers accumulate at the bottom and the scan is a prefix
+// walk.
+func (s *Server) reaperLoop() {
+	defer s.wg.Done()
+	idle := s.opts.WorkerIdleTimeout
+	tick := idle / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var victims []*dispatchWorker
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			cutoff := now.Add(-idle).UnixNano()
+			victims = victims[:0]
+			s.dmu.Lock()
+			n := 0
+			for n < len(s.ready) && s.ready[n].parkedAt < cutoff {
+				n++
+			}
+			if n > 0 {
+				victims = append(victims, s.ready[:n]...)
+				rest := copy(s.ready, s.ready[n:])
+				for i := rest; i < len(s.ready); i++ {
+					s.ready[i] = nil
+				}
+				s.ready = s.ready[:rest]
+				s.workers -= n
+			}
+			s.dmu.Unlock()
+			for _, w := range victims {
+				close(w.ch)
+			}
+		}
+	}
+}
+
+// runItem executes one admitted request on the calling worker.
+func (s *Server) runItem(it workItem) {
+	defer s.reqWg.Done()
+	s.span(obs.PhaseAdmission, it.req.RequestID, it.arrival)
 	s.inflight.Add(1)
 	s.dispatched.Add(1)
-	go func() {
-		defer s.reqWg.Done()
-		defer s.inflight.Add(-1)
-		defer sc.inflight.Add(-1)
-		defer func() { <-s.sem }()
-		s.handleRequest(req, sc)
-	}()
+	s.handleRequest(it.req, it.sc)
+	s.inflight.Add(-1)
+	it.sc.inflight.Add(-1)
+	if it.arrival != 0 && s.dispatchNS != nil {
+		s.dispatchNS.Observe(time.Duration(time.Now().UnixNano() - it.arrival))
+	}
 }
 
 // shedRequest refuses a request with a TRANSIENT system exception (when a
@@ -629,17 +840,19 @@ func (s *Server) shedRequest(sc *servedConn, req *wire.Request, msg string) {
 	if !req.ResponseExpected {
 		return
 	}
-	out := NewArgEncoder()
+	out := getReplyEncoder()
 	status := encodeException(out, Transient(msg))
 	reply := &wire.Reply{RequestID: req.RequestID, Status: status, Args: out.Bytes()}
 	if err := sc.conn.WriteMessage(reply); err != nil {
 		s.Logf("orb: shed reply write: %v", err)
 	}
+	putReplyEncoder(out)
 }
 
 func (s *Server) handleRequest(req *wire.Request, sc *servedConn) {
 	defer s.handleNS.Done(s.handleNS.Start())
-	out := NewArgEncoder()
+	out := getReplyEncoder()
+	defer putReplyEncoder(out)
 	status := wire.ReplyNoException
 
 	sv, ok := s.lookup(req.ObjectKey)
@@ -663,10 +876,10 @@ func (s *Server) handleRequest(req *wire.Request, sc *servedConn) {
 		var fwd *ForwardRequest
 		if errors.As(err, &fwd) {
 			status = wire.ReplyLocationForward
-			out = cdr.NewEncoder(cdr.NativeOrder)
+			out.Reset() // raw payload: the forward IOR, no order octet
 			out.WriteRaw([]byte(fwd.Target.String()))
 		} else {
-			out = NewArgEncoder()
+			ResetArgEncoder(out)
 			status = encodeException(out, err)
 		}
 	}
@@ -687,11 +900,11 @@ func (s *Server) handleRequest(req *wire.Request, sc *servedConn) {
 func (s *Server) Addr() string { return s.lis.Addr() }
 
 // Shutdown drains the server gracefully: it stops accepting connections,
-// sheds new requests with TRANSIENT, waits (bounded by ctx) for in-flight
-// dispatches to write their replies, then announces CloseConnection to every
-// peer and tears the connections down. It returns ctx.Err() when the drain
-// deadline expired with dispatches still running (they are abandoned to
-// finish against closed connections).
+// sheds new and queued-but-undispatched requests with TRANSIENT, waits
+// (bounded by ctx) for dispatching requests to write their replies, then
+// announces CloseConnection to every peer and tears the connections down. It
+// returns ctx.Err() when the drain deadline expired with dispatches still
+// running (they are abandoned to finish against closed connections).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -712,6 +925,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		_ = s.msrv.Close()
 	}
 
+	// Stop the dispatch engine and shed the queue: a queued request has not
+	// started executing, so refusing it with TRANSIENT now (while its
+	// connection still works) beats processing it into a torn-down server.
+	// Workers drain themselves: busy ones finish their item and exit on
+	// seeing stopped, parked ones exit via s.stop.
+	s.dmu.Lock()
+	s.stopped = true
+	pending := s.queue
+	s.queue = nil
+	s.dmu.Unlock()
+	for _, it := range pending {
+		s.queued.Add(-1)
+		it.sc.inflight.Add(-1)
+		s.shedRequest(it.sc, it.req, "server draining")
+		s.reqWg.Done()
+	}
+
 	// Let in-flight dispatches write their replies before the connections
 	// go away, but never wait past the caller's deadline.
 	done := make(chan struct{})
@@ -719,9 +949,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.reqWg.Wait()
 		close(done)
 	}()
+	drained := true
 	select {
 	case <-done:
 	case <-ctx.Done():
+		drained = false
 		if err == nil {
 			err = ctx.Err()
 		}
@@ -738,6 +970,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// once and redial (elsewhere) on next use.
 		_ = c.conn.WriteMessage(&wire.CloseConnection{})
 		c.conn.Close()
+	}
+	if drained {
+		// Every admitted request finished, so the workers are parked or
+		// exiting (s.stop is closed); collect them. After a deadline-expired
+		// drain the stuck workers are abandoned with their dispatches.
+		s.workerWg.Wait()
 	}
 	s.wg.Wait()
 	return err

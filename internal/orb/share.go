@@ -1,0 +1,70 @@
+package orb
+
+import "sync"
+
+// ClientPool shares Client engines between many cheap bindings. A Client
+// already multiplexes concurrent requests over one connection per endpoint
+// (replies are matched by request id), so N bindings to the same server need
+// N connections only when they insist on private clients; pooled, they ride
+// one multiplexed connection. The pool hands out one reference-counted
+// Client per key — the key fingerprints every configuration knob that
+// changes the client's wire behaviour, so only identically-configured
+// bindings share.
+type ClientPool struct {
+	mu      sync.Mutex
+	entries map[string]*pooledClient
+}
+
+type pooledClient struct {
+	c    *Client
+	refs int
+}
+
+// NewClientPool returns an empty pool.
+func NewClientPool() *ClientPool {
+	return &ClientPool{entries: make(map[string]*pooledClient)}
+}
+
+// Acquire returns the shared client stored under key, creating it with mk on
+// first use, and takes one reference. Every Acquire must be paired with
+// exactly one Release with the same key.
+func (p *ClientPool) Acquire(key string, mk func() *Client) *Client {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[key]
+	if e == nil {
+		e = &pooledClient{c: mk()}
+		p.entries[key] = e
+	}
+	e.refs++
+	return e.c
+}
+
+// Release drops one reference to the client under key; the last release
+// closes the client and removes the entry, so an idle pool holds no
+// connections (leak checks stay exact). A Release with no matching Acquire
+// is a no-op.
+func (p *ClientPool) Release(key string) {
+	p.mu.Lock()
+	e := p.entries[key]
+	if e == nil {
+		p.mu.Unlock()
+		return
+	}
+	e.refs--
+	done := e.refs <= 0
+	if done {
+		delete(p.entries, key)
+	}
+	p.mu.Unlock()
+	if done {
+		e.c.Close()
+	}
+}
+
+// Size reports how many distinct shared clients are live.
+func (p *ClientPool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}

@@ -1,0 +1,108 @@
+// Package testutil holds test-only helpers shared by the repository's
+// suites. It deliberately imports nothing but the standard library, so any
+// package's tests (including in-package test files of low-level packages
+// like transport) can use it without import cycles.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// DefaultLeakWindow is how long the leak checkers wait for counts to settle
+// before declaring a leak. Teardown is asynchronous almost everywhere (serve
+// loops observe closed sockets, keepalive tickers fire one last time), so a
+// snapshot taken immediately after Close would flake; ten seconds is far
+// beyond any legitimate teardown while still failing fast in CI.
+const DefaultLeakWindow = 10 * time.Second
+
+// LeakCheck snapshots the goroutine count and returns a function that waits
+// up to DefaultLeakWindow for the count to return to (or below) the
+// baseline, failing t with a full stack dump when it does not. Use it at the
+// top of a test whose body must not leak goroutines:
+//
+//	defer testutil.LeakCheck(t)()
+//
+// The "or below" comparison makes the check robust against unrelated
+// goroutines from earlier tests draining during the window.
+func LeakCheck(t testing.TB) func() {
+	return LeakCheckWindow(t, DefaultLeakWindow)
+}
+
+// LeakCheckWindow is LeakCheck with an explicit settle window.
+func LeakCheckWindow(t testing.TB, window time.Duration) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		if n, ok := settle(func() int64 { return int64(runtime.NumGoroutine() - before) }, window); !ok {
+			buf := make([]byte, 1<<20)
+			sz := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after %v\n%s",
+				before, before+int(n), window, buf[:sz])
+		}
+	}
+}
+
+// CheckGoroutines runs body as a subtest (so its t.Cleanup teardown falls
+// inside the measurement window) and then applies the same settle-and-diff
+// check as LeakCheck. It is the drop-in replacement for the ad-hoc
+// runtime.NumGoroutine loops the chaos suites grew organically.
+func CheckGoroutines(t *testing.T, name string, body func(t *testing.T)) {
+	t.Helper()
+	done := LeakCheck(t)
+	t.Run(name, body)
+	done()
+}
+
+// BalanceCheck snapshots an arbitrary balance counter (outstanding pooled
+// frames, open handles, ...) and returns a function that waits for it to
+// return to the baseline. The counter must be monotonic-in-equilibrium: the
+// value itself may move while the body runs, but every increment must have a
+// matching decrement once the body's work has drained.
+func BalanceCheck(t testing.TB, name string, counter func() int64) func() {
+	t.Helper()
+	before := counter()
+	return func() {
+		t.Helper()
+		if d, ok := settle(func() int64 { return counter() - before }, DefaultLeakWindow); !ok {
+			t.Errorf("%s leak: balance moved by %+d (baseline %d)", name, d, before)
+		}
+	}
+}
+
+// settle polls diff until it reports <= 0 or the window expires, returning
+// the last diff and whether it settled. Polling starts fast (teardown is
+// usually quick) and backs off.
+func settle(diff func() int64, window time.Duration) (int64, bool) {
+	deadline := time.Now().Add(window)
+	sleep := time.Millisecond
+	for {
+		d := diff()
+		if d <= 0 {
+			return d, true
+		}
+		if time.Now().After(deadline) {
+			return d, false
+		}
+		time.Sleep(sleep)
+		if sleep < 50*time.Millisecond {
+			sleep *= 2
+		}
+	}
+}
+
+// Eventually polls cond every few milliseconds until it returns true or the
+// window expires, failing t with msg on timeout. It replaces the hand-rolled
+// deadline-poll loops scattered through the suites.
+func Eventually(t testing.TB, window time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -147,22 +147,42 @@ var (
 	poolHits   atomic.Uint64
 	poolMisses atomic.Uint64
 	poolPuts   atomic.Uint64
+	// poolReturns counts every putBuf of a live buffer, whether or not the
+	// buffer re-enters a pool (grown and oversize buffers are dropped to the
+	// GC but still count as returned). Borrows (hits+misses) minus returns is
+	// therefore the number of buffers currently on loan — the balance the
+	// leak-checked suites assert returns to its baseline after a drain.
+	poolReturns atomic.Uint64
 )
 
 // PoolStat is a point-in-time copy of the frame-pool counters.
 type PoolStat struct {
 	Hits, Misses, Puts uint64
+	// Returns counts buffers handed back (pooled or GC-dropped).
+	Returns uint64
+}
+
+// Outstanding is the number of borrowed frame buffers not yet returned. A
+// quiescent process (no in-flight messages, all Data consumers done) owes the
+// pool nothing, so a non-zero steady-state value is a frame leak.
+func (s PoolStat) Outstanding() int64 {
+	return int64(s.Hits+s.Misses) - int64(s.Returns)
 }
 
 // PoolStats reads the cumulative frame-pool counters. They are process-wide:
 // the pools are shared by every connection.
 func PoolStats() PoolStat {
 	return PoolStat{
-		Hits:   poolHits.Load(),
-		Misses: poolMisses.Load(),
-		Puts:   poolPuts.Load(),
+		Hits:    poolHits.Load(),
+		Misses:  poolMisses.Load(),
+		Puts:    poolPuts.Load(),
+		Returns: poolReturns.Load(),
 	}
 }
+
+// PoolOutstanding is a convenience for leak checks: the current borrow
+// balance of the process-wide frame pool.
+func PoolOutstanding() int64 { return PoolStats().Outstanding() }
 
 // poolClass returns the smallest class whose buffers hold n bytes.
 func poolClass(n int) int {
@@ -199,6 +219,7 @@ func putBuf(p *[]byte) {
 	if p == nil {
 		return
 	}
+	poolReturns.Add(1)
 	c := cap(*p)
 	if c < 1<<minPoolClass || c > 1<<maxPoolClass || c&(c-1) != 0 {
 		return

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cdr"
+	"repro/internal/testutil"
 	"repro/internal/wire"
 )
 
@@ -74,6 +75,8 @@ func TestVectoredDataTCP(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			defer testutil.LeakCheck(t)()
+			defer testutil.BalanceCheck(t, "frame pool", PoolOutstanding)()
 			opts := &Options{Order: cdr.NativeOrder}
 			if tc.frag > 0 {
 				opts.FragmentThreshold = tc.frag
@@ -100,6 +103,8 @@ func TestVectoredDataTCP(t *testing.T) {
 // TestVectoredDataBigEndianTCP checks the vectored path against a big-endian
 // stream, covering the cross-order header/prefix encoding.
 func TestVectoredDataBigEndianTCP(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	defer testutil.BalanceCheck(t, "frame pool", PoolOutstanding)()
 	opts := &Options{Order: cdr.BigEndian, FragmentThreshold: 128}
 	a, b := tcpPair(t, opts)
 	payload := bytes.Repeat([]byte{0xA5}, 1000)
@@ -141,6 +146,8 @@ func (nopCloser) Close() error { return nil }
 // Release must stay within a small constant number of allocations per
 // message (the Data/decoder headers and channel plumbing — not buffers).
 func TestDataEchoAllocs(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	defer testutil.BalanceCheck(t, "frame pool", PoolOutstanding)()
 	a, b := Pipe(nil)
 	defer a.Close()
 	defer b.Close()
@@ -178,6 +185,8 @@ func TestDataEchoAllocs(t *testing.T) {
 // shorter than the prefix) still produces an intact message on the pipe
 // transport too.
 func TestFragmentedDataPreallocation(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	defer testutil.BalanceCheck(t, "frame pool", PoolOutstanding)()
 	opts := &Options{Order: cdr.NativeOrder, FragmentThreshold: 16} // < DataPrefixLen
 	a, b := Pipe(opts)
 	defer a.Close()
