@@ -19,10 +19,13 @@ TESTUTIL_COVER_FLOOR ?= 85
 # swarm-smoke bounds the massive fan-in suite; the full swarm plus the
 # soak must drain well inside this or something is wedged.
 SWARMTIMEOUT ?= 300s
+# shard-smoke bounds the sharded object-group chaos suite (kill one of four
+# shards mid-run; every idempotent request must complete via reroute).
+SHARDTIMEOUT ?= 120s
 
-.PHONY: check vet staticcheck build test race chaos swarm-smoke fuzz-smoke bench bench-compare cover
+.PHONY: check vet staticcheck build test race chaos swarm-smoke shard-smoke fuzz-smoke bench bench-compare cover
 
-check: vet staticcheck build test race chaos swarm-smoke fuzz-smoke cover bench-compare
+check: vet staticcheck build test race chaos swarm-smoke shard-smoke fuzz-smoke cover bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +62,14 @@ chaos:
 # books balanced, nothing leaked after the drain — on every commit.
 swarm-smoke:
 	$(GO) test -race -timeout=$(SWARMTIMEOUT) -run='TestSwarm|TestSoak' ./internal/exp
+
+# Sharded object-group gate: consistent-hash routing over the ring, the
+# breaker-driven reroute/spill paths (one shard killed mid-run, zero
+# client-visible failures), and the half-open probe races, under -race.
+shard-smoke:
+	$(GO) test -race -timeout=$(SHARDTIMEOUT) \
+		-run='TestShardChaos|TestShardRouting|TestBreaker|TestRing|TestRangeKey' \
+		./internal/exp ./internal/core ./internal/orb ./internal/shard
 
 # Each fuzz target gets a short bounded run; `go test` allows only one
 # -fuzz pattern per invocation, hence one line per target.

@@ -51,6 +51,8 @@ func main() {
 	overload := flag.Bool("overload", false, "run the admission-control overload scenario")
 	failover := flag.Bool("failover", false, "run the replica failover scenario")
 	swarm := flag.Bool("swarm", false, "run the massive fan-in swarm benchmark")
+	shards := flag.Int("shards", 0, "run the sharded object-group scenario with this many shards")
+	killShard := flag.Bool("kill-shard", false, "(shards mode) kill one shard mid-run to exercise rerouting")
 	clients := flag.Int("clients", 16, "(overload/swarm mode) concurrent clients")
 	requests := flag.Int("requests", 60, "(overload/failover/swarm mode) requests per client")
 	sharedConns := flag.Int("shared-conns", 0, "(swarm mode) multiplexed connections; 0 picks one per 256 clients")
@@ -90,6 +92,10 @@ func main() {
 		}()
 	}
 
+	if *shards > 0 {
+		runShards(*shards, *requests, *killShard)
+		return
+	}
 	if *swarm {
 		runSwarm(*clients, *requests, *sharedConns, *workDelay, *payload, *maxInFlight)
 		return

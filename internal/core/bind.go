@@ -65,6 +65,12 @@ type BindOptions struct {
 	// the wire. 0 means DefaultStreamChunkElems; negative disables
 	// streaming (whole-sequence transfers, the pre-pipelining behavior).
 	StreamChunkElems int
+	// Sharding configures consistent-hash routing across the profiles of a
+	// multi-profile reference, each profile being one shard group announced
+	// through naming.BindReplica. Only InvokeSharded invocations (the ones
+	// carrying a shard key) are routed; everything else — the bind-time
+	// describe, plain Invoke — keeps the primary-first failover order.
+	Sharding ShardingOptions
 	// ShareConnection lets this binding share one multiplexed client engine
 	// — and therefore one connection per endpoint — with every other
 	// ShareConnection binding in the process whose client-relevant options
@@ -78,6 +84,20 @@ type BindOptions struct {
 	ShareConnection bool
 }
 
+// ShardingOptions configure a binding's consistent-hash shard routing.
+type ShardingOptions struct {
+	// Enabled turns shard routing on for invocations carrying a shard key.
+	Enabled bool
+	// VirtualNodes is the per-shard ring point count; 0 uses the package
+	// default. Every client of one shard group must agree on it.
+	VirtualNodes int
+	// Idempotent declares this binding's operations safe to re-execute: an
+	// invocation whose shard dies mid-flight reroutes transparently to the
+	// next ring successor. Leave false for operations with side effects —
+	// those surface a single coherent shard error instead of re-sending.
+	Idempotent bool
+}
+
 // sharedClients holds the process-wide reference-counted client engines
 // behind ShareConnection bindings.
 var sharedClients = orb.NewClientPool()
@@ -88,9 +108,9 @@ var sharedClients = orb.NewClientPool()
 // pointer: distinct instances mean distinct wiring even when the contents
 // happen to match.
 func (o BindOptions) clientKey() string {
-	return fmt.Sprintf("to=%v tr=%p retry=%v ka=%v/%v bk=%v rec=%p met=%p",
+	return fmt.Sprintf("to=%v tr=%p retry=%v ka=%v/%v bk=%v rec=%p met=%p sh=%v",
 		o.Timeout, o.Transport, o.Retry, o.KeepaliveInterval, o.KeepaliveTimeout,
-		o.Breaker, o.Trace, o.Metrics)
+		o.Breaker, o.Trace, o.Metrics, o.Sharding)
 }
 
 // maxPipelineDepth bounds the lane fan-out so a typo'd depth cannot allocate
@@ -117,6 +137,7 @@ func (o BindOptions) newClient() *orb.Client {
 	cli.KeepaliveInterval = o.KeepaliveInterval
 	cli.KeepaliveTimeout = o.KeepaliveTimeout
 	cli.Breaker = o.Breaker
+	cli.Shard = orb.ShardPolicy{VirtualNodes: o.Sharding.VirtualNodes}
 	return cli
 }
 
@@ -152,6 +173,10 @@ type Binding struct {
 	// chunkElems is the streamed-transfer chunk size in elements; 0 disables
 	// streaming on this binding.
 	chunkElems int
+
+	// sharding is the binding's shard-routing configuration (see
+	// BindOptions.Sharding); InvokeSharded consults it at rank 0.
+	sharding ShardingOptions
 }
 
 // bindLane is one pipeline slot of a binding.
@@ -351,6 +376,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 		rec:        o.Trace,
 		lanes:      lanes,
 		chunkElems: ce,
+		sharding:   o.Sharding,
 	}
 	if o.Metrics != nil {
 		b.inflight = o.Metrics.Gauge("core.pipeline_inflight")

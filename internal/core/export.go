@@ -68,6 +68,12 @@ type ExportOptions struct {
 	// registration).
 	Name       string
 	NameServer string
+	// Replica announces the object as one member of a replicated or sharded
+	// group instead of overwriting the name: registration goes through
+	// BindReplica, so the naming domain merges this object's profile into
+	// the group's multi-profile reference. Clients binding with
+	// BindOptions.Sharding then treat each profile as one shard.
+	Replica bool
 	// QueueDepth bounds pending requests awaiting the collective loop. A
 	// request arriving with the queue full is refused immediately with a
 	// TRANSIENT system exception rather than parked without bound.
@@ -283,7 +289,11 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 			client := orb.NewClient()
 			defer client.Close()
 			res := naming.NewResolver(client, opts.NameServer)
-			if err := res.Bind(opts.Name, o.ref, true); err != nil {
+			bind := func() error { return res.Bind(opts.Name, o.ref, true) }
+			if opts.Replica {
+				bind = func() error { return res.BindReplica(opts.Name, o.ref) }
+			}
+			if err := bind(); err != nil {
 				o.closeListeners()
 				return nil, fmt.Errorf("core: registering %q: %w", opts.Name, err)
 			}

@@ -59,6 +59,31 @@ func (b *Binding) spanDur(token uint32, ph obs.Phase, start time.Time, dur time.
 		Start: start.UnixNano(), Dur: int64(dur)})
 }
 
+// spanShard is span carrying the 1-based shard attribute: which shard group
+// served the phase (0 when the invocation was not shard-routed).
+func (b *Binding) spanShard(token uint32, ph obs.Phase, start time.Time, shard int32) {
+	if b.rec == nil {
+		return
+	}
+	b.rec.Record(obs.Span{Trace: uint64(token), Phase: ph, Rank: int32(b.comm.Rank()),
+		Start: start.UnixNano(), Dur: int64(time.Since(start)), Shard: shard})
+}
+
+// wireInvoke performs rank 0's request/reply exchange for one invocation,
+// shard-routing it when the binding has sharding enabled and the invocation
+// carries a shard key. It returns the reply payload and the 1-based index of
+// the shard that served (0 when the primary-first path handled it).
+func (b *Binding) wireInvoke(op string, payload, shardKey []byte) ([]byte, int32, error) {
+	if b.sharding.Enabled && len(shardKey) > 0 {
+		out, idx, err := b.client.InvokeSharded(b.ref, op, payload, orb.InvokeOptions{
+			ShardKey: shardKey, Idempotent: b.sharding.Idempotent,
+		})
+		return out, int32(idx) + 1, err
+	}
+	out, err := b.client.Invoke(b.ref, op, payload, false)
+	return out, 0, err
+}
+
 // tokenCounter seeds invocation tokens; the random base makes collisions
 // between concurrent client processes unlikely.
 var tokenCounter atomic.Uint32
@@ -77,6 +102,21 @@ func (b *Binding) Invoke(op string, scalars []byte, args []DistArg) ([]byte, err
 	return b.InvokeMethod(b.method, op, scalars, args, nil)
 }
 
+// InvokeSharded is Invoke routed by consistent hash of shardKey across the
+// shard groups behind the binding's reference (BindOptions.Sharding must be
+// enabled, and the transfer method must be centralized — a shard owns all
+// its endpoints, so multi-port flows cannot straddle the routing decision).
+// Every SPMD thread must pass the same shardKey; only the communicating
+// thread consults it. Derive key-range keys with shard.RangeKey.
+func (b *Binding) InvokeSharded(op string, shardKey, scalars []byte, args []DistArg) ([]byte, error) {
+	ln, err := b.acquireLane()
+	if err != nil {
+		return nil, err
+	}
+	defer b.releaseLane(ln)
+	return b.invoke(ln, b.method, op, shardKey, scalars, args, nil)
+}
+
 // InvokeMethod is Invoke with an explicit transfer method and optional
 // timing collection.
 func (b *Binding) InvokeMethod(method Method, op string, scalars []byte, args []DistArg, timing *Timing) ([]byte, error) {
@@ -85,14 +125,14 @@ func (b *Binding) InvokeMethod(method Method, op string, scalars []byte, args []
 		return nil, err
 	}
 	defer b.releaseLane(ln)
-	return b.invoke(ln, method, op, scalars, args, timing)
+	return b.invoke(ln, method, op, nil, scalars, args, timing)
 }
 
 // invoke runs one collective invocation on the given lane. Every collective
 // in the invocation (token agreement, gathers/scatters, meta share, error
 // agreement) rides the lane's communicator, so invocations on different
 // lanes overlap without their traffic interleaving.
-func (b *Binding) invoke(ln *bindLane, method Method, op string, scalars []byte, args []DistArg, timing *Timing) ([]byte, error) {
+func (b *Binding) invoke(ln *bindLane, method Method, op string, shardKey, scalars []byte, args []DistArg, timing *Timing) ([]byte, error) {
 	comm := ln.comm
 	start := time.Now()
 	if timing != nil {
@@ -120,6 +160,13 @@ func (b *Binding) invoke(ln *bindLane, method Method, op string, scalars []byte,
 	if method == Multiport && !b.ref.Multiport() {
 		return nil, ErrNoMultiport
 	}
+	if len(shardKey) > 0 && method != Centralized {
+		// A shard is a whole server group: multi-port data flows target the
+		// endpoints of one profile, so the transfer method cannot straddle
+		// the per-invocation routing decision. (Uniform across threads —
+		// every thread passes the same shardKey and method.)
+		return nil, ErrShardMethod
+	}
 
 	// Agree on the invocation token.
 	var tokenBytes []byte
@@ -140,10 +187,14 @@ func (b *Binding) invoke(ln *bindLane, method Method, op string, scalars []byte,
 
 	switch method {
 	case Centralized:
-		if b.streamEligible(args) {
+		// Streamed transfers ship chunk Data messages to the primary
+		// profile's endpoints, so a shard-routed invocation takes the
+		// whole-payload path (the request itself carries everything and
+		// follows the ring).
+		if len(shardKey) == 0 && b.streamEligible(args) {
 			return b.invokeCentralizedStreamed(comm, token, op, scalars, args, desc, timing)
 		}
-		return b.invokeCentralized(comm, token, op, scalars, args, desc, timing)
+		return b.invokeCentralized(comm, token, op, shardKey, scalars, args, desc, timing)
 	case Multiport:
 		return b.invokeMultiport(comm, token, op, scalars, args, desc, timing)
 	default:
@@ -154,7 +205,7 @@ func (b *Binding) invoke(ln *bindLane, method Method, op string, scalars []byte,
 // invokeCentralized implements the paper's §3.2 client side: synchronize,
 // gather and marshal at the communicating thread, one request message, then
 // scatter the results.
-func (b *Binding) invokeCentralized(comm *rts.Comm, token uint32, op string, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
+func (b *Binding) invokeCentralized(comm *rts.Comm, token uint32, op string, shardKey, scalars []byte, args []DistArg, desc OpDesc, timing *Timing) ([]byte, error) {
 	// Gather the distributed arguments at thread 0. The gathers run on the
 	// lane communicator so concurrent invocations on other lanes cannot
 	// intercept the traffic.
@@ -199,11 +250,11 @@ func (b *Binding) invokeCentralized(comm *rts.Comm, token uint32, op string, sca
 		}
 		b.span(token, obs.PhasePack, packStart)
 		sendStart := time.Now()
-		replyBytes, err := b.client.Invoke(b.ref, op, e.Bytes(), false)
+		replyBytes, served, err := b.wireInvoke(op, e.Bytes(), shardKey)
 		if timing != nil {
 			timing.SendRecv = time.Since(sendStart)
 		}
-		b.span(token, obs.PhaseSendRecv, sendStart)
+		b.spanShard(token, obs.PhaseSendRecv, sendStart, served)
 		meta = metaFromReply(replyBytes, err, Centralized, false)
 	}
 	if err := shareMeta(comm, &meta); err != nil {

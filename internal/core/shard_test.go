@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dseq"
+	"repro/internal/naming"
+	"repro/internal/obs"
+	"repro/internal/orb"
+	"repro/internal/rts"
+)
+
+// shardTestOps builds the op table each shard group exports: "who" returns
+// the shard's tag, "scale" exercises a distributed inout argument so the
+// routed path carries real SPMD payloads, not just scalars.
+func shardTestOps(tag string) []Operation {
+	whoDesc := OpDesc{Name: "who"}
+	scaleDesc := OpDesc{Name: "scale", Args: []ArgDesc{{Name: "arr", Dir: InOut, Elem: "double"}}}
+	return []Operation{
+		{
+			Desc:    whoDesc,
+			NewArgs: func(*rts.Comm, []int) ([]dseq.Transferable, error) { return nil, nil },
+			Handler: func(call *ServerCall) error {
+				call.Out.WriteString(tag)
+				return nil
+			},
+		},
+		{
+			Desc:    scaleDesc,
+			NewArgs: SeqArgsFloat64(scaleDesc.Args),
+			Handler: func(call *ServerCall) error {
+				factor, err := call.In.ReadLong()
+				if err != nil {
+					return orb.Marshal(err)
+				}
+				arr := ArgSeq[float64](call, 0)
+				local := arr.LocalData()
+				for i := range local {
+					local[i] *= float64(factor)
+				}
+				call.Out.WriteString(tag)
+				return nil
+			},
+		},
+	}
+}
+
+// shardWorld is one single-thread SPMD server group acting as a shard.
+type shardWorld struct {
+	world *rts.World
+	obj   *Object
+	errCh chan error
+}
+
+// startShardGroup exports n independent shard groups under one name via
+// Replica registration, sequentially so profile order is announcement order.
+func startShardGroup(t *testing.T, ns *naming.Server, n int) []*shardWorld {
+	t.Helper()
+	shards := make([]*shardWorld, n)
+	for i := range shards {
+		sw := &shardWorld{
+			world: rts.NewWorld(1, rts.Options{RecvTimeout: testTimeout}),
+			errCh: make(chan error, 1),
+		}
+		tag := "shard-" + string(rune('0'+i))
+		ready := make(chan struct{})
+		var mu sync.Mutex
+		go func() {
+			sw.errCh <- sw.world.Run(func(c *rts.Comm) error {
+				obj, err := Export(c, ExportOptions{
+					TypeID:     "IDL:shard_object:1.0",
+					Name:       "shardgrp",
+					NameServer: ns.Addr(),
+					Replica:    true,
+				}, shardTestOps(tag))
+				if err != nil {
+					close(ready)
+					return err
+				}
+				mu.Lock()
+				sw.obj = obj
+				mu.Unlock()
+				close(ready)
+				return obj.Serve()
+			})
+		}()
+		select {
+		case <-ready:
+		case <-time.After(testTimeout):
+			t.Fatal("shard never became ready")
+		}
+		mu.Lock()
+		if sw.obj == nil {
+			mu.Unlock()
+			t.Fatalf("shard %d failed to export: %v", i, <-sw.errCh)
+		}
+		mu.Unlock()
+		shards[i] = sw
+		t.Cleanup(func() {
+			sw.obj.Close()
+			select {
+			case err := <-sw.errCh:
+				if err != nil && !errors.Is(err, ErrStopped) {
+					t.Errorf("shard world: %v", err)
+				}
+			case <-time.After(testTimeout):
+				t.Error("shard world did not shut down")
+			}
+			sw.world.Close()
+		})
+	}
+	return shards
+}
+
+func readTag(t *testing.T, reply []byte) string {
+	t.Helper()
+	d, err := ScalarDecoder(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := d.ReadString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}
+
+// TestShardRoutingCoreEndToEnd drives the whole stack: three shard groups
+// published through Replica registration, a sharded SPMD binding routing
+// keyed invocations — sticky per key, spread across the group, carrying real
+// distributed arguments — and transparent reroute when the owner of a key is
+// killed mid-run.
+func TestShardRoutingCoreEndToEnd(t *testing.T) {
+	ns, err := naming.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	shards := startShardGroup(t, ns, 3)
+	reg := obs.NewRegistry()
+
+	w := rts.NewWorld(1, rts.Options{RecvTimeout: testTimeout})
+	defer w.Close()
+	err = w.Run(func(c *rts.Comm) error {
+		b, err := SPMDBind(c, "shardgrp", ns.Addr(), BindOptions{
+			Method:  Centralized,
+			Timeout: testTimeout,
+			Breaker: orb.BreakerPolicy{Threshold: 1, Cooldown: time.Hour},
+			Metrics: reg,
+			Sharding: ShardingOptions{
+				Enabled:    true,
+				Idempotent: true,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+
+		// Keyed invocations: sticky per key and spread over the group.
+		tagOf := map[string]string{}
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 12; i++ {
+				key := []byte{'k', byte('0' + i)}
+				reply, err := b.InvokeSharded("who", key, nil, nil)
+				if err != nil {
+					t.Errorf("round %d key %q: %v", round, key, err)
+					continue
+				}
+				tag := readTag(t, reply)
+				if prev, ok := tagOf[string(key)]; ok && prev != tag {
+					t.Errorf("key %q moved from %s to %s on a healthy group", key, prev, tag)
+				}
+				tagOf[string(key)] = tag
+			}
+		}
+		serving := map[string]bool{}
+		for _, tag := range tagOf {
+			serving[tag] = true
+		}
+		if len(serving) < 2 {
+			t.Errorf("12 keys all landed on %v; expected a spread", serving)
+		}
+
+		// A distributed inout argument rides the routed invocation.
+		arr, err := dseq.New(c, dseq.Float64, 8, nil)
+		if err != nil {
+			return err
+		}
+		arr.FillFunc(func(g int) float64 { return float64(g + 1) })
+		reply, err := b.InvokeSharded("scale", []byte("k0"), scaleScalars(3), []DistArg{InOutSeq(arr)})
+		if err != nil {
+			t.Fatalf("sharded scale: %v", err)
+		}
+		if tag := readTag(t, reply); tag != tagOf["k0"] {
+			t.Errorf("scale for k0 served by %s, who said %s", tag, tagOf["k0"])
+		}
+		for i, v := range arr.LocalData() {
+			if v != float64(i+1)*3 {
+				t.Fatalf("scale result [%d] = %v, want %v", i, v, float64(i+1)*3)
+			}
+		}
+
+		// Kill the shard owning k0; the idempotent invocation reroutes.
+		victim := tagOf["k0"]
+		idx := int(victim[len(victim)-1] - '0')
+		shards[idx].obj.Close()
+		select {
+		case err := <-shards[idx].errCh:
+			if err != nil && !errors.Is(err, ErrStopped) {
+				t.Fatalf("killed shard: %v", err)
+			}
+			shards[idx].errCh <- nil // keep the cleanup's read satisfied
+		case <-time.After(testTimeout):
+			t.Fatal("killed shard did not stop")
+		}
+
+		reply, err = b.InvokeSharded("who", []byte("k0"), nil, nil)
+		if err != nil {
+			t.Fatalf("invocation after killing %s: %v", victim, err)
+		}
+		if tag := readTag(t, reply); tag == victim {
+			t.Fatalf("killed shard %s answered", victim)
+		}
+		if got := reg.Counter("shard.reroute_total").Value(); got == 0 {
+			t.Error("reroute not visible in the binding's metrics registry")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardRoutingCoreMethodGuard: shard routing is defined only for the
+// centralized transfer method; a multi-port sharded invocation fails fast
+// with ErrShardMethod on every thread.
+func TestShardRoutingCoreMethodGuard(t *testing.T) {
+	tc := startCluster(t, 2, true, nil)
+	tc.runClient(t, 2, Multiport, func(c *rts.Comm, b *Binding) error {
+		arr, err := dseq.New(c, dseq.Float64, 8, nil)
+		if err != nil {
+			return err
+		}
+		_, err = b.InvokeSharded("scale", []byte("k"), scaleScalars(2), []DistArg{InOutSeq(arr)})
+		if !errors.Is(err, ErrShardMethod) {
+			t.Errorf("rank %d: multi-port sharded invocation: %v, want ErrShardMethod", c.Rank(), err)
+		}
+		return nil
+	})
+}
+
+// TestShardRoutingCoreSpanAttribute: a shard-routed invocation's send/recv
+// span carries the 1-based index of the serving shard; unrouted invocations
+// carry 0.
+func TestShardRoutingCoreSpanAttribute(t *testing.T) {
+	ns, err := naming.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	startShardGroup(t, ns, 2)
+	rec := obs.NewRecorder(64)
+
+	w := rts.NewWorld(1, rts.Options{RecvTimeout: testTimeout})
+	defer w.Close()
+	err = w.Run(func(c *rts.Comm) error {
+		b, err := SPMDBind(c, "shardgrp", ns.Addr(), BindOptions{
+			Method:   Centralized,
+			Timeout:  testTimeout,
+			Trace:    rec,
+			Sharding: ShardingOptions{Enabled: true, Idempotent: true},
+		})
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		if _, err := b.InvokeSharded("who", []byte("spankey"), nil, nil); err != nil {
+			return err
+		}
+		if _, err := b.Invoke("who", nil, nil); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sharded, unsharded []int32
+	for _, sp := range rec.Spans() {
+		if sp.Phase != obs.PhaseSendRecv {
+			continue
+		}
+		if sp.Shard > 0 {
+			sharded = append(sharded, sp.Shard)
+		} else {
+			unsharded = append(unsharded, sp.Shard)
+		}
+	}
+	if len(sharded) != 1 {
+		t.Fatalf("sharded send/recv spans: %v, want exactly one with Shard > 0", sharded)
+	}
+	if len(unsharded) == 0 {
+		t.Fatal("plain invocation produced no send/recv span with Shard == 0")
+	}
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/orb"
+)
+
+// TestShardChaosReroute is the headline acceptance test: four shards, one
+// killed mid-run, and every idempotent request still completes — the orphaned
+// keys reroute to ring successors with the failure visible only in the
+// counters.
+func TestShardChaosReroute(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := RunShardChaos(ShardChaosConfig{
+		Shards:     4,
+		Requests:   256,
+		Keys:       64,
+		KillShard:  1,
+		Idempotent: true,
+		Breaker:    orb.BreakerPolicy{Threshold: 1, Cooldown: 150 * time.Millisecond},
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res)
+	if res.Failed != 0 {
+		t.Errorf("idempotent chaos run saw %d client-visible failures, want 0", res.Failed)
+	}
+	if res.Completed != 256 {
+		t.Errorf("completed %d of 256 requests", res.Completed)
+	}
+	if res.Reroutes == 0 {
+		t.Error("killed a shard mid-run but shard.reroute_total stayed 0")
+	}
+	if res.DeadServedAfterKill != 0 {
+		t.Errorf("%d replies attributed to the killed shard after the kill", res.DeadServedAfterKill)
+	}
+	if res.ShardsServing < 4 {
+		t.Errorf("only %d shards served before the kill, want all 4 (64 keys)", res.ShardsServing)
+	}
+	// The registry the caller supplied is the one the client counted in.
+	if got := reg.Counter("shard.reroute_total").Value(); got != res.Reroutes {
+		t.Errorf("registry reroute_total %d != result %d", got, res.Reroutes)
+	}
+}
+
+// TestShardRoutingBalance checks the healthy-path properties: no failures, no
+// reroutes, and the keyed stream spreads across every shard.
+func TestShardRoutingBalance(t *testing.T) {
+	res, err := RunShardChaos(ShardChaosConfig{
+		Shards:    4,
+		Requests:  128,
+		Keys:      64,
+		KillShard: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res)
+	if res.Failed != 0 || res.Completed != 128 {
+		t.Errorf("healthy run: %d completed, %d failed", res.Completed, res.Failed)
+	}
+	if res.Reroutes != 0 || res.Spills != 0 {
+		t.Errorf("healthy run counted %d reroutes, %d spills; want 0", res.Reroutes, res.Spills)
+	}
+	if res.ShardsServing != 4 {
+		t.Errorf("%d shards served, want 4 (64 keys over a 4-shard ring)", res.ShardsServing)
+	}
+}
+
+// TestShardRoutingStickiness verifies the same key lands on the same shard
+// across the whole run: every key's traffic must be attributable to exactly
+// one tag, which the per-shard totals imply when each key repeats.
+func TestShardRoutingStickiness(t *testing.T) {
+	// 3 keys, 60 requests -> each key asked 20 times. With sticky routing
+	// the per-shard counts must all be multiples of 20.
+	res, err := RunShardChaos(ShardChaosConfig{
+		Shards:    4,
+		Requests:  60,
+		Keys:      3,
+		KillShard: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d failures in healthy run", res.Failed)
+	}
+	for tag, n := range res.PerShard {
+		if n%20 != 0 {
+			t.Errorf("shard %s served %d requests; sticky routing of 3 keys x20 must give multiples of 20", tag, n)
+		}
+	}
+}
+
+// TestShardChaosNonIdempotent: with rerouting disabled by non-idempotent
+// semantics, a killed shard's in-flight failures surface to the caller as
+// shard errors instead of silently retrying — but only for the ambiguous
+// ones; once the breaker opens, subsequent requests spill safely (an open
+// circuit means nothing was sent) and still complete.
+func TestShardChaosNonIdempotent(t *testing.T) {
+	res, err := RunShardChaos(ShardChaosConfig{
+		Shards:     4,
+		Requests:   200,
+		Keys:       16,
+		KillShard:  2,
+		Idempotent: false,
+		Breaker:    orb.BreakerPolicy{Threshold: 1, Cooldown: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res)
+	if res.Failed == 0 {
+		t.Error("non-idempotent run reported no failures; ambiguous mid-flight errors must surface")
+	}
+	// With the long cooldown the breaker stays open after the first failure,
+	// so later requests for the dead shard's keys spill to successors.
+	if res.Spills == 0 {
+		t.Error("expected open-circuit spills after the first failure")
+	}
+	if res.Completed+res.Failed != 200 {
+		t.Errorf("accounting: %d+%d != 200", res.Completed, res.Failed)
+	}
+	if res.DeadServedAfterKill != 0 {
+		t.Errorf("%d replies from the killed shard after the kill", res.DeadServedAfterKill)
+	}
+}

@@ -88,6 +88,10 @@ type Span struct {
 	Rank  int32 // computing thread rank within its world
 	Start int64 // ns since the clock's epoch
 	Dur   int64 // ns
+	// Shard is the 1-based index of the shard group that served the phase
+	// when the invocation was shard-routed; 0 for everything else. 1-based
+	// so the zero value of spans recorded by non-sharded paths stays honest.
+	Shard int32
 }
 
 // Recorder is a fixed-capacity ring buffer of spans. Record is mutex-guarded
@@ -173,14 +177,14 @@ func (r *Recorder) Reset() {
 
 // Dump writes the retained spans as text, one span per line:
 //
-//	<trace> <phase> <rank> <start-ns> <dur-ns>
+//	<trace> <phase> <rank> <start-ns> <dur-ns> <shard>
 //
 // The format round-trips through ParseSpans and is what
 // pardis-wiredump -spans pretty-prints.
 func (r *Recorder) Dump(w io.Writer) error {
 	for _, s := range r.Spans() {
-		if _, err := fmt.Fprintf(w, "%d %s %d %d %d\n",
-			s.Trace, s.Phase, s.Rank, s.Start, s.Dur); err != nil {
+		if _, err := fmt.Fprintf(w, "%d %s %d %d %d %d\n",
+			s.Trace, s.Phase, s.Rank, s.Start, s.Dur, s.Shard); err != nil {
 			return err
 		}
 	}
@@ -199,8 +203,11 @@ func ParseSpans(rd io.Reader) ([]Span, error) {
 		}
 		var s Span
 		var phase string
-		if _, err := fmt.Sscanf(line, "%d %s %d %d %d",
-			&s.Trace, &phase, &s.Rank, &s.Start, &s.Dur); err != nil {
+		// The shard column is newer than the format; dumps written before it
+		// have five fields and parse with Shard 0.
+		n, err := fmt.Sscanf(line, "%d %s %d %d %d %d",
+			&s.Trace, &phase, &s.Rank, &s.Start, &s.Dur, &s.Shard)
+		if err != nil && n < 5 {
 			return nil, fmt.Errorf("obs: span dump line %d: %v", ln, err)
 		}
 		p, ok := ParsePhase(phase)

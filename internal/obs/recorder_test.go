@@ -113,6 +113,40 @@ func TestDumpParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDumpParseShardColumn: the shard attribute survives a dump/parse round
+// trip, and 5-field dumps from before the column existed still parse with
+// Shard 0.
+func TestDumpParseShardColumn(t *testing.T) {
+	r := NewRecorder(8)
+	want := []Span{
+		{Trace: 7, Phase: PhaseSendRecv, Rank: 0, Start: 10, Dur: 5, Shard: 3},
+		{Trace: 7, Phase: PhaseGather, Rank: 1, Start: 20, Dur: 2}, // unrouted: Shard 0
+	}
+	for _, s := range want {
+		r.Record(s)
+	}
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpans(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("round trip: %+v, want %+v", got, want)
+	}
+
+	legacy := "42 sendrecv 1 100 50\n"
+	got, err = ParseSpans(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy 5-field line rejected: %v", err)
+	}
+	if len(got) != 1 || got[0].Shard != 0 || got[0].Trace != 42 {
+		t.Fatalf("legacy parse: %+v", got)
+	}
+}
+
 func TestParseSpansRejectsGarbage(t *testing.T) {
 	if _, err := ParseSpans(strings.NewReader("1 gather zero 2 3\n")); err == nil {
 		t.Fatal("bad rank accepted")

@@ -1,0 +1,153 @@
+package orb
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenSingleProbe pins the half-open admission contract at
+// the state-machine level: when an open circuit's cooldown expires and many
+// callers race into allow(), exactly one is admitted as the probe; the losers
+// are rejected outright — they neither run a probe of their own nor disturb
+// the in-flight one.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	bk := &breaker{policy: BreakerPolicy{Threshold: 1, Cooldown: 10 * time.Millisecond}}
+	bk.failure(time.Now().Add(-time.Second)) // opened well past the cooldown
+
+	const callers = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	probes, admitted, rejected := 0, 0, 0
+	now := time.Now()
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, probe := bk.allow(now)
+			mu.Lock()
+			defer mu.Unlock()
+			if probe {
+				probes++
+			}
+			if ok {
+				admitted++
+			} else {
+				rejected++
+			}
+		}()
+	}
+	wg.Wait()
+	if probes != 1 || admitted != 1 {
+		t.Fatalf("%d probes, %d admitted out of %d callers; want exactly 1 of each", probes, admitted, callers)
+	}
+	if rejected != callers-1 {
+		t.Fatalf("%d rejected, want %d", rejected, callers-1)
+	}
+
+	// While the probe is in flight the circuit admits nobody else, even after
+	// more cooldowns elapse.
+	if ok, probe := bk.allow(now.Add(time.Minute)); ok || probe {
+		t.Fatalf("second probe admitted while the first is in flight (ok=%v probe=%v)", ok, probe)
+	}
+
+	// The winning probe settles the circuit for everyone: success closes it...
+	bk.success()
+	if ok, probe := bk.allow(now); !ok || probe {
+		t.Fatalf("after probe success: ok=%v probe=%v, want plain admission", ok, probe)
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens: a failed probe re-opens the circuit
+// for a full new cooldown, and the next expiry admits exactly one new probe.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	const cooldown = 50 * time.Millisecond
+	bk := &breaker{policy: BreakerPolicy{Threshold: 1, Cooldown: cooldown}}
+	start := time.Now()
+	bk.failure(start) // open
+
+	if ok, _ := bk.allow(start.Add(cooldown / 2)); ok {
+		t.Fatal("admitted during cooldown")
+	}
+	ok, probe := bk.allow(start.Add(2 * cooldown))
+	if !ok || !probe {
+		t.Fatalf("cooldown expiry: ok=%v probe=%v, want a probe", ok, probe)
+	}
+	bk.failure(start.Add(2 * cooldown)) // probe failed
+
+	// Immediately after the failed probe the circuit is open again.
+	if ok, _ := bk.allow(start.Add(2*cooldown + cooldown/2)); ok {
+		t.Fatal("admitted right after a failed probe")
+	}
+	// ...and the next full cooldown admits one fresh probe.
+	ok, probe = bk.allow(start.Add(4 * cooldown))
+	if !ok || !probe {
+		t.Fatalf("after re-cooldown: ok=%v probe=%v, want a probe", ok, probe)
+	}
+}
+
+// TestBreakerConcurrentRecovery is the client-level half-open race: the
+// primary of a two-profile reference dies, its circuit opens, the primary
+// comes back, and a herd of concurrent invocations arrives exactly when the
+// cooldown expires. The contract under -race: every invocation succeeds (the
+// probe's losers route to the alternate instead of failing), and the
+// winning probe closes the primary's circuit exactly once.
+func TestBreakerConcurrentRecovery(t *testing.T) {
+	key := []byte("halfopen")
+	primary := echoServer(t, "127.0.0.1:0", "primary", key)
+	secondary := echoServer(t, "127.0.0.1:0", "secondary", key)
+	defer secondary.Close()
+	primaryAddr := primary.Addr()
+
+	ref := IOR{TypeID: "IDL:test/halfopen:1.0", Key: key, Threads: 1,
+		Endpoints: []Endpoint{primary.Endpoint(0)}}
+	ref.AddProfile([]Endpoint{secondary.Endpoint(0)})
+
+	const cooldown = 100 * time.Millisecond
+	c := NewClient()
+	c.Timeout = 5 * time.Second
+	c.Breaker = BreakerPolicy{Threshold: 1, Cooldown: cooldown}
+	defer c.Close()
+
+	// Kill the primary and trip its circuit.
+	primary.Close()
+	if tag, err := invokeTag(t, c, ref); err != nil || tag != "secondary" {
+		t.Fatalf("failover call: %q, %v", tag, err)
+	}
+
+	// Bring the primary back and wait out the cooldown, then stampede.
+	restarted := echoServer(t, primaryAddr, "primary", key)
+	defer restarted.Close()
+	time.Sleep(cooldown + 20*time.Millisecond)
+
+	const herd = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Invoke(ref, "who", NewArgEncoder().Bytes(), false)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("invocation during half-open recovery: %v", err)
+		}
+	}
+
+	// The probe settled the circuit closed; traffic is back on the primary.
+	bk := c.breakerFor(primaryAddr)
+	bk.mu.Lock()
+	state, probing := bk.state, bk.probing
+	bk.mu.Unlock()
+	if state != bkClosed || probing {
+		t.Fatalf("after recovery: state=%v probing=%v, want closed and settled", state, probing)
+	}
+	if tag, err := invokeTag(t, c, ref); err != nil || tag != "primary" {
+		t.Fatalf("post-recovery call: %q, %v, want the primary", tag, err)
+	}
+}

@@ -43,6 +43,9 @@ type Client struct {
 	// Breaker is the per-endpoint circuit breaker policy used when invoking
 	// through multi-profile references. The zero value disables breakers.
 	Breaker BreakerPolicy
+	// Shard configures consistent-hash routing for invocations that carry a
+	// ShardKey (see InvokeOptions.ShardKey and InvokeSharded).
+	Shard ShardPolicy
 	// Metrics, when set before the client's first use, receives the
 	// client-side resilience event counters: "orb.client.retries" (oneway
 	// and Locate re-sends), "orb.client.failovers" (profile advances),
@@ -51,11 +54,13 @@ type Client struct {
 	// the cost of a nil check per event.
 	Metrics *obs.Registry
 
-	obsOnce      sync.Once
-	mRetries     *obs.Counter
-	mFailovers   *obs.Counter
-	mBreakerOpen *obs.Counter
-	mConnBroken  *obs.Counter
+	obsOnce       sync.Once
+	mRetries      *obs.Counter
+	mFailovers    *obs.Counter
+	mBreakerOpen  *obs.Counter
+	mConnBroken   *obs.Counter
+	mShardReroute *obs.Counter
+	mShardSpill   *obs.Counter
 
 	nextID atomic.Uint32
 
@@ -65,6 +70,9 @@ type Client struct {
 
 	bkMu     sync.Mutex
 	breakers map[string]*breaker
+
+	sgMu    sync.Mutex
+	sgCache map[string]*shardGroup
 
 	sinkMu sync.Mutex
 	sinks  map[uint32]chan *wire.Data
@@ -76,6 +84,7 @@ func NewClient() *Client {
 		MaxForwards: 3,
 		conns:       make(map[string]*connSlot),
 		breakers:    make(map[string]*breaker),
+		sgCache:     make(map[string]*shardGroup),
 		sinks:       make(map[uint32]chan *wire.Data),
 	}
 }
@@ -143,6 +152,15 @@ type InvokeOptions struct {
 	// Deadline bounds this invocation, including connection establishment
 	// and any retries; the zero time leaves Client.Timeout alone in charge.
 	Deadline time.Time
+	// ShardKey, when non-nil, routes the invocation by consistent hash over
+	// the reference's profiles — each profile one shard — instead of the
+	// fixed primary-first failover order. See InvokeSharded.
+	ShardKey []byte
+	// Idempotent declares the operation safe to re-execute: a sharded
+	// invocation whose shard fails mid-flight then reroutes transparently to
+	// the next ring successor. Without it, only provably-undispatched
+	// failures (open circuit, failed probe, TRANSIENT shed) may move on.
+	Idempotent bool
 }
 
 // retryable reports whether err indicates a broken or unreachable
@@ -221,6 +239,8 @@ func (c *Client) obsInit() {
 		c.mFailovers = m.Counter("orb.client.failovers")
 		c.mBreakerOpen = m.Counter("orb.client.breaker_open")
 		c.mConnBroken = m.Counter("orb.client.conn_broken")
+		c.mShardReroute = m.Counter("shard.reroute_total")
+		c.mShardSpill = m.Counter("shard.spill_total")
 	})
 }
 
@@ -703,6 +723,10 @@ func (c *Client) InvokeDeadline(ref IOR, op string, args []byte, oneway bool, de
 // endpoints due a half-open probe are first checked with a LocateRequest,
 // and connection-level or TRANSIENT failures move on to the next profile.
 func (c *Client) InvokeOpts(ref IOR, op string, args []byte, o InvokeOptions) ([]byte, error) {
+	if o.ShardKey != nil {
+		out, _, err := c.InvokeSharded(ref, op, args, o)
+		return out, err
+	}
 	addrs, err := ref.ProfileAddrs()
 	if err != nil {
 		return nil, err

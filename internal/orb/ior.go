@@ -80,9 +80,62 @@ func (r IOR) ProfileAddrs() ([]string, error) {
 	return addrs, nil
 }
 
-// AddProfile appends another replica's endpoint set as an alternate profile,
-// skipping duplicates (same primary address as an existing profile).
+// dedupeEndpoints drops exact repeats (host, port, rank) from a profile,
+// preserving order. Repeated replica announcements may accumulate the same
+// endpoint several times; carrying the duplicates would inflate anything
+// derived from the profile (the shard ring above all).
+func dedupeEndpoints(eps []Endpoint) []Endpoint {
+	out := eps[:0:0]
+	for _, e := range eps {
+		dup := false
+		for _, seen := range out {
+			if seen == e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// sameEndpointSet reports whether two profiles name the same endpoints,
+// ignoring order. Two SPMD ranks of one replica announcing the same group
+// produce rotations of one endpoint list; they are the same profile.
+func sameEndpointSet(a, b []Endpoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, ea := range a {
+		found := false
+		for _, eb := range b {
+			if ea == eb {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// AddProfile merges another replica's endpoint set into the reference:
+//
+//   - duplicate endpoints inside the announcement are dropped;
+//   - a profile sharing an existing profile's primary address replaces it
+//     (re-registration refreshes the membership instead of being ignored,
+//     so a shard that restarts with new data ports is picked up);
+//   - a profile whose endpoint set equals an existing profile's — in any
+//     order — is skipped (another rank of a known replica announcing).
+//
+// Only genuinely new profiles append, so repeated replica announcements
+// cannot inflate the profile list (or the shard ring built over it).
 func (r *IOR) AddProfile(eps []Endpoint) {
+	eps = dedupeEndpoints(eps)
 	if len(eps) == 0 {
 		return
 	}
@@ -92,10 +145,20 @@ func (r *IOR) AddProfile(eps []Endpoint) {
 		return
 	}
 	if r.Endpoints[0].Addr() == addr {
+		r.Endpoints = eps
+		return
+	}
+	for i, alt := range r.Alternates {
+		if len(alt) > 0 && alt[0].Addr() == addr {
+			r.Alternates[i] = eps
+			return
+		}
+	}
+	if sameEndpointSet(r.Endpoints, eps) {
 		return
 	}
 	for _, alt := range r.Alternates {
-		if len(alt) > 0 && alt[0].Addr() == addr {
+		if sameEndpointSet(alt, eps) {
 			return
 		}
 	}

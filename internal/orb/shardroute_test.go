@@ -1,0 +1,275 @@
+package orb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// shardedRef builds an n-shard group: n echo servers answering "who" with
+// "shard-<i>", merged into one multi-profile reference in announcement order.
+func shardedRef(t *testing.T, n int) (IOR, []*Server, []string) {
+	t.Helper()
+	key := []byte("sharded")
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	var ref IOR
+	for i := range servers {
+		servers[i] = echoServer(t, "127.0.0.1:0", "shard-"+string(rune('0'+i)), key)
+		srv := servers[i]
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = servers[i].Addr()
+		if i == 0 {
+			ref = IOR{TypeID: "IDL:test/shard:1.0", Key: key, Threads: 1,
+				Endpoints: []Endpoint{servers[0].Endpoint(0)}}
+		} else {
+			ref.AddProfile([]Endpoint{servers[i].Endpoint(0)})
+		}
+	}
+	return ref, servers, addrs
+}
+
+func invokeSharded(t *testing.T, c *Client, ref IOR, key string, idempotent bool) (string, int, error) {
+	t.Helper()
+	out, idx, err := c.InvokeSharded(ref, "who", NewArgEncoder().Bytes(), InvokeOptions{
+		ShardKey: []byte(key), Idempotent: idempotent,
+	})
+	if err != nil {
+		return "", idx, err
+	}
+	d, err := ArgDecoder(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := d.ReadString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tag, idx, err
+}
+
+// keyOwnedBy finds a shard key whose ring owner is the wanted index.
+func keyOwnedBy(t *testing.T, addrs []string, want int) string {
+	t.Helper()
+	r := shard.New(addrs, 0)
+	for i := 0; i < 10000; i++ {
+		k := "key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if r.Shard([]byte(k)) == want {
+			return k
+		}
+	}
+	t.Fatal("no key hashes to the wanted shard")
+	return ""
+}
+
+// TestShardRoutingOwnerStickiness: a healthy group routes a key to its ring
+// owner, and keeps doing so call after call.
+func TestShardRoutingOwnerStickiness(t *testing.T) {
+	ref, _, addrs := shardedRef(t, 3)
+	c := NewClient()
+	c.Timeout = 5 * time.Second
+	defer c.Close()
+
+	r := shard.New(addrs, 0)
+	for _, key := range []string{"alpha", "beta", "gamma", "delta"} {
+		want := r.Shard([]byte(key))
+		for rep := 0; rep < 3; rep++ {
+			_, idx, err := invokeSharded(t, c, ref, key, true)
+			if err != nil {
+				t.Fatalf("key %q rep %d: %v", key, rep, err)
+			}
+			if idx != want {
+				t.Fatalf("key %q served by shard %d, ring owner is %d", key, idx, want)
+			}
+		}
+	}
+}
+
+// TestShardRoutingIdempotentReroute: the owner dies; an idempotent invocation
+// reroutes to the ring successor within the same call, and the reroute and
+// health instruments record it.
+func TestShardRoutingIdempotentReroute(t *testing.T) {
+	ref, servers, addrs := shardedRef(t, 3)
+	reg := obs.NewRegistry()
+
+	c := NewClient()
+	c.Timeout = 5 * time.Second
+	c.Breaker = BreakerPolicy{Threshold: 1, Cooldown: time.Hour}
+	c.Metrics = reg
+	defer c.Close()
+
+	key := keyOwnedBy(t, addrs, 1)
+	order := shard.New(addrs, 0).Order([]byte(key))
+	servers[1].Close()
+
+	tag, idx, err := invokeSharded(t, c, ref, key, true)
+	if err != nil {
+		t.Fatalf("idempotent invocation with a dead owner: %v", err)
+	}
+	if idx != order[1] {
+		t.Fatalf("served by shard %d (%q), want ring successor %d", idx, tag, order[1])
+	}
+	if got := reg.Counter("shard.reroute_total").Value(); got == 0 {
+		t.Error("reroute not counted in shard.reroute_total")
+	}
+	if got := reg.Counter("shard.reroute_total." + addrs[1]).Value(); got == 0 {
+		t.Error("reroute not attributed to the dead shard's counter")
+	}
+	if got := reg.Gauge("shard.healthy." + addrs[1]).Value(); got != 0 {
+		t.Errorf("dead shard's health gauge is %d, want 0", got)
+	}
+	if got := reg.Gauge("shard.healthy." + addrs[order[1]]).Value(); got != 1 {
+		t.Errorf("serving successor's health gauge is %d, want 1", got)
+	}
+
+	// With the circuit now open, the next call spills without an attempt.
+	_, idx2, err := invokeSharded(t, c, ref, key, true)
+	if err != nil || idx2 != order[1] {
+		t.Fatalf("second call: shard %d, %v; want spill to %d", idx2, err, order[1])
+	}
+	if got := reg.Counter("shard.spill_total").Value(); got == 0 {
+		t.Error("open-circuit skip not counted in shard.spill_total")
+	}
+}
+
+// TestShardRoutingNonIdempotentSurfacesShardError: a non-idempotent
+// invocation must not transparently re-send past an ambiguous failure — it
+// surfaces a single *ShardError naming the shard that failed.
+func TestShardRoutingNonIdempotentSurfacesShardError(t *testing.T) {
+	ref, servers, addrs := shardedRef(t, 3)
+	c := NewClient()
+	c.Timeout = 5 * time.Second
+	c.Breaker = BreakerPolicy{Threshold: 1, Cooldown: time.Hour}
+	defer c.Close()
+
+	key := keyOwnedBy(t, addrs, 2)
+	servers[2].Close()
+
+	_, _, err := invokeSharded(t, c, ref, key, false)
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("non-idempotent failure: %v, want *ShardError", err)
+	}
+	if se.Shard != addrs[2] {
+		t.Fatalf("error pinned to %q, want the dead owner %q", se.Shard, addrs[2])
+	}
+
+	// The failure opened the owner's circuit; the retry finds it open —
+	// provably nothing sent — so even the non-idempotent call now completes
+	// on the successor.
+	tag, _, err := invokeSharded(t, c, ref, key, false)
+	if err != nil {
+		t.Fatalf("retry after circuit opened: %v", err)
+	}
+	if tag == "shard-2" {
+		t.Fatalf("dead shard answered %q", tag)
+	}
+}
+
+// TestShardRoutingAllShardsDown: every shard dead -> the caller gets one
+// terminal error; once all circuits are open it is ErrAllEndpointsDown.
+func TestShardRoutingAllShardsDown(t *testing.T) {
+	ref, servers, _ := shardedRef(t, 3)
+	c := NewClient()
+	c.Timeout = 2 * time.Second
+	c.Breaker = BreakerPolicy{Threshold: 1, Cooldown: time.Hour}
+	defer c.Close()
+
+	for _, s := range servers {
+		s.Close()
+	}
+	if _, _, err := invokeSharded(t, c, ref, "any", true); err == nil {
+		t.Fatal("invocation with every shard dead succeeded")
+	}
+	_, _, err := invokeSharded(t, c, ref, "any", true)
+	if !errors.Is(err, ErrAllEndpointsDown) {
+		t.Fatalf("with all circuits open: %v, want ErrAllEndpointsDown", err)
+	}
+}
+
+// TestShardRoutingAppErrorNotRerouted: an application-level failure means the
+// shard is alive and answered; rerouting would re-execute on another shard,
+// so the error returns as-is and no reroute is counted.
+func TestShardRoutingAppErrorNotRerouted(t *testing.T) {
+	ref, servers, addrs := shardedRef(t, 3)
+	// Replace each echo servant with one that rejects unknown operations.
+	for _, srv := range servers {
+		srv.Register([]byte("sharded"), ServantFunc(func(op string, in *cdr.Decoder, out *cdr.Encoder) error {
+			if op != "who" {
+				return BadOperation(op)
+			}
+			out.WriteString("ok")
+			return nil
+		}))
+	}
+	reg := obs.NewRegistry()
+	c := NewClient()
+	c.Timeout = 5 * time.Second
+	c.Metrics = reg
+	defer c.Close()
+
+	key := keyOwnedBy(t, addrs, 0)
+	out, idx, err := c.InvokeSharded(ref, "no-such-op", NewArgEncoder().Bytes(), InvokeOptions{
+		ShardKey: []byte(key), Idempotent: true,
+	})
+	if err == nil {
+		t.Fatalf("unknown operation succeeded: %v (shard %d)", out, idx)
+	}
+	var se *ShardError
+	if errors.As(err, &se) {
+		t.Fatalf("application error wrapped as ShardError: %v", err)
+	}
+	if got := reg.Counter("shard.reroute_total").Value(); got != 0 {
+		t.Errorf("application error counted %d reroutes", got)
+	}
+}
+
+// TestShardRoutingRefreshedMembership: a refreshed reference with an extra
+// profile gets a new ring; keys the new shard now owns move to it, keys it
+// does not own stay put (the consistency property, observed end to end).
+func TestShardRoutingRefreshedMembership(t *testing.T) {
+	ref, _, addrs := shardedRef(t, 3)
+	c := NewClient()
+	c.Timeout = 5 * time.Second
+	defer c.Close()
+
+	// A fourth shard joins.
+	extra := echoServer(t, "127.0.0.1:0", "shard-3", []byte("sharded"))
+	t.Cleanup(func() { extra.Close() })
+	grown := ref
+	grown.AddProfile([]Endpoint{extra.Endpoint(0)})
+	grownAddrs := append(append([]string{}, addrs...), extra.Addr())
+
+	oldRing := shard.New(addrs, 0)
+	newRing := shard.New(grownAddrs, 0)
+	moved, stayed := 0, 0
+	for i := 0; i < 64; i++ {
+		key := "k" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		want := newRing.Shard([]byte(key))
+		_, idx, err := invokeSharded(t, c, grown, key, true)
+		if err != nil {
+			t.Fatalf("key %q: %v", key, err)
+		}
+		if idx != want {
+			t.Fatalf("key %q served by shard %d, new ring owner is %d", key, idx, want)
+		}
+		if old := oldRing.Shard([]byte(key)); old != want {
+			moved++
+			if want != 3 {
+				t.Fatalf("key %q moved from %d to %d; growth may only move keys to the new shard", key, old, want)
+			}
+		} else {
+			stayed++
+		}
+	}
+	if moved == 0 {
+		t.Error("no keys moved to the new shard in 64 tries")
+	}
+	if stayed == 0 {
+		t.Error("every key moved; consistent hashing should keep most in place")
+	}
+}
