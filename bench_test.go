@@ -30,6 +30,7 @@ import (
 	"repro/internal/rts"
 	"repro/internal/transport"
 	"repro/internal/wire"
+	"repro/internal/zcodec"
 )
 
 // BenchmarkTable1Centralized regenerates the paper's Table 1: centralized
@@ -138,6 +139,62 @@ func BenchmarkRealTransfer(b *testing.B) {
 			}
 			b.SetBytes(elems * 8)
 			b.ReportMetric(bd.Total*1e3, "ms/invocation")
+		})
+	}
+	// The negotiated-compression variant: same centralized streamed transfer,
+	// but both sides offer the zcodec codecs so the smooth ramp crosses the
+	// wire as XOR blocks. compression_ratio is raw bytes over wire bytes.
+	b.Run("centralized-compressed", func(b *testing.B) {
+		b.ReportAllocs()
+		zcodec.ResetStats()
+		bd, err := exp.RunReal(exp.RealConfig{
+			C: 4, S: 4, Elems: elems, Reps: b.N, Method: core.Centralized,
+			Compression: zcodec.MaskAll,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(elems * 8)
+		b.ReportMetric(bd.Total*1e3, "ms/invocation")
+		if ratio := zcodec.EncodeRatio(); ratio > 0 {
+			b.ReportMetric(ratio, "compression_ratio")
+		}
+	})
+}
+
+// BenchmarkRealTransferLowBW is the scenario wire compression exists for: the
+// same centralized streamed transfer over a simulated low-bandwidth link (the
+// client side of every connection throttled in both directions), raw versus
+// negotiated compression. On a bandwidth-limited link the byte reduction is
+// wall-clock reduction, so the compressed variant's MB/s (measured against
+// the RAW payload size) should track the compression ratio.
+func BenchmarkRealTransferLowBW(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real stack benchmark in -short mode")
+	}
+	const (
+		elems = 1 << 15  // 256 KiB of doubles per invocation
+		bps   = 64 << 20 // 64 MiB/s link
+	)
+	for _, tt := range []struct {
+		name string
+		mask uint8
+	}{{"raw", 0}, {"compressed", zcodec.MaskAll}} {
+		b.Run(tt.name, func(b *testing.B) {
+			b.ReportAllocs()
+			zcodec.ResetStats()
+			bd, err := exp.RunReal(exp.RealConfig{
+				C: 2, S: 2, Elems: elems, Reps: b.N, Method: core.Centralized,
+				Compression: tt.mask, BandwidthBps: bps,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(elems * 8)
+			b.ReportMetric(bd.Total*1e3, "ms/invocation")
+			if ratio := zcodec.EncodeRatio(); ratio > 0 {
+				b.ReportMetric(ratio, "compression_ratio")
+			}
 		})
 	}
 }

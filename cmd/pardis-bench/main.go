@@ -38,6 +38,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/rts"
+	"repro/internal/zcodec"
 )
 
 func main() {
@@ -63,7 +64,14 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metrics := flag.Bool("metrics", false, "(real mode) print a JSON metrics snapshot after the run")
 	spandump := flag.String("spandump", "", "(real mode) write per-invocation trace spans to this file")
+	compress := flag.String("compress", "off", "(real mode) wire compression codecs to negotiate: off, delta, xor, all, auto")
+	bandwidth := flag.Int("bandwidth", 0, "(real mode) throttle the client link to this many bytes/sec each way (0 = raw loopback)")
 	flag.Parse()
+
+	compMask, err := zcodec.ParseMask(*compress)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -109,7 +117,7 @@ func main() {
 		return
 	}
 	if *real {
-		runReal(*c, *s, *elems, *reps, *metrics, *spandump)
+		runReal(*c, *s, *elems, *reps, *metrics, *spandump, compMask, *bandwidth)
 		return
 	}
 	p := exp.PaperPlatform()
@@ -151,22 +159,32 @@ func main() {
 	}
 }
 
-func runReal(c, s, elems, reps int, metrics bool, spandump string) {
-	fmt.Printf("real stack over loopback: c=%d s=%d, %d doubles, %d reps\n", c, s, elems, reps)
+func runReal(c, s, elems, reps int, metrics bool, spandump string, compMask uint8, bandwidth int) {
+	fmt.Printf("real stack over loopback: c=%d s=%d, %d doubles, %d reps", c, s, elems, reps)
+	if compMask != 0 {
+		fmt.Printf(", compression %s", zcodec.MaskString(compMask))
+	}
+	if bandwidth > 0 {
+		fmt.Printf(", link %d B/s", bandwidth)
+	}
+	fmt.Println()
 	var reg *obs.Registry
 	var rec *obs.Recorder
 	if metrics {
 		reg = obs.NewRegistry()
 		rts.EnableMetrics(reg)
 		dseq.EnableMetrics(reg)
+		zcodec.EnableMetrics(reg)
 	}
 	if spandump != "" {
 		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)
 	}
+	zcodec.ResetStats()
 	run := func(m core.Method) exp.Breakdown {
 		bd, err := exp.RunReal(exp.RealConfig{
 			C: c, S: s, Elems: elems, Reps: reps, Method: m,
 			Trace: rec, Metrics: reg,
+			Compression: compMask, BandwidthBps: bandwidth,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -180,6 +198,14 @@ func runReal(c, s, elems, reps int, metrics bool, spandump string) {
 	fmt.Printf("  multi-port   total %8.3f ms (pack %6.3f, barrier %6.3f)\n",
 		multi.Total*1e3, multi.Pack*1e3, multi.Barrier*1e3)
 	fmt.Printf("  speedup %.2fx\n", central.Total/multi.Total)
+	if compMask != 0 {
+		if rawOut, wireOut, _, _ := zcodec.Stats(); wireOut > 0 {
+			fmt.Printf("  compression  %s: %d raw B -> %d wire B (%.2fx)\n",
+				zcodec.MaskString(compMask), rawOut, wireOut, float64(rawOut)/float64(wireOut))
+		} else {
+			fmt.Println("  compression  negotiated but never engaged (transfers below streaming threshold?)")
+		}
+	}
 	if reg != nil {
 		fmt.Println("metrics snapshot:")
 		if err := reg.WriteJSON(os.Stdout); err != nil {

@@ -22,10 +22,12 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/dseq"
 	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/transport"
 	"repro/internal/wire"
+	"repro/internal/zcodec"
 )
 
 func main() {
@@ -110,8 +112,36 @@ func dump(i int, msg wire.Message) {
 		if m.Reply {
 			kind = "return-flow"
 		}
-		fmt.Printf("[%d] Data id=%d arg=%d %s src=%d dst=%d off=%d count=%d payload=%dB\n",
+		line := fmt.Sprintf("[%d] Data id=%d arg=%d %s src=%d dst=%d off=%d count=%d payload=%dB",
 			i, m.RequestID, m.ArgIndex, kind, m.SrcRank, m.DstRank, m.DstOff, m.Count, len(m.Payload))
+		if m.Flags&wire.DataFlagCompressed != 0 {
+			if id, n, err := dseq.CompressedChunkInfo(m.Payload); err == nil {
+				// The element width isn't in the Data message (it follows from
+				// the argument type in the invocation header), but the XOR
+				// codec only carries float64, so its raw size is exact.
+				raw := ""
+				if id == zcodec.XOR {
+					raw = fmt.Sprintf("%dB raw -> ", 8*n)
+				}
+				line += fmt.Sprintf(" compressed codec=%v elems=%d (%s%dB wire)",
+					id, n, raw, len(m.Payload))
+			} else {
+				line += fmt.Sprintf(" compressed (undecodable: %v)", err)
+			}
+		}
+		fmt.Println(line)
+	case *wire.Ping:
+		line := fmt.Sprintf("[%d] Ping nonce=%#x", i, m.Nonce)
+		if m.Offer {
+			line += fmt.Sprintf(" compression-offer codecs=%s level=%d", zcodec.MaskString(m.Codecs), m.Level)
+		}
+		fmt.Println(line)
+	case *wire.Pong:
+		line := fmt.Sprintf("[%d] Pong nonce=%#x", i, m.Nonce)
+		if m.Accept {
+			line += fmt.Sprintf(" compression-accept codecs=%s level=%d", zcodec.MaskString(m.Codecs), m.Level)
+		}
+		fmt.Println(line)
 	case *wire.LocateRequest:
 		fmt.Printf("[%d] LocateRequest id=%d key=%q\n", i, m.RequestID, m.ObjectKey)
 	case *wire.LocateReply:
@@ -158,8 +188,12 @@ func dumpSpans(path string) error {
 		base := group[0].Start
 		fmt.Printf("trace %d (%d spans)\n", tr, len(group))
 		for _, s := range group {
-			fmt.Printf("  %-11s rank %-3d +%9.3fms %9.3fms\n",
+			line := fmt.Sprintf("  %-11s rank %-3d +%9.3fms %9.3fms",
 				s.Phase, s.Rank, float64(s.Start-base)/1e6, float64(s.Dur)/1e6)
+			if s.Codec != 0 {
+				line += fmt.Sprintf("  codec=%s", zcodec.MaskString(uint8(s.Codec)))
+			}
+			fmt.Println(line)
 		}
 	}
 	fmt.Printf("%d span(s) in %d trace(s)\n", len(spans), len(traces))

@@ -11,6 +11,7 @@ import (
 	"repro/internal/orb"
 	"repro/internal/rts"
 	"repro/internal/transport"
+	"repro/internal/zcodec"
 )
 
 // BindOptions configure SPMDBind and Bind.
@@ -71,6 +72,14 @@ type BindOptions struct {
 	// carrying a shard key) are routed; everything else — the bind-time
 	// describe, plain Invoke — keeps the primary-first failover order.
 	Sharding ShardingOptions
+	// Compression is the wire-compression codec mask (zcodec.MaskAll and
+	// friends; build one with zcodec.ParseMask) this binding offers on its
+	// connections. When the server accepts, streamed centralized transfers
+	// compress their numeric chunks with the negotiated block codec; a
+	// server that declines — or predates the handshake — keeps every
+	// transfer raw, transparently. Zero disables the offer entirely and the
+	// engine's raw path is untouched.
+	Compression uint8
 	// ShareConnection lets this binding share one multiplexed client engine
 	// — and therefore one connection per endpoint — with every other
 	// ShareConnection binding in the process whose client-relevant options
@@ -108,9 +117,9 @@ var sharedClients = orb.NewClientPool()
 // pointer: distinct instances mean distinct wiring even when the contents
 // happen to match.
 func (o BindOptions) clientKey() string {
-	return fmt.Sprintf("to=%v tr=%p retry=%v ka=%v/%v bk=%v rec=%p met=%p sh=%v",
+	return fmt.Sprintf("to=%v tr=%p retry=%v ka=%v/%v bk=%v rec=%p met=%p sh=%v cp=%02x",
 		o.Timeout, o.Transport, o.Retry, o.KeepaliveInterval, o.KeepaliveTimeout,
-		o.Breaker, o.Trace, o.Metrics, o.Sharding)
+		o.Breaker, o.Trace, o.Metrics, o.Sharding, o.Compression)
 }
 
 // maxPipelineDepth bounds the lane fan-out so a typo'd depth cannot allocate
@@ -138,6 +147,7 @@ func (o BindOptions) newClient() *orb.Client {
 	cli.KeepaliveTimeout = o.KeepaliveTimeout
 	cli.Breaker = o.Breaker
 	cli.Shard = orb.ShardPolicy{VirtualNodes: o.Sharding.VirtualNodes}
+	cli.Compression = o.Compression & zcodec.Supported
 	return cli
 }
 
@@ -173,6 +183,11 @@ type Binding struct {
 	// chunkElems is the streamed-transfer chunk size in elements; 0 disables
 	// streaming on this binding.
 	chunkElems int
+
+	// comp is the binding's offered compression mask (BindOptions.Compression
+	// clipped to this build's codecs); 0 keeps every transfer raw and skips
+	// the per-invocation mask agreement entirely.
+	comp uint8
 
 	// sharding is the binding's shard-routing configuration (see
 	// BindOptions.Sharding); InvokeSharded consults it at rank 0.
@@ -376,6 +391,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 		rec:        o.Trace,
 		lanes:      lanes,
 		chunkElems: ce,
+		comp:       o.Compression & zcodec.Supported,
 		sharding:   o.Sharding,
 	}
 	if o.Metrics != nil {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/rts"
 	"repro/internal/transport"
 	"repro/internal/wire"
+	"repro/internal/zcodec"
 )
 
 // Operation is the server-side registration of one operation of an SPMD
@@ -92,6 +93,12 @@ type ExportOptions struct {
 	// invocation token carried in the request header. The adapter's own
 	// admission spans go to Server.Trace, which defaults to this recorder.
 	Trace *obs.Recorder
+	// Compression is the wire-compression codec mask (zcodec mask bits)
+	// this object accepts and uses: the per-thread adapters answer client
+	// handshake offers with the intersection, and streamed reply legs
+	// compress their chunks with the connection's negotiated mask. Zero
+	// declines every offer and keeps all transfers raw.
+	Compression uint8
 }
 
 // DefaultDataTimeout is the default ExportOptions.DataTimeout.
@@ -203,6 +210,10 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 	if opts.Server.Trace == nil {
 		opts.Server.Trace = opts.Trace
 	}
+	// The adapters must accept what the reply leg intends to use; merging
+	// here lets callers set either knob.
+	opts.Compression &= zcodec.Supported
+	opts.Server.Compression = (opts.Server.Compression | opts.Compression) & zcodec.Supported
 	o := &Object{
 		comm:    engine,
 		opts:    opts,
@@ -316,6 +327,16 @@ func (o *Object) span(token uint32, ph obs.Phase, start time.Time) {
 	}
 	o.rec.Record(obs.Span{Trace: uint64(token), Phase: ph, Rank: int32(o.comm.Rank()),
 		Start: start.UnixNano(), Dur: int64(time.Since(start))})
+}
+
+// spanCodec is span carrying the wire-compression mask in effect for the
+// phase (0 when the transfer ran raw).
+func (o *Object) spanCodec(token uint32, ph obs.Phase, start time.Time, mask uint8) {
+	if o.rec == nil {
+		return
+	}
+	o.rec.Record(obs.Span{Trace: uint64(token), Phase: ph, Rank: int32(o.comm.Rank()),
+		Start: start.UnixNano(), Dur: int64(time.Since(start)), Codec: int32(mask)})
 }
 
 // Ref returns the object's reference.

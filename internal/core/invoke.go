@@ -59,6 +59,16 @@ func (b *Binding) spanDur(token uint32, ph obs.Phase, start time.Time, dur time.
 		Start: start.UnixNano(), Dur: int64(dur)})
 }
 
+// spanCodec is span carrying the negotiated wire-compression mask in effect
+// for the phase (0 when the transfer ran raw).
+func (b *Binding) spanCodec(token uint32, ph obs.Phase, start time.Time, mask uint8) {
+	if b.rec == nil {
+		return
+	}
+	b.rec.Record(obs.Span{Trace: uint64(token), Phase: ph, Rank: int32(b.comm.Rank()),
+		Start: start.UnixNano(), Dur: int64(time.Since(start)), Codec: int32(mask)})
+}
+
 // spanShard is span carrying the 1-based shard attribute: which shard group
 // served the phase (0 when the invocation was not shard-routed).
 func (b *Binding) spanShard(token uint32, ph obs.Phase, start time.Time, shard int32) {

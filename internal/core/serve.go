@@ -404,6 +404,35 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 	var firstErr error
 	gatherDown := false // stop issuing collectives after one fails
 	connDown := false   // stop writing after the connection fails
+
+	// Agree on the reply leg's compression mask: the request arrived on the
+	// connection the reply chunks leave on, so thread 0 reads the mask its
+	// adapter negotiated during the handshake and shares it before the first
+	// collective marshal. Deterministically skipped (on every thread — the
+	// options are replicated) when the object never accepts offers, so the
+	// raw engine's collective schedule is untouched.
+	mask := uint8(0)
+	if o.opts.Server.Compression != 0 {
+		var mb []byte
+		if me == 0 {
+			if c, err := bucket.conn(0, o.stop, attachTimeout); err == nil {
+				conn = c
+				codecs, _ := c.Compression()
+				mask = codecs
+			}
+			// A missing attachment resolves to raw here; the send loop's own
+			// conn fetch reports the failure through the usual error path.
+			mb = []byte{mask}
+		}
+		mb, err := o.comm.Bcast(0, mb)
+		if err != nil {
+			return &orb.SystemException{RepoID: orb.RepoInternal, Message: err.Error()}
+		}
+		if len(mb) == 1 {
+			mask = mb[0]
+		}
+	}
+
 	for i, a := range h.Args {
 		if a.Dir == In {
 			continue
@@ -419,7 +448,7 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 			chunkStart := time.Now()
 			var payload []byte
 			if !gatherDown {
-				p, err := st.GatherMarshalRange(o.comm, 0, start, n)
+				p, err := st.GatherMarshalRangeZ(o.comm, 0, start, n, mask)
 				if err != nil {
 					gatherDown = true
 					if firstErr == nil {
@@ -430,7 +459,7 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 				}
 			}
 			if me != 0 {
-				o.span(h.Token, obs.PhaseChunkSend, chunkStart)
+				o.spanCodec(h.Token, obs.PhaseChunkSend, chunkStart, mask)
 				continue
 			}
 			if firstErr != nil {
@@ -451,7 +480,7 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 				msg := &wire.Data{
 					RequestID: h.Token, ArgIndex: uint32(i), SrcRank: 0, DstRank: 0,
 					DstOff: uint64(start), Count: uint64(n), Reply: true,
-					Flags: chunkFlags(k == nchunks-1), Payload: payload,
+					Flags: chunkFlagsZ(k == nchunks-1, payload), Payload: payload,
 				}
 				if err := conn.WriteMessage(msg); err != nil {
 					connDown = true
@@ -460,7 +489,7 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 					}
 				}
 			}
-			o.span(h.Token, obs.PhaseChunkSend, chunkStart)
+			o.spanCodec(h.Token, obs.PhaseChunkSend, chunkStart, mask)
 		}
 	}
 	if firstErr != nil {

@@ -78,6 +78,44 @@ func chunkFlags(last bool) byte {
 	return f
 }
 
+// chunkFlagsZ is chunkFlags plus the compressed bit when the payload carries
+// a compressed chunk envelope. The flag is per chunk, not per connection:
+// incompressible chunks fall back to raw mid-stream and simply omit it.
+func chunkFlagsZ(last bool, payload []byte) byte {
+	f := chunkFlags(last)
+	if dseq.IsCompressedChunk(payload) {
+		f |= wire.DataFlagCompressed
+	}
+	return f
+}
+
+// streamMask agrees on the compression mask for one streamed invocation:
+// thread 0 resolves the connection's negotiated mask (running the handshake
+// on first use) and shares it, so every thread feeds the collective chunk
+// marshalling the same mask. With compression off on the binding there is
+// nothing to agree on — the collective schedule is exactly the raw engine's.
+func (b *Binding) streamMask(comm *rts.Comm) (uint8, error) {
+	if b.comp == 0 {
+		return 0, nil
+	}
+	var mb []byte
+	if comm.Rank() == 0 {
+		wait := b.client.Timeout
+		if wait <= 0 || wait > 5*time.Second {
+			wait = 5 * time.Second
+		}
+		mb = []byte{b.client.NegotiatedCompression(b.ref, wait) & b.comp}
+	}
+	mb, err := comm.Bcast(0, mb)
+	if err != nil {
+		return 0, err
+	}
+	if len(mb) != 1 {
+		return 0, fmt.Errorf("%w: compression mask agreement", ErrBadHeader)
+	}
+	return mb[0], nil
+}
+
 // streamEligible decides whether an invocation takes the streamed
 // centralized path. The decision is a pure function of the binding options
 // and the arguments' global lengths and types, so every SPMD thread decides
@@ -181,6 +219,10 @@ func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op str
 		}
 	}
 	ce := chunkElemsFor(b.chunkElems, inLens)
+	mask, err := b.streamMask(comm)
+	if err != nil {
+		return nil, err
+	}
 
 	type replyResult struct {
 		payload []byte
@@ -248,7 +290,7 @@ func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op str
 			chunkStart := time.Now()
 			var payload []byte
 			if !gatherDown {
-				p, err := st.GatherMarshalRange(comm, 0, start, n)
+				p, err := st.GatherMarshalRangeZ(comm, 0, start, n, mask)
 				if err != nil {
 					gatherDown = true
 					if streamErr == nil {
@@ -260,7 +302,7 @@ func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op str
 			}
 			gatherTotal += time.Since(chunkStart)
 			if me != 0 {
-				b.span(token, obs.PhaseChunkSend, chunkStart)
+				b.spanCodec(token, obs.PhaseChunkSend, chunkStart, mask)
 				continue
 			}
 			if streamErr != nil {
@@ -269,7 +311,7 @@ func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op str
 			d := &wire.Data{
 				RequestID: token, ArgIndex: uint32(i), SrcRank: 0, DstRank: 0,
 				DstOff: uint64(start), Count: uint64(n),
-				Flags: chunkFlags(k == nchunks-1), Payload: payload,
+				Flags: chunkFlagsZ(k == nchunks-1, payload), Payload: payload,
 			}
 			if err := b.client.SendData(b.ref, d); err != nil && streamErr == nil {
 				// Wire failures surface in the control path's error taxonomy
@@ -277,7 +319,7 @@ func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op str
 				// classify a dead peer the same way on every transfer path.
 				streamErr = &orb.SystemException{RepoID: orb.RepoComm, Message: err.Error()}
 			}
-			b.span(token, obs.PhaseChunkSend, chunkStart)
+			b.spanCodec(token, obs.PhaseChunkSend, chunkStart, mask)
 		}
 	}
 	if timing != nil {

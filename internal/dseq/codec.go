@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cdr"
+	"repro/internal/zcodec"
 )
 
 // Codec marshals slices of a sequence's element type. A codec writes a
@@ -24,28 +25,59 @@ type Codec[T any] struct {
 	// path) provide it to skip the intermediate slice DecodeSlice allocates;
 	// when nil, callers fall back to DecodeSlice plus a copy.
 	DecodeInto func(d *cdr.Decoder, dst []T) (int, error)
+
+	// Block-compression hooks, all non-nil or all nil. Numeric element
+	// types plug a zcodec block codec in here; MarshalChunkZ uses them to
+	// build compressed chunk envelopes when the connection negotiated the
+	// codec, and the Unmarshal* functions to auto-detect and decode them.
+	// Types without a block codec (strings, structs...) leave these nil
+	// and always travel raw.
+	CompressID     zcodec.ID
+	ElemWireSize   int // raw wire bytes per element, the compression break-even bar
+	CompressBound  func(n int) int
+	CompressAppend func(dst []byte, v []T) []byte
+	Decompress     func(src []byte, maxElems int) ([]T, error)
+	DecompressInto func(dst []T, src []byte) error
 }
 
 // Float64 is the codec for IDL double, the paper's benchmark element type.
 // It uses the block encoders, the marshalling hot path.
 var Float64 = Codec[float64]{
-	Name:        "double",
-	EncodeSlice: func(e *cdr.Encoder, v []float64) { e.WriteDoubles(v) },
-	DecodeSlice: func(d *cdr.Decoder) ([]float64, error) { return d.ReadDoubles() },
-	DecodeInto:  func(d *cdr.Decoder, dst []float64) (int, error) { return d.ReadDoublesInto(dst) },
+	Name:           "double",
+	EncodeSlice:    func(e *cdr.Encoder, v []float64) { e.WriteDoubles(v) },
+	DecodeSlice:    func(d *cdr.Decoder) ([]float64, error) { return d.ReadDoubles() },
+	DecodeInto:     func(d *cdr.Decoder, dst []float64) (int, error) { return d.ReadDoublesInto(dst) },
+	CompressID:     zcodec.XOR,
+	ElemWireSize:   8,
+	CompressBound:  zcodec.DoublesBound,
+	CompressAppend: zcodec.AppendDoubles,
+	Decompress:     zcodec.DecodeDoubles,
+	DecompressInto: zcodec.DecodeDoublesInto,
 }
 
 // Int32 is the codec for IDL long.
 var Int32 = Codec[int32]{
-	Name:        "long",
-	EncodeSlice: func(e *cdr.Encoder, v []int32) { e.WriteLongs(v) },
-	DecodeSlice: func(d *cdr.Decoder) ([]int32, error) { return d.ReadLongs() },
-	DecodeInto:  func(d *cdr.Decoder, dst []int32) (int, error) { return d.ReadLongsInto(dst) },
+	Name:           "long",
+	EncodeSlice:    func(e *cdr.Encoder, v []int32) { e.WriteLongs(v) },
+	DecodeSlice:    func(d *cdr.Decoder) ([]int32, error) { return d.ReadLongs() },
+	DecodeInto:     func(d *cdr.Decoder, dst []int32) (int, error) { return d.ReadLongsInto(dst) },
+	CompressID:     zcodec.Delta,
+	ElemWireSize:   4,
+	CompressBound:  zcodec.Int32sBound,
+	CompressAppend: zcodec.AppendInt32s,
+	Decompress:     zcodec.DecodeInt32s,
+	DecompressInto: zcodec.DecodeInt32sInto,
 }
 
 // Int64 is the codec for IDL long long.
 var Int64 = Codec[int64]{
-	Name: "long long",
+	Name:           "long long",
+	CompressID:     zcodec.Delta,
+	ElemWireSize:   8,
+	CompressBound:  zcodec.Int64sBound,
+	CompressAppend: zcodec.AppendInt64s,
+	Decompress:     zcodec.DecodeInt64s,
+	DecompressInto: zcodec.DecodeInt64sInto,
 	EncodeSlice: func(e *cdr.Encoder, v []int64) {
 		e.WriteULong(uint32(len(v)))
 		for _, x := range v {
@@ -253,10 +285,15 @@ func openChunk(name string, payload []byte) (*cdr.Decoder, error) {
 	return d, nil
 }
 
-// UnmarshalChunk parses a payload produced by MarshalChunk.
+// UnmarshalChunk parses a payload produced by MarshalChunk or
+// MarshalChunkZ; compressed envelopes are detected from the marker
+// octet, so receivers need no negotiation state.
 func UnmarshalChunk[T any](c Codec[T], payload []byte) ([]T, error) {
 	h := unmarshalNS.Load()
 	defer h.Done(h.Start())
+	if IsCompressedChunk(payload) {
+		return decompressChunk(c, payload)
+	}
 	d, err := openChunk(c.Name, payload)
 	if err != nil {
 		return nil, err
@@ -271,6 +308,9 @@ func UnmarshalChunk[T any](c Codec[T], payload []byte) ([]T, error) {
 func UnmarshalChunkInto[T any](c Codec[T], payload []byte, dst []T) (int, error) {
 	h := unmarshalNS.Load()
 	defer h.Done(h.Start())
+	if IsCompressedChunk(payload) {
+		return decompressChunkInto(c, payload, dst)
+	}
 	d, err := openChunk(c.Name, payload)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,102 @@
+package dseq
+
+import (
+	"fmt"
+
+	"repro/internal/zcodec"
+)
+
+// Compressed chunk envelope. A raw chunk payload starts with a 0/1
+// byte-order octet and FailMarker with 0xFF; the envelope claims marker
+// 0x02, so the three payload kinds are distinguishable from their first
+// byte and pre-compression receivers reject an envelope cleanly ("bad
+// chunk order flag") instead of misdecoding it. Layout:
+//
+//	octet 0x02        — compressed-envelope marker
+//	octet codec       — zcodec.ID of the block that follows
+//	bytes             — the zcodec block (count-prefixed, order-free)
+//
+// Envelopes appear only on connections whose Ping/Pong handshake
+// negotiated the codec, so the rejection path is a safety net, not a
+// protocol step.
+const (
+	compMarker    = 0x02
+	compHeaderLen = 2
+)
+
+// compMinElems gates compression: below this many elements the
+// envelope overhead and codec setup cost more than the bytes saved.
+const compMinElems = 16
+
+// IsCompressedChunk reports whether a chunk payload carries the
+// compressed envelope.
+func IsCompressedChunk(p []byte) bool {
+	return len(p) >= compHeaderLen && p[0] == compMarker
+}
+
+// CompressedChunkInfo returns the codec and element count of a
+// compressed chunk payload (wiredump and diagnostics).
+func CompressedChunkInfo(p []byte) (zcodec.ID, int, error) {
+	if !IsCompressedChunk(p) {
+		return zcodec.None, 0, fmt.Errorf("dseq: not a compressed chunk")
+	}
+	n, err := zcodec.BlockCount(p[compHeaderLen:])
+	if err != nil {
+		return zcodec.None, 0, err
+	}
+	return zcodec.ID(p[1]), n, nil
+}
+
+// MarshalChunkZ renders elements like MarshalChunk but compresses with
+// the codec's block encoder when mask admits it and compression wins:
+// if the envelope would not be smaller than the raw element bytes (the
+// incompressible-data case), the chunk falls back to the raw encoding,
+// so a compressed connection never sends more bytes than a raw one.
+// Mask zero is exactly MarshalChunk.
+func MarshalChunkZ[T any](c Codec[T], v []T, mask uint8) []byte {
+	if mask == 0 || c.CompressAppend == nil || len(v) < compMinElems ||
+		!zcodec.HasCodec(mask, c.CompressID) {
+		return MarshalChunk(c, v)
+	}
+	h := marshalNS.Load()
+	defer h.Done(h.Start())
+	buf := make([]byte, compHeaderLen, compHeaderLen+c.CompressBound(len(v)))
+	buf[0] = compMarker
+	buf[1] = byte(c.CompressID)
+	buf = c.CompressAppend(buf, v)
+	if len(buf) >= c.ElemWireSize*len(v) {
+		return MarshalChunk(c, v)
+	}
+	return buf
+}
+
+// decompressChunk decodes a compressed envelope, allocating the result.
+func decompressChunk[T any](c Codec[T], payload []byte) ([]T, error) {
+	id, _, err := CompressedChunkInfo(payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.Decompress == nil || id != c.CompressID {
+		return nil, fmt.Errorf("dseq: %s chunk compressed with unexpected codec %v", c.Name, id)
+	}
+	return c.Decompress(payload[compHeaderLen:], zcodec.MaxBlockElems)
+}
+
+// decompressChunkInto decodes a compressed envelope into dst, returning
+// the element count, mirroring UnmarshalChunkInto's contract.
+func decompressChunkInto[T any](c Codec[T], payload []byte, dst []T) (int, error) {
+	id, n, err := CompressedChunkInfo(payload)
+	if err != nil {
+		return 0, err
+	}
+	if c.DecompressInto == nil || id != c.CompressID {
+		return 0, fmt.Errorf("dseq: %s chunk compressed with unexpected codec %v", c.Name, id)
+	}
+	if n > len(dst) {
+		return 0, fmt.Errorf("dseq: %s chunk of %d exceeds destination %d", c.Name, n, len(dst))
+	}
+	if err := c.DecompressInto(dst[:n], payload[compHeaderLen:]); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

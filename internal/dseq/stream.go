@@ -47,6 +47,11 @@ type StreamTransferable interface {
 	// never happens at root — marker propagation is internal — but root
 	// returns ErrChunkFailed when a contributor fed one.
 	GatherMarshalRange(c *rts.Comm, root, start, n int) ([]byte, error)
+	// GatherMarshalRangeZ is GatherMarshalRange with wire compression: mask
+	// is the connection's negotiated zcodec bitmask, replicated across the
+	// ranks by the transfer engine. Mask zero is exactly GatherMarshalRange;
+	// element types without a block codec ignore the mask.
+	GatherMarshalRangeZ(c *rts.Comm, root, start, n int, mask uint8) ([]byte, error)
 	// ScatterUnmarshalRange distributes a chunk payload holding global
 	// elements [start, start+n) (significant at root) into the owning ranks'
 	// local storage. Feeding FailMarker as the payload poisons the chunk:
@@ -114,6 +119,20 @@ func (s *Seq[T]) checkStreamRange(c *rts.Comm, root, start, n int) (*rts.Comm, e
 
 // GatherMarshalRange implements StreamTransferable.
 func (s *Seq[T]) GatherMarshalRange(c *rts.Comm, root, start, n int) ([]byte, error) {
+	return s.GatherMarshalRangeZ(c, root, start, n, 0)
+}
+
+// GatherMarshalRangeZ is GatherMarshalRange with wire compression: mask
+// is the connection's negotiated zcodec bitmask (replicated — every rank
+// passes the same value, which the transfer engine broadcast alongside
+// the chunk schedule). Compression happens exactly where the produced
+// bytes are the final wire payload — a rank whose segments cover the
+// whole chunk, or root assembling a multi-contributor chunk — so ranks
+// compress their own chunks in parallel, overlapping the collectives
+// the same way marshalling does. Intermediate gather parts that root
+// will decode anyway stay raw: they cross in-process mailboxes, never
+// the wire. Mask zero is exactly GatherMarshalRange.
+func (s *Seq[T]) GatherMarshalRangeZ(c *rts.Comm, root, start, n int, mask uint8) ([]byte, error) {
 	c, err := s.checkStreamRange(c, root, start, n)
 	if err != nil {
 		return nil, err
@@ -139,13 +158,20 @@ func (s *Seq[T]) GatherMarshalRange(c *rts.Comm, root, start, n int) ([]byte, er
 		if me != root {
 			return nil, nil
 		}
-		return s.marshalSegs(mySegs)
+		return s.marshalSegsZ(mySegs, mask)
 	}
 
 	var mine []byte
 	var myErr error
 	if len(mySegs) > 0 {
-		if mine, myErr = s.marshalSegs(mySegs); myErr != nil {
+		// A rank covering the whole chunk produces the wire payload itself
+		// (root forwards it verbatim), so it compresses; partial parts are
+		// decoded at root and travel raw.
+		partMask := uint8(0)
+		if segTotal(mySegs) == n {
+			partMask = mask
+		}
+		if mine, myErr = s.marshalSegsZ(mySegs, partMask); myErr != nil {
 			mine = FailMarker
 		}
 	}
@@ -159,16 +185,20 @@ func (s *Seq[T]) GatherMarshalRange(c *rts.Comm, root, start, n int) ([]byte, er
 	if me != root {
 		return nil, nil
 	}
-	return s.assembleRange(parts, start, n)
+	return s.assembleRange(parts, start, n, mask)
 }
 
-// marshalSegs renders the given local segments as one chunk payload in
-// global order. A single contiguous segment marshals straight out of local
-// storage with no staging copy.
-func (s *Seq[T]) marshalSegs(segs []rangeSeg) ([]byte, error) {
+// marshalSegsZ renders the given local segments as one chunk payload in
+// global order, compressing when mask admits the element codec. A single
+// contiguous segment marshals straight out of local storage with no
+// staging copy.
+func (s *Seq[T]) marshalSegsZ(segs []rangeSeg, mask uint8) ([]byte, error) {
 	if len(segs) == 1 {
 		sg := segs[0]
-		return s.MarshalRange(sg.localOff, sg.n)
+		if sg.localOff < 0 || sg.localOff+sg.n > len(s.local) {
+			return nil, fmt.Errorf("%w: local range [%d,%d) of %d", ErrIndex, sg.localOff, sg.localOff+sg.n, len(s.local))
+		}
+		return MarshalChunkZ(s.codec, s.local[sg.localOff:sg.localOff+sg.n], mask), nil
 	}
 	vals := make([]T, 0, segTotal(segs))
 	for _, sg := range segs {
@@ -177,12 +207,13 @@ func (s *Seq[T]) marshalSegs(segs []rangeSeg) ([]byte, error) {
 		}
 		vals = append(vals, s.local[sg.localOff:sg.localOff+sg.n]...)
 	}
-	return MarshalChunk(s.codec, vals), nil
+	return MarshalChunkZ(s.codec, vals, mask), nil
 }
 
 // assembleRange reassembles gathered per-rank pieces into one chunk payload
-// for global range [start, start+n). Root-only.
-func (s *Seq[T]) assembleRange(parts [][]byte, start, n int) ([]byte, error) {
+// for global range [start, start+n), compressing the result when mask
+// admits it. Root-only.
+func (s *Seq[T]) assembleRange(parts [][]byte, start, n int, mask uint8) ([]byte, error) {
 	type contrib struct {
 		rank int
 		segs []rangeSeg
@@ -250,7 +281,7 @@ func (s *Seq[T]) assembleRange(parts [][]byte, start, n int) ([]byte, error) {
 			return nil, err
 		}
 	}
-	return MarshalChunk(s.codec, scratch), nil
+	return MarshalChunkZ(s.codec, scratch, mask), nil
 }
 
 // ScatterUnmarshalRange implements StreamTransferable.

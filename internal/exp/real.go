@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/rts"
+	"repro/internal/transport"
 )
 
 // RealConfig describes one real-stack measurement: a c-thread SPMD client
@@ -28,6 +30,16 @@ type RealConfig struct {
 	// the wire-level trace-context extension on every connection.
 	Trace   *obs.Recorder
 	Metrics *obs.Registry
+	// Compression is the zcodec codec mask both sides offer in the wire
+	// handshake (BindOptions.Compression / ExportOptions.Compression).
+	// Zero measures the raw wire. Compression engages on centralized
+	// streamed transfers; the multi-port method ignores it.
+	Compression uint8
+	// BandwidthBps, when positive, throttles every client-side connection
+	// to that many bytes per second in each direction — a simulated
+	// low-bandwidth link where compression's byte savings become
+	// wall-clock savings.
+	BandwidthBps int
 }
 
 // RunReal executes the configuration on the real PARDIS stack and returns
@@ -58,12 +70,13 @@ func RunReal(cfg RealConfig) (Breakdown, error) {
 	go func() {
 		serverErr <- serverW.Run(func(c *rts.Comm) error {
 			obj, err := core.Export(c, core.ExportOptions{
-				TypeID:     "IDL:pardis/bench:1.0",
-				Multiport:  true,
-				Name:       "bench",
-				NameServer: ns.Addr(),
-				Trace:      cfg.Trace,
-				Server:     orb.ServerOptions{Metrics: cfg.Metrics},
+				TypeID:      "IDL:pardis/bench:1.0",
+				Multiport:   true,
+				Name:        "bench",
+				NameServer:  ns.Addr(),
+				Trace:       cfg.Trace,
+				Compression: cfg.Compression,
+				Server:      orb.ServerOptions{Metrics: cfg.Metrics},
 			}, []core.Operation{{
 				Desc:    xferDesc,
 				NewArgs: core.SeqArgsFloat64(xferDesc.Args),
@@ -100,10 +113,17 @@ func RunReal(cfg RealConfig) (Breakdown, error) {
 	var mu sync.Mutex
 	var sum Breakdown
 	err = clientW.Run(func(c *rts.Comm) error {
-		b, err := core.SPMDBind(c, "bench", ns.Addr(), core.BindOptions{
+		opts := core.BindOptions{
 			Method: cfg.Method, Timeout: timeout,
 			Trace: cfg.Trace, Metrics: cfg.Metrics,
-		})
+			Compression: cfg.Compression,
+		}
+		if cfg.BandwidthBps > 0 {
+			opts.Transport = &transport.Options{Wrap: func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+				return newBandwidthPipe(rw, cfg.BandwidthBps)
+			}}
+		}
+		b, err := core.SPMDBind(c, "bench", ns.Addr(), opts)
 		if err != nil {
 			return err
 		}

@@ -92,6 +92,9 @@ type Span struct {
 	// when the invocation was shard-routed; 0 for everything else. 1-based
 	// so the zero value of spans recorded by non-sharded paths stays honest.
 	Shard int32
+	// Codec is the negotiated wire-compression codec mask in effect for the
+	// phase (zcodec mask bits); 0 means the transfer ran raw.
+	Codec int32
 }
 
 // Recorder is a fixed-capacity ring buffer of spans. Record is mutex-guarded
@@ -177,14 +180,14 @@ func (r *Recorder) Reset() {
 
 // Dump writes the retained spans as text, one span per line:
 //
-//	<trace> <phase> <rank> <start-ns> <dur-ns> <shard>
+//	<trace> <phase> <rank> <start-ns> <dur-ns> <shard> <codec>
 //
 // The format round-trips through ParseSpans and is what
 // pardis-wiredump -spans pretty-prints.
 func (r *Recorder) Dump(w io.Writer) error {
 	for _, s := range r.Spans() {
-		if _, err := fmt.Fprintf(w, "%d %s %d %d %d %d\n",
-			s.Trace, s.Phase, s.Rank, s.Start, s.Dur, s.Shard); err != nil {
+		if _, err := fmt.Fprintf(w, "%d %s %d %d %d %d %d\n",
+			s.Trace, s.Phase, s.Rank, s.Start, s.Dur, s.Shard, s.Codec); err != nil {
 			return err
 		}
 	}
@@ -203,10 +206,11 @@ func ParseSpans(rd io.Reader) ([]Span, error) {
 		}
 		var s Span
 		var phase string
-		// The shard column is newer than the format; dumps written before it
-		// have five fields and parse with Shard 0.
-		n, err := fmt.Sscanf(line, "%d %s %d %d %d %d",
-			&s.Trace, &phase, &s.Rank, &s.Start, &s.Dur, &s.Shard)
+		// The shard and codec columns are newer than the format; dumps
+		// written before them have five or six fields and parse with the
+		// missing attributes zero.
+		n, err := fmt.Sscanf(line, "%d %s %d %d %d %d %d",
+			&s.Trace, &phase, &s.Rank, &s.Start, &s.Dur, &s.Shard, &s.Codec)
 		if err != nil && n < 5 {
 			return nil, fmt.Errorf("obs: span dump line %d: %v", ln, err)
 		}

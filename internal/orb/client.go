@@ -46,6 +46,13 @@ type Client struct {
 	// Shard configures consistent-hash routing for invocations that carry a
 	// ShardKey (see InvokeOptions.ShardKey and InvokeSharded).
 	Shard ShardPolicy
+	// Compression is the wire-compression codec mask (zcodec mask bits) this
+	// client offers on every dialed connection via the Ping/Pong handshake
+	// extension. Zero (the default) never offers, and connections stay raw.
+	// A peer that predates the extension ignores the offer's trailer and
+	// answers a plain Pong, which resolves the handshake to raw — fallback
+	// is transparent by construction.
+	Compression uint8
 	// Metrics, when set before the client's first use, receives the
 	// client-side resilience event counters: "orb.client.retries" (oneway
 	// and Locate re-sends), "orb.client.failovers" (profile advances),
@@ -200,7 +207,19 @@ type clientConn struct {
 	pending  map[uint32]chan *wire.Reply
 	err      error
 	done     chan struct{}
+	// compDone is closed once the compression handshake resolved (the
+	// negotiation Pong arrived, the offer was never sent, or the connection
+	// failed); the negotiated mask then lives on conn (transport.Conn
+	// Compression). Callers that want to compress wait on it first.
+	compDone chan struct{}
+	compOnce sync.Once
 }
+
+// compNonce marks the compression-negotiation Ping so its Pong is told apart
+// from keepalive probes (whose nonces count up from 1).
+const compNonce uint32 = 0x434f4d50 // "COMP"
+
+func (cc *clientConn) compResolved() { cc.compOnce.Do(func() { close(cc.compDone) }) }
 
 func (cc *clientConn) touch() { cc.lastRead.Store(time.Now().UnixNano()) }
 
@@ -293,17 +312,28 @@ func (c *Client) conn(addr string) (*clientConn, error) {
 	}
 	c.mu.Unlock()
 	cc := &clientConn{
-		conn:    tc,
-		client:  c,
-		addr:    addr,
-		pending: make(map[uint32]chan *wire.Reply),
-		done:    make(chan struct{}),
+		conn:     tc,
+		client:   c,
+		addr:     addr,
+		pending:  make(map[uint32]chan *wire.Reply),
+		done:     make(chan struct{}),
+		compDone: make(chan struct{}),
 	}
 	cc.touch()
 	slot.cc = cc
 	go cc.readLoop()
 	if c.KeepaliveInterval > 0 {
 		go cc.keepaliveLoop(c.KeepaliveInterval, c.KeepaliveTimeout)
+	}
+	// Offer wire compression. The Ping trailer is invisible to peers that
+	// predate it (their decoder reads the nonce and ignores the rest), so
+	// the offer is safe against any server; a plain Pong resolves to raw.
+	if c.Compression != 0 {
+		if err := cc.conn.WriteMessage(&wire.Ping{Nonce: compNonce, Offer: true, Codecs: c.Compression}); err != nil {
+			cc.compResolved() // stream is broken; readLoop will surface it
+		}
+	} else {
+		cc.compResolved()
 	}
 	return cc, nil
 }
@@ -429,7 +459,16 @@ func (cc *clientConn) readLoop() {
 				return
 			}
 		case *wire.Pong:
-			// Liveness evidence; touch above already recorded it.
+			// Liveness evidence; touch above already recorded it. The
+			// negotiation pong additionally resolves the compression
+			// handshake: an accepting trailer fixes the connection's codec
+			// mask, a plain pong (old peer) leaves it raw.
+			if m.Nonce == compNonce {
+				if m.Accept {
+					cc.conn.SetCompression(m.Codecs&cc.client.Compression, m.Level)
+				}
+				cc.compResolved()
+			}
 		case *wire.CloseConnection:
 			// Orderly server drain: mark the cached connection broken right
 			// now so the next use redials, rather than learning via the
@@ -465,6 +504,7 @@ func (cc *clientConn) fail(err error) {
 		close(ch)
 	}
 	cc.mu.Unlock()
+	cc.compResolved() // never strand a handshake waiter on a dead connection
 	cc.conn.Close()
 	if !already {
 		// A deliberate Close is not a broken connection; everything else is.
@@ -788,6 +828,37 @@ func (c *Client) InvokeRank(ref IOR, rank int, op string, args []byte, oneway bo
 		return nil, err
 	}
 	return c.InvokeAddr(ep.Addr(), ref.Key, op, args, oneway)
+}
+
+// NegotiatedCompression reports the codec mask negotiated with the endpoint
+// serving ref's communicating thread, dialing the connection (which runs the
+// handshake) if needed. It blocks until the handshake resolves, bounded by
+// wait (a default applies when wait <= 0); an unreachable endpoint, a peer
+// that never answers, or one predating the extension all resolve to 0 (raw).
+func (c *Client) NegotiatedCompression(ref IOR, wait time.Duration) uint8 {
+	if c.Compression == 0 {
+		return 0
+	}
+	ep, err := ref.EndpointFor(0)
+	if err != nil {
+		return 0
+	}
+	cc, err := c.conn(ep.Addr())
+	if err != nil {
+		return 0
+	}
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-cc.compDone:
+	case <-t.C:
+		return 0
+	}
+	codecs, _ := cc.conn.Compression()
+	return codecs
 }
 
 // SendData ships one multi-port argument transfer to the endpoint serving

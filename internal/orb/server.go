@@ -109,6 +109,12 @@ type ServerOptions struct {
 	// Trace, when set, records server-side invocation spans (admission
 	// waits, keyed by request id) into this ring buffer.
 	Trace *obs.Recorder
+	// Compression is the wire-compression codec mask (zcodec mask bits)
+	// this server accepts. A client Ping carrying a compression offer is
+	// answered with the intersection of the two masks and the connection
+	// remembers it; zero (the default) declines every offer, so all
+	// connections stay raw.
+	Compression uint8
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -620,7 +626,19 @@ func (s *Server) serveConn(sc *servedConn) {
 		case *wire.CancelRequest:
 			// Best effort: PARDIS requests are not abortable mid-upcall.
 		case *wire.Ping:
-			if err := sc.conn.WriteMessage(&wire.Pong{Nonce: m.Nonce}); err != nil {
+			// Keepalive probe, or a compression offer riding the Ping
+			// trailer. The negotiated mask is the intersection of the two
+			// sides' codec masks; declining (no server mask, no overlap, or
+			// a plain keepalive) answers the plain Pong an old client
+			// expects.
+			pong := &wire.Pong{Nonce: m.Nonce}
+			if m.Offer {
+				if neg := m.Codecs & s.opts.Compression; neg != 0 {
+					pong.Accept, pong.Codecs, pong.Level = true, neg, m.Level
+					sc.conn.SetCompression(neg, m.Level)
+				}
+			}
+			if err := sc.conn.WriteMessage(pong); err != nil {
 				s.Logf("orb: pong: %v", err)
 				return
 			}

@@ -121,6 +121,27 @@ type Conn struct {
 	hdr    [wire.MaxHeaderLen]byte // scratch frame header (+ extension), guarded by wmu
 	closed bool
 	cmu    sync.Mutex
+
+	// comp holds the compression state negotiated by the Ping/Pong
+	// handshake: the accepted zcodec bitmask in the low byte and the
+	// level in the next. Zero until (unless) the handshake succeeds, so
+	// un-negotiated connections read as "raw frames only". Stored on the
+	// Conn because both orb endpoints and the core data plane need the
+	// same per-connection answer.
+	comp atomic.Uint32
+}
+
+// SetCompression records the negotiated codec bitmask and level for this
+// connection. Called once by whichever endpoint completes the handshake.
+func (c *Conn) SetCompression(codecs, level uint8) {
+	c.comp.Store(uint32(codecs) | uint32(level)<<8)
+}
+
+// Compression returns the negotiated codec bitmask and level; both zero
+// when no handshake has completed on this connection.
+func (c *Conn) Compression() (codecs, level uint8) {
+	v := c.comp.Load()
+	return uint8(v), uint8(v >> 8)
 }
 
 // Frame-buffer pool. Read frames borrow power-of-two-capacity buffers from
@@ -239,12 +260,12 @@ func NewConn(rw io.ReadWriteCloser, opts *Options) *Conn {
 	}
 	c := &Conn{
 		vectored: isTCP,
-		rw:    rw,
-		br:    bufio.NewReaderSize(rw, 64<<10),
-		bw:    bufio.NewWriterSize(rw, 64<<10),
-		order: cdr.NativeOrder,
-		frag:  DefaultFragmentThreshold,
-		max:   maxMessageSize,
+		rw:       rw,
+		br:       bufio.NewReaderSize(rw, 64<<10),
+		bw:       bufio.NewWriterSize(rw, 64<<10),
+		order:    cdr.NativeOrder,
+		frag:     DefaultFragmentThreshold,
+		max:      maxMessageSize,
 	}
 	if opts != nil {
 		c.order = opts.Order

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+// The compression handshake trailer must round-trip in both byte orders
+// and stay invisible to nonce-only decoders (and vice versa).
+
+func TestPingPongCompressionTrailerRoundTrip(t *testing.T) {
+	for _, ord := range []cdr.ByteOrder{cdr.LittleEndian, cdr.BigEndian} {
+		ping := &Ping{Nonce: 0xfeedbeef, Offer: true, Codecs: 0x03, Level: 2}
+		e := cdr.NewEncoder(ord)
+		ping.EncodeBody(e)
+		m, err := DecodeBody(MsgPing, e.Bytes(), ord)
+		if err != nil {
+			t.Fatalf("ord %v: %v", ord, err)
+		}
+		got := m.(*Ping)
+		if *got != *ping {
+			t.Fatalf("ord %v: ping %+v != %+v", ord, got, ping)
+		}
+
+		pong := &Pong{Nonce: 0xabad1dea, Accept: true, Codecs: 0x02, Level: 0}
+		e = cdr.NewEncoder(ord)
+		pong.EncodeBody(e)
+		m, err = DecodeBody(MsgPong, e.Bytes(), ord)
+		if err != nil {
+			t.Fatalf("ord %v: %v", ord, err)
+		}
+		if gp := m.(*Pong); *gp != *pong {
+			t.Fatalf("ord %v: pong %+v != %+v", ord, gp, pong)
+		}
+	}
+}
+
+func TestPingOldFormatDecodesWithoutOffer(t *testing.T) {
+	// A pre-compression peer encodes only the nonce. That body must
+	// decode as a plain keepalive, and a plain Ping we encode must be
+	// nonce-only so old peers can read it.
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	e.WriteULong(42)
+	m, err := DecodeBody(MsgPing, e.Bytes(), cdr.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.(*Ping); p.Nonce != 42 || p.Offer || p.Codecs != 0 || p.Level != 0 {
+		t.Fatalf("old-format ping decoded as %+v", p)
+	}
+
+	plain := &Ping{Nonce: 7}
+	e = cdr.NewEncoder(cdr.LittleEndian)
+	plain.EncodeBody(e)
+	if len(e.Bytes()) != 4 {
+		t.Fatalf("plain ping body is %d bytes, want 4 (nonce only)", len(e.Bytes()))
+	}
+	plainPong := &Pong{Nonce: 7}
+	e = cdr.NewEncoder(cdr.LittleEndian)
+	plainPong.EncodeBody(e)
+	if len(e.Bytes()) != 4 {
+		t.Fatalf("plain pong body is %d bytes, want 4 (nonce only)", len(e.Bytes()))
+	}
+}
+
+func TestPingUnknownTrailerVersionIgnored(t *testing.T) {
+	// A future extension version must not be misread as an offer (and
+	// must not be an error: worst case is no compression).
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	e.WriteULong(9)
+	e.WriteOctet(99) // unknown extension version
+	e.WriteOctet(0xff)
+	e.WriteOctet(0xff)
+	m, err := DecodeBody(MsgPing, e.Bytes(), cdr.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.(*Ping); p.Offer {
+		t.Fatalf("unknown trailer version decoded as an offer: %+v", p)
+	}
+	// Short trailers are likewise ignored.
+	e = cdr.NewEncoder(cdr.LittleEndian)
+	e.WriteULong(9)
+	e.WriteOctet(CompExtVersion)
+	m, err = DecodeBody(MsgPing, e.Bytes(), cdr.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.(*Ping); p.Offer {
+		t.Fatalf("short trailer decoded as an offer: %+v", p)
+	}
+}
+
+func TestDataCompressedFlagRoundTrip(t *testing.T) {
+	d := &Data{
+		RequestID: 77, ArgIndex: 1, DstOff: 4096, Count: 512,
+		Reply: true, Flags: DataFlagChunk | DataFlagLast | DataFlagCompressed,
+		Payload: []byte{0x02, 0x02, 0x04, 0x00},
+	}
+	for _, ord := range []cdr.ByteOrder{cdr.LittleEndian, cdr.BigEndian} {
+		e := cdr.NewEncoder(ord)
+		d.EncodeBody(e)
+		m, err := DecodeBody(MsgData, e.Bytes(), ord)
+		if err != nil {
+			t.Fatalf("ord %v: %v", ord, err)
+		}
+		got := m.(*Data)
+		if got.Flags != d.Flags || !got.Chunked() || !got.LastChunk() {
+			t.Fatalf("ord %v: flags %#x != %#x", ord, got.Flags, d.Flags)
+		}
+	}
+}
+
+func TestDataReservedBitsAboveCompressedStillRejected(t *testing.T) {
+	d := &Data{RequestID: 1, Count: 1, Flags: 1 << 3, Payload: []byte{0}}
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	d.EncodeBody(e)
+	if _, err := DecodeBody(MsgData, e.Bytes(), cdr.LittleEndian); err == nil {
+		t.Fatal("Data body with reserved flag bit 3 decoded without error")
+	}
+}

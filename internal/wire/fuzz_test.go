@@ -66,8 +66,11 @@ func FuzzDecodeBody(f *testing.F) {
 		&Data{RequestID: 6, ArgIndex: 1, SrcRank: 2, DstRank: 3, DstOff: 4, Count: 2, Payload: []byte("xyzw")},
 		&Data{RequestID: 9, ArgIndex: 0, DstOff: 8192, Count: 4, Flags: DataFlagChunk, Payload: []byte("chnk")},
 		&Data{RequestID: 10, ArgIndex: 2, DstOff: 0, Count: 4, Reply: true, Flags: DataFlagChunk | DataFlagLast, Payload: []byte("last")},
+		&Data{RequestID: 11, ArgIndex: 0, DstOff: 0, Count: 8, Flags: DataFlagChunk | DataFlagCompressed, Payload: []byte{0x02, 0x02, 0x08, 0x3f}},
 		&Ping{Nonce: 7},
 		&Pong{Nonce: 8},
+		&Ping{Nonce: 12, Offer: true, Codecs: 0x03, Level: 1},
+		&Pong{Nonce: 13, Accept: true, Codecs: 0x02, Level: 0},
 	} {
 		e := cdr.NewEncoder(cdr.NativeOrder)
 		m.EncodeBody(e)

@@ -198,6 +198,12 @@ const (
 	DataFlagChunk = 1 << 0
 	// DataFlagLast marks the final chunk of its argument's stream.
 	DataFlagLast = 1 << 1
+	// DataFlagCompressed marks a payload that carries a compressed chunk
+	// envelope (marker octet, zcodec ID, encoded block) instead of a raw
+	// CDR block. Senders set it only after the compression handshake has
+	// negotiated a codec on the connection: pre-compression decoders
+	// reject the bit as reserved, so it can never leak to an old peer.
+	DataFlagCompressed = 1 << 2
 )
 
 // Data is the PARDIS multi-port extension message: one contiguous piece of
@@ -330,7 +336,7 @@ func decodeData(d *cdr.Decoder) (*Data, error) {
 	if m.Flags, err = d.ReadOctet(); err != nil {
 		return nil, err
 	}
-	if m.Flags&^(DataFlagChunk|DataFlagLast) != 0 {
+	if m.Flags&^(DataFlagChunk|DataFlagLast|DataFlagCompressed) != 0 {
 		return nil, fmt.Errorf("%w: reserved Data flag bits %#x", ErrBadBody, m.Flags)
 	}
 	if m.Payload, err = d.ReadOctets(); err != nil {
@@ -339,40 +345,111 @@ func decodeData(d *cdr.Decoder) (*Data, error) {
 	return &m, nil
 }
 
+// CompExtVersion is the version octet that introduces the compression
+// handshake extension trailing a Ping or Pong body. Old decoders read only
+// the nonce and ignore trailing bytes, so the extension is invisible to
+// them; an extension with an unknown version octet is likewise ignored by
+// this decoder, keeping the trailer forward-compatible.
+const CompExtVersion = 1
+
 // Ping probes a peer's liveness on an idle connection. The nonce is echoed
 // back in the matching Pong; it carries no semantics beyond letting a debugger
 // pair probes with responses on a wire dump.
+//
+// A Ping may additionally carry a compression offer: a three-octet trailer
+// (extension version, supported-codec bitmask, compression level) appended
+// after the nonce. Old peers decode such a Ping as a plain keepalive and
+// answer with a plain Pong — the absence of an acceptance trailer IS the
+// negotiation failure signal, so fallback to raw frames needs no extra
+// round trip or message type.
 type Ping struct {
 	Nonce uint32
+
+	// Compression offer (the handshake trailer). Offer gates whether the
+	// trailer is encoded at all; Codecs is a zcodec support bitmask and
+	// Level a codec-specific effort hint (currently advisory).
+	Offer  bool
+	Codecs uint8
+	Level  uint8
 }
 
 func (*Ping) Type() MsgType { return MsgPing }
 
-func (p *Ping) EncodeBody(e *cdr.Encoder) { e.WriteULong(p.Nonce) }
+func (p *Ping) EncodeBody(e *cdr.Encoder) {
+	e.WriteULong(p.Nonce)
+	if p.Offer {
+		e.WriteOctet(CompExtVersion)
+		e.WriteOctet(p.Codecs)
+		e.WriteOctet(p.Level)
+	}
+}
 
 func decodePing(d *cdr.Decoder) (*Ping, error) {
 	n, err := d.ReadULong()
 	if err != nil {
 		return nil, err
 	}
-	return &Ping{Nonce: n}, nil
+	p := &Ping{Nonce: n}
+	p.Offer, p.Codecs, p.Level = decodeCompExt(d)
+	return p, nil
 }
 
-// Pong answers a Ping, echoing its nonce.
+// Pong answers a Ping, echoing its nonce. When the Ping carried a
+// compression offer and the responder negotiates, the Pong carries the
+// same trailer with the accepted codec set (the intersection of both
+// sides' masks); a plain Pong means the responder predates or declined
+// compression and the connection stays on raw frames.
 type Pong struct {
 	Nonce uint32
+
+	// Compression acceptance (the handshake trailer); see Ping.
+	Accept bool
+	Codecs uint8
+	Level  uint8
 }
 
 func (*Pong) Type() MsgType { return MsgPong }
 
-func (p *Pong) EncodeBody(e *cdr.Encoder) { e.WriteULong(p.Nonce) }
+func (p *Pong) EncodeBody(e *cdr.Encoder) {
+	e.WriteULong(p.Nonce)
+	if p.Accept {
+		e.WriteOctet(CompExtVersion)
+		e.WriteOctet(p.Codecs)
+		e.WriteOctet(p.Level)
+	}
+}
 
 func decodePong(d *cdr.Decoder) (*Pong, error) {
 	n, err := d.ReadULong()
 	if err != nil {
 		return nil, err
 	}
-	return &Pong{Nonce: n}, nil
+	p := &Pong{Nonce: n}
+	p.Accept, p.Codecs, p.Level = decodeCompExt(d)
+	return p, nil
+}
+
+// decodeCompExt reads the optional compression trailer of a Ping/Pong
+// body. Missing, short, or unknown-version trailers all decode as "no
+// offer" — never an error, so a malformed trailer can at worst disable
+// compression, not kill the connection.
+func decodeCompExt(d *cdr.Decoder) (ok bool, codecs, level uint8) {
+	if d.Remaining() < 3 {
+		return false, 0, 0
+	}
+	v, err := d.ReadOctet()
+	if err != nil || v != CompExtVersion {
+		return false, 0, 0
+	}
+	c, err := d.ReadOctet()
+	if err != nil {
+		return false, 0, 0
+	}
+	l, err := d.ReadOctet()
+	if err != nil {
+		return false, 0, 0
+	}
+	return true, c, l
 }
 
 // Encode renders a complete single-frame message (header + body) in the

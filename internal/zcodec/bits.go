@@ -1,0 +1,67 @@
+package zcodec
+
+// bitWriter appends an MSB-first bit stream to a byte slice. It is a
+// value type embedded in the encoders so steady-state encoding does
+// not allocate beyond the destination buffer's own growth.
+type bitWriter struct {
+	buf []byte
+	acc uint64
+	n   uint // valid low-order bits in acc, always < 8 after write
+}
+
+// write appends the low `bits` bits of v, most significant first.
+func (w *bitWriter) write(v uint64, bits uint) {
+	if bits > 32 {
+		w.write(v>>32, bits-32)
+		v &= 0xffffffff
+		bits = 32
+	}
+	w.acc = w.acc<<bits | v&(uint64(1)<<bits-1)
+	w.n += bits
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.n))
+	}
+}
+
+// finish flushes any partial byte (zero padded) and returns the buffer.
+func (w *bitWriter) finish() []byte {
+	if w.n > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.n)))
+		w.acc, w.n = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes an MSB-first bit stream.
+type bitReader struct {
+	buf []byte
+	pos int
+	acc uint64
+	n   uint
+}
+
+// read returns the next `bits` bits, or ErrTruncated past the end.
+func (r *bitReader) read(bits uint) (uint64, error) {
+	if bits > 32 {
+		hi, err := r.read(bits - 32)
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.read(32)
+		if err != nil {
+			return 0, err
+		}
+		return hi<<32 | lo, nil
+	}
+	for r.n < bits {
+		if r.pos >= len(r.buf) {
+			return 0, ErrTruncated
+		}
+		r.acc = r.acc<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.n += 8
+	}
+	r.n -= bits
+	return r.acc >> r.n & (uint64(1)<<bits - 1), nil
+}

@@ -1,0 +1,67 @@
+package zcodec
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeDoubles drives the XOR decoder with arbitrary bytes: it
+// must reject garbage with an error, never panic, and re-encode any
+// block it accepts to the same values.
+func FuzzDecodeDoubles(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(AppendDoubles(nil, []float64{1, 2, 3, 4, 5, 6, 7, 8}))
+	f.Add(AppendDoubles(nil, []float64{0, math.Inf(1), math.NaN(), -1e300}))
+	f.Add(AppendDoubles(nil, []float64{3.25}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeDoubles(data, 1<<16)
+		if err != nil {
+			return
+		}
+		enc := AppendDoubles(nil, vals)
+		back, err := DecodeDoubles(enc, 1<<16)
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if len(back) != len(vals) {
+			t.Fatalf("re-encode changed length %d -> %d", len(vals), len(back))
+		}
+		for i := range vals {
+			if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("[%d] %v != %v after re-encode", i, back[i], vals[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeInts drives both integer decoders with arbitrary bytes and
+// checks the accepted-block round-trip property for int64.
+func FuzzDecodeInts(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(AppendInt64s(nil, []int64{1, 2, 3, 4, 5}))
+	f.Add(AppendInt64s(nil, []int64{math.MaxInt64, math.MinInt64, 0}))
+	f.Add(AppendInt32s(nil, []int32{-7, 7, 1 << 30}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := DecodeInt32s(data, 1<<16); err != nil {
+			_ = err
+		}
+		vals, err := DecodeInt64s(data, 1<<16)
+		if err != nil {
+			return
+		}
+		enc := AppendInt64s(nil, vals)
+		back, err := DecodeInt64s(enc, 1<<16)
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("[%d] %d != %d after re-encode", i, back[i], vals[i])
+			}
+		}
+	})
+}

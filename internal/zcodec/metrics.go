@@ -1,0 +1,72 @@
+package zcodec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Package-wide byte ledgers. Encoders add the raw (pre-compression)
+// and encoded sizes; decoders add the decoded and consumed sizes. The
+// encode ratio is the headline compression number: raw bytes that
+// would have crossed the wire divided by bytes that actually did.
+var (
+	encRawBytes atomic.Int64
+	encOutBytes atomic.Int64
+	decRawBytes atomic.Int64
+	decInBytes  atomic.Int64
+)
+
+func statEncode(raw, out int) {
+	encRawBytes.Add(int64(raw))
+	encOutBytes.Add(int64(out))
+}
+
+func statDecode(raw, in int) {
+	decRawBytes.Add(int64(raw))
+	decInBytes.Add(int64(in))
+}
+
+// Stats returns the cumulative (rawOut, wireOut, rawIn, wireIn) byte
+// counts: bytes before/after encoding and after/before decoding.
+func Stats() (rawOut, wireOut, rawIn, wireIn int64) {
+	return encRawBytes.Load(), encOutBytes.Load(), decRawBytes.Load(), decInBytes.Load()
+}
+
+// ResetStats zeroes the ledgers (tests and benchmarks).
+func ResetStats() {
+	encRawBytes.Store(0)
+	encOutBytes.Store(0)
+	decRawBytes.Store(0)
+	decInBytes.Store(0)
+}
+
+// EncodeRatio returns raw/wire for the encode direction, or 0 when
+// nothing has been encoded.
+func EncodeRatio() float64 {
+	out := encOutBytes.Load()
+	if out == 0 {
+		return 0
+	}
+	return float64(encRawBytes.Load()) / float64(out)
+}
+
+// EnableMetrics registers the codec ledgers with a registry:
+// bytes-in/bytes-out for both directions plus a milli-ratio gauge
+// (encode ratio ×1000, so 2.5× reads as 2500).
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterPull("zcodec", func(put func(name string, v int64)) {
+		put("zcodec.encode_raw_bytes", encRawBytes.Load())
+		put("zcodec.encode_wire_bytes", encOutBytes.Load())
+		put("zcodec.decode_raw_bytes", decRawBytes.Load())
+		put("zcodec.decode_wire_bytes", decInBytes.Load())
+		if out := encOutBytes.Load(); out > 0 {
+			put("zcodec.encode_ratio_milli", encRawBytes.Load()*1000/out)
+		} else {
+			put("zcodec.encode_ratio_milli", 0)
+		}
+	})
+}
