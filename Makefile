@@ -22,10 +22,18 @@ SWARMTIMEOUT ?= 300s
 # shard-smoke bounds the sharded object-group chaos suite (kill one of four
 # shards mid-run; every idempotent request must complete via reroute).
 SHARDTIMEOUT ?= 120s
+# resize-smoke bounds the elastic-membership chaos suite (50 seeded fault
+# schedules spanning every resize phase, plus the 200-cycle soak, under
+# -race).
+RESIZETIMEOUT ?= 300s
+# Floor for the elastic resize paths (internal/core/elastic.go): the resize
+# state machine's correctness is proven almost entirely by the chaos
+# harness, so untested branches there are unguarded rollback paths.
+RESIZE_COVER_FLOOR ?= 75
 
-.PHONY: check vet staticcheck build test race chaos swarm-smoke shard-smoke fuzz-smoke bench bench-compare cover
+.PHONY: check vet staticcheck build test race chaos swarm-smoke shard-smoke resize-smoke fuzz-smoke bench bench-compare cover
 
-check: vet staticcheck build test race chaos swarm-smoke shard-smoke fuzz-smoke cover bench-compare
+check: vet staticcheck build test race chaos swarm-smoke shard-smoke resize-smoke fuzz-smoke cover bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +78,17 @@ shard-smoke:
 	$(GO) test -race -timeout=$(SHARDTIMEOUT) \
 		-run='TestShardChaos|TestShardRouting|TestBreaker|TestRing|TestRangeKey' \
 		./internal/exp ./internal/core ./internal/orb ./internal/shard
+
+# Elastic-membership gate: the deterministic membership-chaos harness (50
+# seeded fault schedules spanning every resize phase), the 200-cycle
+# grow/shrink soak, the plan-diff property tests, and the end-to-end
+# resize scenario, under -race. Proves the epoch protocol's invariants —
+# element conservation, epoch monotonicity, zero client-visible failures
+# for idempotent ops — on every commit.
+resize-smoke:
+	$(GO) test -race -timeout=$(RESIZETIMEOUT) \
+		-run='TestResizeChaos|TestResizeSoak|TestElastic|TestObjectResize|TestDiff|TestChaosSchedule|TestVirtualClock|TestConserved|TestMonotonic|TestRunResize' \
+		./internal/core ./internal/dist ./internal/testutil ./internal/exp
 
 # Each fuzz target gets a short bounded run; `go test` allows only one
 # -fuzz pattern per invocation, hence one line per target.
@@ -118,6 +137,16 @@ cover:
 			} \
 			printf "internal/testutil coverage %.1f%% (floor %d%%; other packages report-only)\n", pct, floor \
 		}' cover-report.out
+	@$(GO) tool cover -func=cover.out | awk -v floor=$(RESIZE_COVER_FLOOR) ' \
+		$$1 ~ /internal\/core\/elastic\.go/ { pct = $$NF; sub(/%/, "", pct); sum += pct; n++ } \
+		END { \
+			if (!n) { print "internal/core/elastic.go coverage not reported"; exit 1 } \
+			avg = sum / n; \
+			if (avg < floor) { \
+				printf "FAIL: elastic resize coverage %.1f%% is below the %d%% floor\n", avg, floor; exit 1 \
+			} \
+			printf "elastic resize coverage %.1f%% (floor %d%%, mean over %d functions)\n", avg, floor, n \
+		}'
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeHeader$$' -fuzztime=$(FUZZTIME) ./internal/wire

@@ -54,6 +54,8 @@ func main() {
 	swarm := flag.Bool("swarm", false, "run the massive fan-in swarm benchmark")
 	shards := flag.Int("shards", 0, "run the sharded object-group scenario with this many shards")
 	killShard := flag.Bool("kill-shard", false, "(shards mode) kill one shard mid-run to exercise rerouting")
+	resize := flag.Int("resize", 0, "run the elastic-membership scenario with this many resizes")
+	maxThreads := flag.Int("max-threads", 4, "(resize mode) membership cycles between 1 and this many threads")
 	clients := flag.Int("clients", 16, "(overload/swarm mode) concurrent clients")
 	requests := flag.Int("requests", 60, "(overload/failover/swarm mode) requests per client")
 	sharedConns := flag.Int("shared-conns", 0, "(swarm mode) multiplexed connections; 0 picks one per 256 clients")
@@ -102,6 +104,10 @@ func main() {
 
 	if *shards > 0 {
 		runShards(*shards, *requests, *killShard)
+		return
+	}
+	if *resize > 0 {
+		runResize(*resize, *clients, *elems, *maxThreads, compMask)
 		return
 	}
 	if *swarm {

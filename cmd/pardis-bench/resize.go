@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+// runResize drives the elastic-membership scenario: one elastic object
+// cycles through `resizes` membership changes between 1 and maxThreads
+// computing threads while `clients` concurrent clients keep invoking an
+// idempotent reduction, rebinding across epochs.
+func runResize(resizes, clients, elems, maxThreads int, compMask uint8) {
+	res, err := exp.RunResize(exp.ResizeConfig{
+		InitialThreads: 2,
+		MaxThreads:     maxThreads,
+		Resizes:        resizes,
+		Elems:          elems,
+		Clients:        clients,
+		Compression:    compMask,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	if res.Failures > 0 || !res.SumOK {
+		log.Fatal("resize run violated its invariants")
+	}
+}

@@ -192,6 +192,13 @@ type Binding struct {
 	// sharding is the binding's shard-routing configuration (see
 	// BindOptions.Sharding); InvokeSharded consults it at rank 0.
 	sharding ShardingOptions
+
+	// refEpoch is the membership epoch the bound reference carries (0 for
+	// non-elastic objects). Invocation headers are tagged with it so a
+	// request that lands on a stale or future epoch of an elastic object is
+	// refused before any data transfer — the client never scatters against
+	// the wrong shape.
+	refEpoch uint32
 }
 
 // bindLane is one pipeline slot of a binding.
@@ -244,30 +251,25 @@ func SPMDBind(comm *rts.Comm, name, nameServer string, opts ...BindOptions) (*Bi
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	var refStr string
-	var bindErr string
+	var payload []byte
 	if comm.Rank() == 0 {
 		cli := o.newClient()
 		res := naming.NewResolver(cli, nameServer)
 		ref, err := res.Resolve(name, o.TypeID)
 		cli.Close()
 		if err != nil {
-			bindErr = err.Error()
+			payload = append([]byte{'!'}, flattenErr(err)...)
 		} else {
-			refStr = ref.String()
+			payload = []byte(ref.String())
 		}
 	}
 	// Share the resolution outcome.
-	payload := refStr
-	if bindErr != "" {
-		payload = "!" + bindErr
-	}
-	shared, err := comm.Bcast(0, []byte(payload))
+	shared, err := comm.Bcast(0, payload)
 	if err != nil {
 		return nil, err
 	}
-	if len(shared) > 0 && shared[0] == '!' {
-		return nil, fmt.Errorf("core: binding %q: %s", name, shared[1:])
+	if len(shared) > 1 && shared[0] == '!' {
+		return nil, unflattenErr(fmt.Sprintf("binding %q", name), shared[1:])
 	}
 	ref, err := orb.ParseIOR(string(shared))
 	if err != nil {
@@ -319,7 +321,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 	if engine.Rank() == 0 {
 		reply, err := client.Invoke(ref, describeOp, orb.NewArgEncoder().Bytes(), false)
 		if err != nil {
-			tableBytes = append([]byte{'!'}, []byte(err.Error())...)
+			tableBytes = append([]byte{'!'}, flattenErr(err)...)
 		} else {
 			tableBytes = append([]byte{0}, reply...)
 		}
@@ -335,7 +337,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 	}
 	if tableBytes[0] == '!' {
 		closeCli()
-		return nil, fmt.Errorf("core: describing object: %s", tableBytes[1:])
+		return nil, unflattenErr("describing object", tableBytes[1:])
 	}
 	d, err := orb.ArgDecoder(tableBytes[1:])
 	if err != nil {
@@ -393,6 +395,7 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 		chunkElems: ce,
 		comp:       o.Compression & zcodec.Supported,
 		sharding:   o.Sharding,
+		refEpoch:   uint32(ref.Epoch),
 	}
 	if o.Metrics != nil {
 		b.inflight = o.Metrics.Gauge("core.pipeline_inflight")
@@ -452,6 +455,40 @@ func (b *Binding) Close() {
 	if b.ownsCli {
 		b.client.Close()
 	}
+}
+
+// flattenErr renders thread 0's bind-time error for a collective broadcast,
+// leading with its retry classification: only strings cross the broadcast,
+// and a Rebinder-style caller must still be able to tell a stale reference
+// ('S': re-resolve) and transient shedding ('T': retry) from a hard failure
+// ('!') after the error is rebuilt on the other threads. Without the class
+// byte a resize would strand clients: a binding that raced the epoch switch
+// would fail with an unclassifiable flattened error instead of rebinding.
+func flattenErr(err error) []byte {
+	class := byte('!')
+	switch {
+	case naming.Stale(err):
+		class = 'S'
+	case orb.IsTransient(err):
+		class = 'T'
+	}
+	return append([]byte{class}, err.Error()...)
+}
+
+// unflattenErr rebuilds a flattenErr payload as an error of the same retry
+// class.
+func unflattenErr(context string, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("core: %s: lost error", context)
+	}
+	msg := fmt.Sprintf("%s: %s", context, payload[1:])
+	switch payload[0] {
+	case 'S':
+		return &orb.SystemException{RepoID: orb.RepoComm, Message: msg}
+	case 'T':
+		return orb.Transient(msg)
+	}
+	return fmt.Errorf("core: %s", msg)
 }
 
 // scalarEncoder is a convenience for building the non-distributed argument

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestResizeSoak drives 200 grow/shrink cycles through one elastic object
+// under continuous client load, then checks that nothing leaked: goroutines
+// settle back to the baseline (every epoch's worlds, listeners and clients
+// are torn down) and the heap stays bounded (no per-epoch state is
+// retained). State integrity is asserted at the end — 200 repartitions must
+// still conserve the seeded multiset exactly.
+func TestResizeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const cycles = 200
+	testutil.CheckGoroutines(t, "soak", func(t *testing.T) {
+		el, ns := startElastic(t, 1)
+
+		stopLoad := make(chan struct{})
+		loadErr := make(chan error, 1)
+		go func() { loadErr <- chaosLoad(ns.Addr(), stopLoad) }()
+
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		// 1 → 2 → 3 → 1 → ... : consecutive targets always differ, so every
+		// cycle is a real membership change.
+		size := 1
+		for i := 0; i < cycles; i++ {
+			target := 1 + (i+1)%3
+			if err := el.Resize(target); err != nil {
+				t.Fatalf("cycle %d (%d -> %d): %v", i, size, target, err)
+			}
+			if el.Size() != target || el.Epoch() != i+2 {
+				t.Fatalf("cycle %d: epoch %d size %d, want epoch %d size %d",
+					i, el.Epoch(), el.Size(), i+2, target)
+			}
+			size = target
+		}
+		close(stopLoad)
+		if err := <-loadErr; err != nil {
+			t.Fatalf("load client: %v", err)
+		}
+
+		if got := elasticSumOnce(t, ns.Addr()); got != elasticSum {
+			t.Fatalf("sum after %d cycles: %v, want %v", cycles, got, elasticSum)
+		}
+		want := make([]float64, elasticLen)
+		for i := range want {
+			want[i] = float64(i + 1)
+		}
+		if err := testutil.Conserved(want, elasticGetOnce(t, ns.Addr())); err != nil {
+			t.Fatalf("after %d cycles: %v", cycles, err)
+		}
+
+		// Heap bound: repeated epochs must not accumulate state. The bound is
+		// deliberately generous (transport buffers, test bookkeeping) — a
+		// leak of even one world or transfer buffer per cycle would blow it.
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > 32<<20 {
+			t.Fatalf("heap grew %d bytes over %d cycles", grew, cycles)
+		}
+	})
+}

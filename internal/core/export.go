@@ -99,6 +99,13 @@ type ExportOptions struct {
 	// compress their chunks with the connection's negotiated mask. Zero
 	// declines every offer and keeps all transfers raw.
 	Compression uint8
+	// Epoch is the membership epoch of an elastic export (set by the elastic
+	// engine; leave 0 for conventional exports). A non-zero epoch is suffixed
+	// into the object key — so a stale client whose request reaches a reused
+	// endpoint gets OBJECT_NOT_EXIST, which the naming Rebinder treats as
+	// stale and re-resolves — carried in the published IOR, and checked
+	// against epoch-tagged invocation headers before any data transfer.
+	Epoch int
 }
 
 // DefaultDataTimeout is the default ExportOptions.DataTimeout.
@@ -129,6 +136,16 @@ type Object struct {
 	// Safe because each computing thread owns its own Object and the bytes
 	// are copied into the reply stream before the next call resets it.
 	outScratch *cdr.Encoder
+
+	// Elastic wiring, installed between Export and Serve by the elastic
+	// engine (all fields nil/zero on conventional objects). resizeCh (thread
+	// 0 only) delivers resize tickets into the collective loop; onResize is
+	// this thread's snapshot callback, run inside the loop when thread 0
+	// broadcasts a resize directive; elastic is the owning engine, consulted
+	// by Resize and the admin operation.
+	resizeCh chan *resizeTicket
+	onResize func() error
+	elastic  *Elastic
 }
 
 type pendingCall struct {
@@ -227,8 +244,8 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 		if _, dup := o.ops[op.Desc.Name]; dup {
 			return nil, fmt.Errorf("core: duplicate operation %q", op.Desc.Name)
 		}
-		if op.Desc.Name == describeOp {
-			return nil, fmt.Errorf("core: operation name %q is reserved", describeOp)
+		if op.Desc.Name == describeOp || op.Desc.Name == resizeOp {
+			return nil, fmt.Errorf("core: operation name %q is reserved", op.Desc.Name)
 		}
 		o.ops[op.Desc.Name] = op
 	}
@@ -262,7 +279,13 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 	var refStr string
 	if engine.Rank() == 0 {
 		key := []byte(fmt.Sprintf("spmd/%s/%s", opts.TypeID, opts.Name))
-		ref := orb.IOR{TypeID: opts.TypeID, Key: key, Threads: engine.Size()}
+		if opts.Epoch > 0 {
+			// Per-epoch keys: a stale client reaching a reused endpoint with
+			// an old key gets OBJECT_NOT_EXIST (a re-resolvable refusal)
+			// rather than a silently different epoch of the object.
+			key = []byte(fmt.Sprintf("spmd/%s/%s@e%d", opts.TypeID, opts.Name, opts.Epoch))
+		}
+		ref := orb.IOR{TypeID: opts.TypeID, Key: key, Threads: engine.Size(), Epoch: opts.Epoch}
 		for r, p := range eps {
 			if len(p) == 0 {
 				continue
@@ -357,6 +380,9 @@ func (o *Object) dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) error {
 		encodeOpTable(out, descs)
 		return nil
 	}
+	if op == resizeOp {
+		return o.adminResize(in, out)
+	}
 	hdr, err := decodeInvocationHeader(in)
 	if err != nil {
 		return orb.Marshal(err)
@@ -402,8 +428,38 @@ func (o *Object) dispatch(op string, in *cdr.Decoder, out *cdr.Encoder) error {
 	}
 }
 
+// adminResize serves the reserved "_pardis_resize" operation: it accepts a
+// target thread count and triggers the membership change asynchronously
+// (synchronous would deadlock — the resize quiesces this very adapter). The
+// reply reports the epoch current at acceptance time; callers observe the
+// transition through re-resolution.
+func (o *Object) adminResize(in *cdr.Decoder, out *cdr.Encoder) error {
+	if !o.opts.Server.AdminResize || o.elastic == nil {
+		return orb.BadOperation(resizeOp)
+	}
+	n, err := in.ReadLong()
+	if err != nil {
+		return orb.Marshal(err)
+	}
+	if n < 1 || n > 1<<20 {
+		return &orb.SystemException{RepoID: orb.RepoBadOperation,
+			Message: fmt.Sprintf("%s: target size %d", resizeOp, n)}
+	}
+	el := o.elastic
+	go func() { _ = el.Resize(int(n)) }()
+	out.WriteLong(int32(el.Epoch()))
+	return nil
+}
+
 // validate checks an inbound header against the operation table.
 func (o *Object) validate(h *invocationHeader) error {
+	if h.Epoch != 0 && int(h.Epoch) != o.opts.Epoch {
+		// Wrong membership epoch: the client bound before (or, during a
+		// rollback window, after) a resize. Refuse before any data moves —
+		// the client must never scatter against the wrong shape — with the
+		// re-resolvable refusal, so the Rebinder path retries at most once.
+		return orb.ObjectNotExist(o.ref.Key)
+	}
 	op, ok := o.ops[h.Op]
 	if !ok {
 		return orb.BadOperation(h.Op)

@@ -19,6 +19,12 @@ type invocationHeader struct {
 	ChunkElems  uint32 // streamed only: request-leg chunk size, in elements
 	Token       uint32 // ties multi-port and streamed Data transfers to this invocation
 	ClientRanks int
+	// Epoch is the membership epoch the client bound at (from the IOR of an
+	// elastic object); 0 means the binding predates elastic membership or the
+	// object is not elastic. A non-zero epoch shifts the wire method code
+	// into the epoch-tagged range so untagged peers reject the header cleanly
+	// instead of misreading the epoch field.
+	Epoch       uint32
 	Scalars     []byte // opaque marshalled non-distributed arguments
 	Args        []headerArg
 }
@@ -28,6 +34,15 @@ type invocationHeader struct {
 // predating the streaming protocol reject the header cleanly instead of
 // misreading the chunk-size field as argument data.
 const wireMethodStreamed = uint32(Multiport) + 1
+
+// wireMethodEpochBase shifts a method code into the epoch-tagged range:
+// codes [base, base+streamed] are the corresponding untagged codes with a
+// membership-epoch ULong following immediately. Untagged codes remain valid
+// (clients whose reference carries no epoch — conventional objects, old
+// clients of a resized object — send them), which is what makes mixed-version
+// interop across a resize work: the server checks epochs only when the
+// header carries one.
+const wireMethodEpochBase = wireMethodStreamed + 1
 
 type headerArg struct {
 	Dir    Dir
@@ -43,7 +58,13 @@ func (h *invocationHeader) encode(e *cdr.Encoder) {
 	if h.Streamed {
 		m = wireMethodStreamed
 	}
+	if h.Epoch != 0 {
+		m += wireMethodEpochBase
+	}
 	e.WriteEnum(m)
+	if h.Epoch != 0 {
+		e.WriteULong(h.Epoch)
+	}
 	if h.Streamed {
 		e.WriteULong(h.ChunkElems)
 	}
@@ -79,8 +100,17 @@ func decodeInvocationHeader(d *cdr.Decoder) (*invocationHeader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: method: %v", ErrBadHeader, err)
 	}
-	if m > wireMethodStreamed {
+	if m > wireMethodEpochBase+wireMethodStreamed {
 		return nil, fmt.Errorf("%w: method %d", ErrBadHeader, m)
+	}
+	if m >= wireMethodEpochBase {
+		m -= wireMethodEpochBase
+		if h.Epoch, err = d.ReadULong(); err != nil {
+			return nil, fmt.Errorf("%w: epoch: %v", ErrBadHeader, err)
+		}
+		if h.Epoch == 0 || h.Epoch > 1<<30 {
+			return nil, fmt.Errorf("%w: epoch %d", ErrBadHeader, h.Epoch)
+		}
 	}
 	if m == wireMethodStreamed {
 		h.Method = Centralized

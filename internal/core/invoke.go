@@ -241,7 +241,7 @@ func (b *Binding) invokeCentralized(comm *rts.Comm, token uint32, op string, sha
 		packStart := time.Now()
 		h := &invocationHeader{
 			Op: op, Method: Centralized, Token: token,
-			ClientRanks: comm.Size(), Scalars: scalars,
+			ClientRanks: comm.Size(), Epoch: b.refEpoch, Scalars: scalars,
 			Args: make([]headerArg, len(args)),
 		}
 		for i, a := range args {
@@ -389,7 +389,7 @@ func (b *Binding) invokeMultiport(comm *rts.Comm, token uint32, op string, scala
 		if me == 0 {
 			h := &invocationHeader{
 				Op: op, Method: Multiport, Token: token,
-				ClientRanks: cRanks, Scalars: scalars,
+				ClientRanks: cRanks, Epoch: b.refEpoch, Scalars: scalars,
 				Args: make([]headerArg, len(args)),
 			}
 			for i, a := range args {

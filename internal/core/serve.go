@@ -46,13 +46,24 @@ func (o *Object) Poll(block bool) (bool, error) {
 	if o.comm.Rank() == 0 {
 		var call *pendingCall
 		if block {
+			// Priority select: requests already queued drain before a pending
+			// resize ticket is honored, so in-flight collectives complete in
+			// the old epoch (the quiesce phase sheds new arrivals upstream).
 			select {
 			case call = <-o.queue:
-			case <-o.stop:
+			default:
+				select {
+				case call = <-o.queue:
+				case t := <-o.resizeCh:
+					return o.serveResize(t)
+				case <-o.stop:
+				}
 			}
 		} else {
 			select {
 			case call = <-o.queue:
+			case t := <-o.resizeCh:
+				return o.serveResize(t)
 			case <-o.stop:
 			default:
 			}
@@ -116,6 +127,19 @@ func (o *Object) Poll(block bool) (bool, error) {
 		return false, nil
 	case directiveNone:
 		return true, nil
+	case directiveResize:
+		agreed := agreeError(o.comm, o.callResizeHook())
+		_ = agreed // thread 0 reports the agreed outcome to the controller
+		verdict, err := o.comm.Bcast(0, nil)
+		if err != nil {
+			return false, err
+		}
+		if len(verdict) == 1 && verdict[0] == 1 {
+			// Snapshot committed: this epoch retires and Serve returns nil.
+			return false, nil
+		}
+		// Aborted: resume serving in the old epoch.
+		return true, nil
 	case directiveCall:
 		d := cdr.NewDecoder(dir, cdr.NativeOrder)
 		if _, err := d.ReadOctet(); err != nil {
@@ -145,14 +169,62 @@ func (o *Object) Poll(block bool) (bool, error) {
 
 const directiveNone byte = 2
 
+// directiveResize tells the computing threads to snapshot their live state
+// for a membership change: each runs its onResize hook, the outcome is
+// agreed collectively, and thread 0's follow-up verdict broadcast either
+// retires the epoch (1: Serve returns nil everywhere) or resumes it (0: the
+// resize aborted upstream and serving continues).
+const directiveResize byte = 3
+
 // Shared one-byte directive and verdict messages: the broadcast payloads are
 // read-only everywhere, so every Poll round reuses these instead of
 // allocating fresh single-byte slices.
 var (
-	directiveNoneMsg = []byte{directiveNone}
-	directiveStopMsg = []byte{directiveStop}
-	verdictMsgs      = [2][]byte{{0}, {1}}
+	directiveNoneMsg   = []byte{directiveNone}
+	directiveStopMsg   = []byte{directiveStop}
+	directiveResizeMsg = []byte{directiveResize}
+	verdictMsgs        = [2][]byte{{0}, {1}}
 )
+
+// resizeTicket is the controller's handle on one in-loop resize: the serving
+// loop reports the collectively-agreed snapshot outcome on snapDone, then
+// blocks until the controller decides on commit (true retires the epoch,
+// false resumes it).
+type resizeTicket struct {
+	snapDone chan error
+	commit   chan bool
+}
+
+// callResizeHook runs this thread's snapshot callback, guarding against a
+// resize directive reaching an object without elastic wiring.
+func (o *Object) callResizeHook() error {
+	if o.onResize == nil {
+		return &orb.SystemException{RepoID: orb.RepoInternal, Message: "core: resize directive on non-elastic object"}
+	}
+	return o.onResize()
+}
+
+// serveResize is thread 0's side of the resize directive: broadcast it, run
+// the collective snapshot, report the agreed outcome to the controller, and
+// relay the controller's commit decision as the verdict. The boolean result
+// mirrors Poll's: false when the epoch retired.
+func (o *Object) serveResize(t *resizeTicket) (bool, error) {
+	if _, err := o.comm.Bcast(0, directiveResizeMsg); err != nil {
+		t.snapDone <- err
+		return false, err
+	}
+	agreed := agreeError(o.comm, o.callResizeHook())
+	t.snapDone <- agreed
+	retire := <-t.commit
+	verdict := 0
+	if retire {
+		verdict = 1
+	}
+	if _, err := o.comm.Bcast(0, verdictMsgs[verdict]); err != nil {
+		return false, err
+	}
+	return !retire, nil
+}
 
 // processCall runs one collective invocation on this computing thread. The
 // returned reply bytes are meaningful on thread 0 only; stop reports whether

@@ -246,8 +246,8 @@ func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op str
 		packStart := time.Now()
 		h := &invocationHeader{
 			Op: op, Method: Centralized, Streamed: true, ChunkElems: uint32(ce),
-			Token: token, ClientRanks: comm.Size(), Scalars: scalars,
-			Args: make([]headerArg, len(args)),
+			Token: token, ClientRanks: comm.Size(), Epoch: b.refEpoch,
+			Scalars: scalars, Args: make([]headerArg, len(args)),
 		}
 		for i, a := range args {
 			h.Args[i] = headerArg{Dir: a.Dir, Elem: a.Seq.ElemName()}

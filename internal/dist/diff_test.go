@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSpec draws one of the three distribution laws with random parameters.
+func randomSpec(rng *rand.Rand, ranks int) Spec {
+	switch rng.Intn(3) {
+	case 0:
+		return Block{}
+	case 1:
+		p := make([]int, ranks)
+		for i := range p {
+			p[i] = rng.Intn(5)
+		}
+		// Proportions must not sum to zero.
+		p[rng.Intn(ranks)] += 1
+		return Proportions{P: p}
+	default:
+		return Cyclic{BlockSize: 1 + rng.Intn(7)}
+	}
+}
+
+func diffLayout(t *testing.T, rng *rand.Rand, length, ranks int) Layout {
+	t.Helper()
+	l, err := randomSpec(rng, ranks).Layout(length, ranks)
+	if err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	return l
+}
+
+// TestDiffProperties is the plan-diffing property test: for random old/new
+// templates (random law, length, and rank counts on both sides), the diff's
+// moves are minimal — no element crosses ranks when its owner index is
+// unchanged — and the cross list covers exactly the ownership symmetric
+// difference, with every global index covered exactly once across both lists
+// and all offsets consistent with the layouts' own Owner maps.
+func TestDiffProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 400; iter++ {
+		length := rng.Intn(200)
+		srcRanks := 1 + rng.Intn(6)
+		dstRanks := 1 + rng.Intn(6)
+		src := diffLayout(t, rng, length, srcRanks)
+		dst := diffLayout(t, rng, length, dstRanks)
+
+		local, cross, err := Diff(src, dst)
+		if err != nil {
+			t.Fatalf("iter %d: Diff: %v", iter, err)
+		}
+
+		covered := make([]int, length) // times each global index is moved
+		checkMoves := func(moves []Move, wantCross bool) {
+			for _, m := range moves {
+				if m.Len <= 0 {
+					t.Fatalf("iter %d: empty move %+v", iter, m)
+				}
+				crosses := m.SrcRank != m.DstRank
+				if crosses != wantCross {
+					t.Fatalf("iter %d: move %+v in wrong list (cross=%v)", iter, m, wantCross)
+				}
+				for k := 0; k < m.Len; k++ {
+					g := m.Global + k
+					if g < 0 || g >= length {
+						t.Fatalf("iter %d: move %+v leaves [0,%d)", iter, m, length)
+					}
+					covered[g]++
+					sr, so, err := src.Owner(g)
+					if err != nil {
+						t.Fatalf("iter %d: src owner of %d: %v", iter, g, err)
+					}
+					dr, do, err := dst.Owner(g)
+					if err != nil {
+						t.Fatalf("iter %d: dst owner of %d: %v", iter, g, err)
+					}
+					if sr != m.SrcRank || so != m.SrcOff+k {
+						t.Fatalf("iter %d: move %+v element %d: src owner (%d,%d), move says (%d,%d)",
+							iter, m, g, sr, so, m.SrcRank, m.SrcOff+k)
+					}
+					if dr != m.DstRank || do != m.DstOff+k {
+						t.Fatalf("iter %d: move %+v element %d: dst owner (%d,%d), move says (%d,%d)",
+							iter, m, g, dr, do, m.DstRank, m.DstOff+k)
+					}
+				}
+			}
+		}
+		checkMoves(local, false)
+		checkMoves(cross, true)
+
+		// Exactly-once coverage of the whole index space.
+		for g, n := range covered {
+			if n != 1 {
+				t.Fatalf("iter %d: global index %d covered %d times", iter, g, n)
+			}
+		}
+
+		// Minimality / symmetric difference: an element is in cross iff its
+		// owner index changed. Owner-index agreement was already verified per
+		// move above; what remains is that the split matches ownership.
+		wantCross := 0
+		for g := 0; g < length; g++ {
+			sr, _, _ := src.Owner(g)
+			dr, _, _ := dst.Owner(g)
+			if sr != dr {
+				wantCross++
+			}
+		}
+		if got := MovedElems(cross); got != wantCross {
+			t.Fatalf("iter %d: cross moves %d elements, ownership symmetric difference is %d",
+				iter, got, wantCross)
+		}
+		if got := MovedElems(local) + MovedElems(cross); got != length {
+			t.Fatalf("iter %d: moves cover %d of %d elements", iter, got, length)
+		}
+	}
+}
+
+// TestDiffIdentity: diffing a layout against itself moves nothing across
+// ranks — the entire plan is local.
+func TestDiffIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		ranks := 1 + rng.Intn(6)
+		l := diffLayout(t, rng, rng.Intn(100), ranks)
+		local, cross, err := Diff(l, l)
+		if err != nil {
+			t.Fatalf("Diff: %v", err)
+		}
+		if len(cross) != 0 {
+			t.Fatalf("identity diff produced cross moves: %+v", cross)
+		}
+		if MovedElems(local) != l.Length {
+			t.Fatalf("identity diff covers %d of %d", MovedElems(local), l.Length)
+		}
+	}
+}
+
+// TestDiffLengthMismatch: diffing layouts of different lengths fails.
+func TestDiffLengthMismatch(t *testing.T) {
+	a, _ := Block{}.Layout(10, 2)
+	b, _ := Block{}.Layout(11, 2)
+	if _, _, err := Diff(a, b); err == nil {
+		t.Fatal("Diff accepted mismatched lengths")
+	}
+}

@@ -39,6 +39,27 @@ type Transferable interface {
 	ResizeAlloc(length int) error
 }
 
+// RangeCompressor is the optional compression-aware extension of
+// Transferable: a sequence that can render a local range as a compressed
+// chunk envelope. Receivers need nothing special — UnmarshalRange
+// auto-detects compressed envelopes — so engines probe for this interface on
+// the sending side only and fall back to MarshalRange. *Seq[T] implements it
+// for every element type with a registered block codec.
+type RangeCompressor interface {
+	// MarshalRangeZ is MarshalRange compressing with the first codec of mask
+	// that applies to the element type; incompressible or short payloads
+	// fall back to the raw chunk encoding transparently.
+	MarshalRangeZ(off, n int, mask uint8) ([]byte, error)
+}
+
+// MarshalRangeZ implements RangeCompressor.
+func (s *Seq[T]) MarshalRangeZ(off, n int, mask uint8) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(s.local) {
+		return nil, fmt.Errorf("%w: local range [%d,%d) of %d", ErrIndex, off, off+n, len(s.local))
+	}
+	return MarshalChunkZ(s.codec, s.local[off:off+n], mask), nil
+}
+
 // Spec returns the sequence's distribution law (nil if the layout was
 // explicit).
 func (s *Seq[T]) Spec() dist.Spec { return s.spec }

@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dseq"
+	"repro/internal/naming"
+	"repro/internal/obs"
+	"repro/internal/orb"
+	"repro/internal/rts"
+)
+
+// Elastic-membership benchmark: one elastic SPMD object cycles through
+// membership changes while concurrent clients keep invoking an idempotent
+// reduction, rebinding across epochs. The headline numbers are the resize
+// cost (state actually moved, wall time per epoch switch) and the client
+// experience (how many invocations needed a retry, and that none failed).
+
+// ResizeConfig describes one elastic run.
+type ResizeConfig struct {
+	// InitialThreads is the object's starting membership.
+	InitialThreads int
+	// MaxThreads bounds the membership cycle (1..MaxThreads).
+	MaxThreads int
+	// Resizes is how many membership changes to drive.
+	Resizes int
+	// Elems is the live state's global length in doubles.
+	Elems int
+	// Clients is the number of concurrent load clients.
+	Clients int
+	// Compression is the zcodec mask used for state transfer (and the
+	// object's wire compression).
+	Compression uint8
+	// Metrics receives the engine's core.resize.* instruments; one is
+	// created when nil so the report can always read them.
+	Metrics *obs.Registry
+}
+
+// ResizeResult is what the run measured.
+type ResizeResult struct {
+	Resizes     int
+	Epoch       int
+	MovedElems  uint64
+	MovedChunks uint64
+	ClientOps   int
+	Retries     int
+	Failures    int
+	SumOK       bool
+	Elapsed     time.Duration
+	MeanResize  time.Duration
+}
+
+func (r ResizeResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "resize: %d membership changes to epoch %d in %v (mean %v)\n",
+		r.Resizes, r.Epoch, r.Elapsed.Round(time.Millisecond), r.MeanResize.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  moved %d elems in %d chunks\n", r.MovedElems, r.MovedChunks)
+	fmt.Fprintf(&sb, "  clients: %d ops, %d retried, %d failed, state conserved: %v",
+		r.ClientOps, r.Retries, r.Failures, r.SumOK)
+	return sb.String()
+}
+
+// RunResize drives one elastic run per cfg.
+func RunResize(cfg ResizeConfig) (*ResizeResult, error) {
+	if cfg.InitialThreads < 1 {
+		cfg.InitialThreads = 2
+	}
+	if cfg.MaxThreads < 2 {
+		cfg.MaxThreads = 4
+	}
+	if cfg.Resizes < 1 {
+		cfg.Resizes = 8
+	}
+	if cfg.Elems < 1 {
+		cfg.Elems = 1 << 16
+	}
+	if cfg.Clients < 1 {
+		cfg.Clients = 2
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	ns, err := naming.NewServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ns.Close()
+
+	wantSum := float64(cfg.Elems) * float64(cfg.Elems+1) / 2
+	opts := core.ElasticOptions{
+		Export: core.ExportOptions{
+			TypeID:      "IDL:exp/elastic:1.0",
+			Name:        "exp-elastic",
+			NameServer:  ns.Addr(),
+			Compression: cfg.Compression,
+		},
+		World: rts.Options{RecvTimeout: 30 * time.Second},
+		State: []core.StateDesc{core.Float64State("data", cfg.Elems, func(g int) float64 { return float64(g + 1) })},
+		Ops: func(es *core.EpochState) []core.Operation {
+			data := es.Seq("data").(*dseq.Seq[float64])
+			desc := core.OpDesc{Name: "rsum"}
+			return []core.Operation{{
+				Desc:    desc,
+				NewArgs: core.SeqArgsFloat64(desc.Args),
+				Handler: func(call *core.ServerCall) error {
+					local := 0.0
+					for _, v := range data.LocalData() {
+						local += v
+					}
+					total, err := call.Comm.Allreduce(rts.Float64sToBytes([]float64{local}), rts.SumFloat64)
+					if err != nil {
+						return err
+					}
+					vals, err := rts.BytesToFloat64s(total)
+					if err != nil {
+						return err
+					}
+					call.Out.WriteDouble(vals[0])
+					return nil
+				},
+			}}
+		},
+		Metrics: cfg.Metrics,
+	}
+	el, err := core.NewElastic(opts, cfg.InitialThreads)
+	if err != nil {
+		return nil, err
+	}
+	defer el.Close()
+
+	// Concurrent load with the standard rebind-and-retry envelope.
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	ops, retries, failures := 0, 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := rts.NewWorld(1, rts.Options{RecvTimeout: 30 * time.Second})
+			defer w.Close()
+			_ = w.Run(func(c *rts.Comm) error {
+				var b *core.Binding
+				defer func() {
+					if b != nil {
+						b.Close()
+					}
+				}()
+				for {
+					select {
+					case <-stop:
+						return nil
+					default:
+					}
+					if b == nil {
+						nb, err := core.SPMDBind(c, "exp-elastic", ns.Addr(), core.BindOptions{Timeout: 30 * time.Second})
+						if err != nil {
+							if naming.Stale(err) || orb.IsTransient(err) {
+								mu.Lock()
+								retries++
+								mu.Unlock()
+								time.Sleep(time.Millisecond)
+								continue
+							}
+							mu.Lock()
+							failures++
+							mu.Unlock()
+							return err
+						}
+						b = nb
+					}
+					reply, err := b.Invoke("rsum", nil, nil)
+					if err != nil {
+						b.Close()
+						b = nil
+						mu.Lock()
+						if naming.Stale(err) || orb.IsTransient(err) {
+							retries++
+						} else {
+							failures++
+						}
+						mu.Unlock()
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					ok := false
+					if d, err := core.ScalarDecoder(reply); err == nil {
+						if got, err := d.ReadDouble(); err == nil && got == wantSum {
+							ok = true
+						}
+					}
+					mu.Lock()
+					ops++
+					if !ok {
+						failures++
+					}
+					mu.Unlock()
+				}
+			})
+		}()
+	}
+
+	start := time.Now()
+	size := cfg.InitialThreads
+	for i := 0; i < cfg.Resizes; i++ {
+		target := 1 + (size % cfg.MaxThreads) // walk 1..MaxThreads, never the current size
+		if err := el.Resize(target); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, fmt.Errorf("resize %d (%d -> %d): %w", i, size, target, err)
+		}
+		size = target
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	res := &ResizeResult{
+		Resizes:     cfg.Resizes,
+		Epoch:       el.Epoch(),
+		MovedElems:  cfg.Metrics.Counter("core.resize.moved_elems").Value(),
+		MovedChunks: cfg.Metrics.Counter("core.resize.moved_chunks").Value(),
+		Elapsed:     elapsed,
+		MeanResize:  elapsed / time.Duration(cfg.Resizes),
+	}
+	mu.Lock()
+	res.ClientOps, res.Retries, res.Failures = ops, retries, failures
+	mu.Unlock()
+
+	// Final conservation probe through a fresh client.
+	w := rts.NewWorld(1, rts.Options{RecvTimeout: 30 * time.Second})
+	defer w.Close()
+	err = w.Run(func(c *rts.Comm) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			b, err := core.SPMDBind(c, "exp-elastic", ns.Addr(), core.BindOptions{Timeout: 30 * time.Second})
+			if err == nil {
+				reply, err := b.Invoke("rsum", nil, nil)
+				b.Close()
+				if err == nil {
+					d, err := core.ScalarDecoder(reply)
+					if err != nil {
+						return err
+					}
+					got, err := d.ReadDouble()
+					if err != nil {
+						return err
+					}
+					res.SumOK = got == wantSum
+					return nil
+				}
+				if !naming.Stale(err) && !orb.IsTransient(err) {
+					return err
+				}
+			} else if !naming.Stale(err) && !orb.IsTransient(err) {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return fmt.Errorf("conservation probe timed out")
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRunResize(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := RunResize(ResizeConfig{
+		InitialThreads: 2,
+		MaxThreads:     3,
+		Resizes:        4,
+		Elems:          4096,
+		Clients:        2,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 5 {
+		t.Errorf("epoch %d after 4 resizes, want 5", res.Epoch)
+	}
+	if !res.SumOK {
+		t.Error("state not conserved across resizes")
+	}
+	if res.Failures != 0 {
+		t.Errorf("%d client-visible failures", res.Failures)
+	}
+	if res.MovedElems == 0 {
+		t.Error("no elements moved across 4 repartitions")
+	}
+	if v := reg.Counter("core.resize.total").Value(); v != 4 {
+		t.Errorf("core.resize.total = %d, want 4", v)
+	}
+	if s := res.String(); s == "" {
+		t.Error("empty report")
+	}
+}

@@ -53,13 +53,23 @@ const (
 	// PhaseChunkRecv is one streamed-transfer chunk on its way in: the wait
 	// for the frame plus the collective scatter-unmarshal of the range.
 	PhaseChunkRecv
+	// PhaseResizeQuiesce is an elastic membership change draining the old
+	// epoch: admission shed plus the wait for queued collectives to finish.
+	PhaseResizeQuiesce
+	// PhaseResizeMove is the state transfer of a membership change: the old
+	// ranks marshalling their diff-plan moves and the new ranks applying them.
+	PhaseResizeMove
+	// PhaseResizePublish is the republication of a resized object: the new
+	// epoch's reference replacing the old one in the naming domain.
+	PhaseResizePublish
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"bind", "invoke", "gather", "pack", "sendrecv", "scatter", "unpack",
 	"barrier", "future-wait", "admission", "queue", "upcall", "recv-xfer",
-	"send-xfer", "chunk-send", "chunk-recv",
+	"send-xfer", "chunk-send", "chunk-recv", "resize-quiesce", "resize-move",
+	"resize-publish",
 }
 
 func (p Phase) String() string {

@@ -37,6 +37,13 @@ type IOR struct {
 	// first and fail over, profile by profile, through Alternates. Each
 	// replica must accept the same object key.
 	Alternates [][]Endpoint
+	// Epoch is the membership epoch of an elastic SPMD object: every resize
+	// republishes a refreshed reference with the next epoch, and requests
+	// tagged with a stale epoch are refused in a re-resolvable way. 0 marks
+	// a conventional (non-elastic) reference. The field rides at the end of
+	// the encapsulation, so decoders predating it simply ignore the trailing
+	// bytes and older references decode as epoch 0.
+	Epoch int
 }
 
 // Errors reported by reference handling.
@@ -206,6 +213,7 @@ func (r IOR) Encode(e *cdr.Encoder) {
 		for _, alt := range r.Alternates {
 			writeEndpoints(inner, alt)
 		}
+		inner.WriteULong(uint32(r.Epoch))
 	})
 }
 
@@ -285,6 +293,16 @@ func DecodeIOR(d *cdr.Decoder) (IOR, error) {
 		}
 		r.Alternates = append(r.Alternates, alt)
 	}
+	// The membership epoch follows. References written before elastic
+	// membership end here; treat that as epoch 0.
+	epoch, err := inner.ReadULong()
+	if err != nil {
+		return r, nil
+	}
+	if epoch > 1<<30 {
+		return IOR{}, fmt.Errorf("%w: implausible epoch %d", ErrBadIOR, epoch)
+	}
+	r.Epoch = int(epoch)
 	return r, nil
 }
 

@@ -115,6 +115,12 @@ type ServerOptions struct {
 	// remembers it; zero (the default) declines every offer, so all
 	// connections stay raw.
 	Compression uint8
+	// AdminResize exposes the reserved "_pardis_resize" administrative
+	// operation on SPMD objects exported by an elastic engine (see
+	// core.NewElastic): a client invocation of it triggers a membership
+	// resize of the serving group. Off by default — resizing is a
+	// control-plane action, so it must be opted into explicitly.
+	AdminResize bool
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {

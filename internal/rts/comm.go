@@ -40,6 +40,12 @@ func (c *Comm) World() *World { return c.world }
 // Context returns the communication context id (0 for the default context).
 func (c *Comm) Context() int { return c.ctx }
 
+// Epoch returns the membership epoch of the communicator's world. All
+// collectives on this communicator belong to that epoch: a Successor world's
+// mailboxes are disjoint from its predecessor's, so traffic cannot cross an
+// epoch boundary.
+func (c *Comm) Epoch() int { return c.world.opts.Epoch }
+
 func (c *Comm) checkRank(r int) error {
 	if r < 0 || r >= c.world.size {
 		return fmt.Errorf("%w: %d not in [0,%d)", ErrRank, r, c.world.size)

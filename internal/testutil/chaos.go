@@ -1,0 +1,132 @@
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file is the deterministic membership-chaos vocabulary: seeded resize
+// schedules with planned fault injection, a virtual clock for reproducible
+// epoch timelines, and the invariant checkers the chaos and soak suites
+// assert (element conservation, epoch monotonicity). Everything is pure and
+// stdlib-only so schedules replay identically from their seed.
+
+// ChaosStep is one planned membership change: at virtual time Time, resize
+// to Target threads, injecting a fault at phase FaultPhase (-1 for a clean
+// resize). FaultPhase indexes the engine's resize phases; the schedule
+// generator only guarantees it lies in [-1, phases).
+type ChaosStep struct {
+	Time       int64
+	Target     int
+	FaultPhase int
+}
+
+// ChaosSchedule is a seeded, reproducible sequence of membership changes.
+type ChaosSchedule struct {
+	Seed  int64
+	Steps []ChaosStep
+}
+
+// NewChaosSchedule derives a schedule of steps membership changes from seed:
+// targets walk [minSize, maxSize] with consecutive targets always distinct
+// (a resize to the current size is a no-op and would waste the step), fault
+// phases are drawn uniformly from {-1, 0, .., phases-1} with -1 (no fault)
+// twice as likely, and virtual times advance by 1..10 units per step. The
+// same (seed, steps, minSize, maxSize, phases) always yields the same
+// schedule.
+func NewChaosSchedule(seed int64, steps, minSize, maxSize, phases int) ChaosSchedule {
+	if minSize < 1 {
+		minSize = 1
+	}
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := ChaosSchedule{Seed: seed, Steps: make([]ChaosStep, 0, steps)}
+	now := int64(0)
+	prev := 0 // no schedule targets 0 threads, so step 1 is never suppressed
+	for i := 0; i < steps; i++ {
+		target := minSize + rng.Intn(maxSize-minSize+1)
+		if target == prev && maxSize > minSize {
+			// Nudge deterministically to the nearest distinct size. When
+			// min == max only one size exists and the no-op step stands.
+			if target < maxSize {
+				target++
+			} else {
+				target--
+			}
+		}
+		fault := rng.Intn(2*phases) - phases // [-phases, phases)
+		if fault < 0 {
+			fault = -1
+		}
+		now += int64(1 + rng.Intn(10))
+		s.Steps = append(s.Steps, ChaosStep{Time: now, Target: target, FaultPhase: fault})
+		prev = target
+	}
+	return s
+}
+
+// FaultPhases reports which fault phases in [0, phases) the schedule plans,
+// as a set. Chaos suites use it to assert a seed set covers every phase.
+func (s ChaosSchedule) FaultPhases(phases int) map[int]bool {
+	out := make(map[int]bool)
+	for _, st := range s.Steps {
+		if st.FaultPhase >= 0 && st.FaultPhase < phases {
+			out[st.FaultPhase] = true
+		}
+	}
+	return out
+}
+
+// VirtualClock is a manually advanced clock for deterministic schedule
+// replay: tests advance it to each step's time instead of sleeping.
+type VirtualClock struct {
+	now int64
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() int64 { return c.now }
+
+// AdvanceTo moves the clock forward to t; moving backward is an error
+// because a replayed schedule must be monotone.
+func (c *VirtualClock) AdvanceTo(t int64) error {
+	if t < c.now {
+		return fmt.Errorf("testutil: virtual clock moving backward (%d -> %d)", c.now, t)
+	}
+	c.now = t
+	return nil
+}
+
+// Conserved checks element conservation: got must hold exactly the same
+// multiset of values as want (order-insensitive). This is the chaos
+// harness's data-integrity invariant — a resize must neither lose, invent,
+// nor duplicate elements.
+func Conserved(want, got []float64) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("testutil: %d elements, want %d", len(got), len(want))
+	}
+	w := append([]float64(nil), want...)
+	g := append([]float64(nil), got...)
+	sort.Float64s(w)
+	sort.Float64s(g)
+	for i := range w {
+		if w[i] != g[i] {
+			return fmt.Errorf("testutil: multiset mismatch at sorted index %d: %v != %v", i, g[i], w[i])
+		}
+	}
+	return nil
+}
+
+// Monotonic checks that vals is strictly increasing — the chaos harness's
+// epoch invariant: every committed resize must advance the epoch, and no
+// observation may ever see it regress.
+func Monotonic(vals []int) error {
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			return fmt.Errorf("testutil: not strictly increasing at index %d: %d after %d", i, vals[i], vals[i-1])
+		}
+	}
+	return nil
+}

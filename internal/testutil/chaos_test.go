@@ -1,0 +1,148 @@
+package testutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	a := NewChaosSchedule(42, 16, 1, 5, 5)
+	b := NewChaosSchedule(42, 16, 1, 5, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := NewChaosSchedule(43, 16, 1, 5, 5)
+	if reflect.DeepEqual(a.Steps, c.Steps) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestChaosScheduleShape(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := NewChaosSchedule(seed, 12, 1, 4, 5)
+		if len(s.Steps) != 12 {
+			t.Fatalf("seed %d: %d steps, want 12", seed, len(s.Steps))
+		}
+		prevTarget := 0
+		prevTime := int64(0)
+		for i, st := range s.Steps {
+			if st.Target < 1 || st.Target > 4 {
+				t.Fatalf("seed %d step %d: target %d outside [1,4]", seed, i, st.Target)
+			}
+			if st.Target == prevTarget {
+				t.Fatalf("seed %d step %d: consecutive targets both %d", seed, i, st.Target)
+			}
+			if st.FaultPhase < -1 || st.FaultPhase >= 5 {
+				t.Fatalf("seed %d step %d: fault phase %d outside [-1,5)", seed, i, st.FaultPhase)
+			}
+			if st.Time <= prevTime {
+				t.Fatalf("seed %d step %d: time %d not after %d", seed, i, st.Time, prevTime)
+			}
+			prevTarget, prevTime = st.Target, st.Time
+		}
+	}
+}
+
+func TestChaosScheduleDegenerate(t *testing.T) {
+	s := NewChaosSchedule(7, 4, 3, 3, 5)
+	for i, st := range s.Steps {
+		if st.Target != 3 {
+			t.Fatalf("step %d: target %d with min==max==3", i, st.Target)
+		}
+	}
+	// Out-of-range bounds are clamped rather than panicking.
+	s = NewChaosSchedule(7, 2, 0, -1, 5)
+	for i, st := range s.Steps {
+		if st.Target != 1 {
+			t.Fatalf("step %d: target %d after clamping", i, st.Target)
+		}
+	}
+}
+
+func TestChaosScheduleFaultPhases(t *testing.T) {
+	// Across enough seeds every phase must appear; single schedules report
+	// exactly the phases they plan.
+	covered := map[int]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		s := NewChaosSchedule(seed, 8, 1, 4, 5)
+		ph := s.FaultPhases(5)
+		for p := range ph {
+			covered[p] = true
+			found := false
+			for _, st := range s.Steps {
+				if st.FaultPhase == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: FaultPhases reported phantom phase %d", seed, p)
+			}
+		}
+	}
+	for p := 0; p < 5; p++ {
+		if !covered[p] {
+			t.Fatalf("40 seeds never planned a fault at phase %d", p)
+		}
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	var c VirtualClock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %d", c.Now())
+	}
+	if err := c.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdvanceTo(5); err != nil {
+		t.Fatalf("advancing to the current time: %v", err)
+	}
+	if err := c.AdvanceTo(3); err == nil {
+		t.Fatal("moving backward succeeded")
+	}
+	if c.Now() != 5 {
+		t.Fatalf("clock at %d after rejected move, want 5", c.Now())
+	}
+}
+
+func TestConserved(t *testing.T) {
+	if err := Conserved([]float64{1, 2, 3}, []float64{3, 1, 2}); err != nil {
+		t.Fatalf("permutation rejected: %v", err)
+	}
+	if err := Conserved(nil, nil); err != nil {
+		t.Fatalf("empty rejected: %v", err)
+	}
+	if err := Conserved([]float64{1, 2}, []float64{1, 2, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := Conserved([]float64{1, 2, 2}, []float64{1, 1, 2}); err == nil {
+		t.Fatal("multiplicity change accepted")
+	}
+	// Inputs must not be reordered in place.
+	want := []float64{3, 1, 2}
+	got := []float64{2, 3, 1}
+	if err := Conserved(want, got); err != nil {
+		t.Fatal(err)
+	}
+	if want[0] != 3 || got[0] != 2 {
+		t.Fatal("Conserved mutated its inputs")
+	}
+}
+
+func TestMonotonic(t *testing.T) {
+	if err := Monotonic([]int{1, 2, 5}); err != nil {
+		t.Fatalf("increasing rejected: %v", err)
+	}
+	if err := Monotonic(nil); err != nil {
+		t.Fatalf("empty rejected: %v", err)
+	}
+	if err := Monotonic([]int{1}); err != nil {
+		t.Fatalf("singleton rejected: %v", err)
+	}
+	if err := Monotonic([]int{1, 2, 2}); err == nil {
+		t.Fatal("plateau accepted")
+	}
+	if err := Monotonic([]int{3, 2}); err == nil {
+		t.Fatal("decrease accepted")
+	}
+}
