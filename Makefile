@@ -26,14 +26,18 @@ SHARDTIMEOUT ?= 120s
 # schedules spanning every resize phase, plus the 200-cycle soak, under
 # -race).
 RESIZETIMEOUT ?= 300s
+# comp-smoke bounds the adaptive-compression gate (mixed-version envelope
+# interop matrix, sub-block property tests, deterministic Auto-policy flip),
+# all under -race.
+COMPTIMEOUT ?= 120s
 # Floor for the elastic resize paths (internal/core/elastic.go): the resize
 # state machine's correctness is proven almost entirely by the chaos
 # harness, so untested branches there are unguarded rollback paths.
 RESIZE_COVER_FLOOR ?= 75
 
-.PHONY: check vet staticcheck build test race chaos swarm-smoke shard-smoke resize-smoke fuzz-smoke bench bench-compare cover
+.PHONY: check vet staticcheck build test race chaos swarm-smoke shard-smoke resize-smoke comp-smoke fuzz-smoke bench bench-compare cover
 
-check: vet staticcheck build test race chaos swarm-smoke shard-smoke resize-smoke fuzz-smoke cover bench-compare
+check: vet staticcheck build test race chaos swarm-smoke shard-smoke resize-smoke comp-smoke fuzz-smoke cover bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -89,6 +93,17 @@ resize-smoke:
 	$(GO) test -race -timeout=$(RESIZETIMEOUT) \
 		-run='TestResizeChaos|TestResizeSoak|TestElastic|TestObjectResize|TestDiff|TestChaosSchedule|TestVirtualClock|TestConserved|TestMonotonic|TestRunResize' \
 		./internal/core ./internal/dist ./internal/testutil ./internal/exp
+
+# Adaptive-compression gate: the mixed-version interop matrix (old
+# single-block envelopes on either side of a sub-block-capable peer, with
+# the capability bit stripped in negotiation), the sub-block
+# parallel-equals-serial property tests, the byte-aware fallback gate, and
+# the deterministic Auto-policy flip (compress → raw with both sides
+# counting the skip), under -race.
+comp-smoke:
+	$(GO) test -race -timeout=$(COMPTIMEOUT) \
+		-run='TestCompression|TestCompressed|TestSubBlock|TestByteAware|TestCompressionWins|TestParseMode|TestWriteBandwidth' \
+		./internal/core ./internal/dseq ./internal/zcodec ./internal/transport
 
 # Each fuzz target gets a short bounded run; `go test` allows only one
 # -fuzz pattern per invocation, hence one line per target.

@@ -5,8 +5,9 @@
 //
 // It is the perf-regression gate in `make bench-compare`: every change beyond
 // the warn tolerance is reported, but only a throughput (MB/s, inv/s)
-// regression beyond the hard tolerance fails the run. Allocation growth and
-// ns/op drift warn without failing, because alloc counts legitimately move
+// regression beyond the hard tolerance fails the run. Allocation growth,
+// compression_ratio drift, and ns/op drift warn without failing, because
+// alloc counts and codec ratios legitimately move
 // when benchmarks change shape and wall-clock numbers are noisy on shared
 // machines; throughput collapse is the signal this gate exists to catch.
 // Benchmarks present on only one side are listed informationally, so renames
@@ -39,8 +40,17 @@ type Doc struct {
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // throughputUnits are higher-is-better rates whose regression is the hard
-// failure condition.
+// failure condition. inv/s rides the same gate (and the same warn band) as
+// MB/s: both are end-to-end rates, so a collapse in either is the
+// regression this gate exists to catch.
 var throughputUnits = []string{"MB/s", "inv/s"}
+
+// driftUnits are higher-is-better quality metrics tracked warn-only: a
+// compression_ratio drop means the codecs stopped earning their keep (or an
+// adaptive variant stopped engaging), which deserves eyes but legitimately
+// moves when workloads or thresholds change — unlike a throughput collapse
+// it never fails the run on its own.
+var driftUnits = []string{"compression_ratio"}
 
 func load(path string) (map[string]Result, []string, error) {
 	raw, err := os.ReadFile(path)
@@ -110,6 +120,21 @@ func main() {
 					name, unit, bv, cv, pct(delta), 100**hardTol)
 			case -delta > *warnTol:
 				fmt.Printf("warn: %s: %s %.2f -> %.2f (%s)\n", name, unit, bv, cv, pct(delta))
+			case delta > *warnTol:
+				fmt.Printf("info: %s: %s %.2f -> %.2f (%s, improvement)\n", name, unit, bv, cv, pct(delta))
+			}
+		}
+		for _, unit := range driftUnits {
+			bv, bok := b.Metrics[unit]
+			cv, cok := c.Metrics[unit]
+			if !bok || !cok || bv <= 0 {
+				continue
+			}
+			delta := (cv - bv) / bv
+			switch {
+			case -delta > *warnTol:
+				fmt.Printf("warn: %s: %s %.2f -> %.2f (%s, drift only — never fails the gate)\n",
+					name, unit, bv, cv, pct(delta))
 			case delta > *warnTol:
 				fmt.Printf("info: %s: %s %.2f -> %.2f (%s, improvement)\n", name, unit, bv, cv, pct(delta))
 			}

@@ -66,11 +66,11 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metrics := flag.Bool("metrics", false, "(real mode) print a JSON metrics snapshot after the run")
 	spandump := flag.String("spandump", "", "(real mode) write per-invocation trace spans to this file")
-	compress := flag.String("compress", "off", "(real mode) wire compression codecs to negotiate: off, delta, xor, all, auto")
+	compress := flag.String("compress", "off", "(real mode) wire compression: off, delta, xor, all, always (codecs applied unconditionally), or auto (codecs negotiated, per-leg adaptive decision)")
 	bandwidth := flag.Int("bandwidth", 0, "(real mode) throttle the client link to this many bytes/sec each way (0 = raw loopback)")
 	flag.Parse()
 
-	compMask, err := zcodec.ParseMask(*compress)
+	compMask, compPolicy, err := zcodec.ParseMode(*compress)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func main() {
 		return
 	}
 	if *real {
-		runReal(*c, *s, *elems, *reps, *metrics, *spandump, compMask, *bandwidth)
+		runReal(*c, *s, *elems, *reps, *metrics, *spandump, compMask, compPolicy, *bandwidth)
 		return
 	}
 	p := exp.PaperPlatform()
@@ -165,10 +165,10 @@ func main() {
 	}
 }
 
-func runReal(c, s, elems, reps int, metrics bool, spandump string, compMask uint8, bandwidth int) {
+func runReal(c, s, elems, reps int, metrics bool, spandump string, compMask uint8, compPolicy zcodec.Policy, bandwidth int) {
 	fmt.Printf("real stack over loopback: c=%d s=%d, %d doubles, %d reps", c, s, elems, reps)
 	if compMask != 0 {
-		fmt.Printf(", compression %s", zcodec.MaskString(compMask))
+		fmt.Printf(", compression %s (%s)", zcodec.MaskString(compMask), compPolicy)
 	}
 	if bandwidth > 0 {
 		fmt.Printf(", link %d B/s", bandwidth)
@@ -190,7 +190,7 @@ func runReal(c, s, elems, reps int, metrics bool, spandump string, compMask uint
 		bd, err := exp.RunReal(exp.RealConfig{
 			C: c, S: s, Elems: elems, Reps: reps, Method: m,
 			Trace: rec, Metrics: reg,
-			Compression: compMask, BandwidthBps: bandwidth,
+			Compression: compMask, Policy: compPolicy, BandwidthBps: bandwidth,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -206,8 +206,10 @@ func runReal(c, s, elems, reps int, metrics bool, spandump string, compMask uint
 	fmt.Printf("  speedup %.2fx\n", central.Total/multi.Total)
 	if compMask != 0 {
 		if rawOut, wireOut, _, _ := zcodec.Stats(); wireOut > 0 {
-			fmt.Printf("  compression  %s: %d raw B -> %d wire B (%.2fx)\n",
-				zcodec.MaskString(compMask), rawOut, wireOut, float64(rawOut)/float64(wireOut))
+			fmt.Printf("  compression  %s (%s): %d raw B -> %d wire B (%.2fx)\n",
+				zcodec.MaskString(compMask), compPolicy, rawOut, wireOut, float64(rawOut)/float64(wireOut))
+		} else if compPolicy == zcodec.PolicyAuto {
+			fmt.Println("  compression  negotiated but skipped by the adaptive policy (wire outran the codecs)")
 		} else {
 			fmt.Println("  compression  negotiated but never engaged (transfers below streaming threshold?)")
 		}

@@ -1,0 +1,13 @@
+package core
+
+import "repro/internal/zcodec"
+
+// compressionWins is the Auto-policy decision function: given the
+// connection's measured wire bandwidth (bytes/sec, 0 when unmeasured),
+// report whether compressing the next transfer leg is expected to net
+// out faster than sending raw. It is a package variable so the
+// deterministic flip test can substitute a pure threshold function;
+// production always uses zcodec.CompressionWins, which combines the
+// process-wide encode-throughput/ratio ledger with the per-connection
+// EWMA.
+var compressionWins = zcodec.CompressionWins

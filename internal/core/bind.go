@@ -80,6 +80,15 @@ type BindOptions struct {
 	// transfer raw, transparently. Zero disables the offer entirely and the
 	// engine's raw path is untouched.
 	Compression uint8
+	// CompressionPolicy selects how the negotiated mask is applied per
+	// transfer leg. PolicyAuto (the zero default) consults the adaptive
+	// estimator — compress only when the observed encode throughput and
+	// ratio beat the connection's measured wire bandwidth — so a binding
+	// on a fast loopback skips the codec it would want on a thin WAN
+	// link. PolicyAlways compresses whenever a codec is negotiated (the
+	// pre-adaptive behavior); PolicyNever is equivalent to Compression
+	// == 0.
+	CompressionPolicy zcodec.Policy
 	// ShareConnection lets this binding share one multiplexed client engine
 	// — and therefore one connection per endpoint — with every other
 	// ShareConnection binding in the process whose client-relevant options
@@ -117,9 +126,19 @@ var sharedClients = orb.NewClientPool()
 // pointer: distinct instances mean distinct wiring even when the contents
 // happen to match.
 func (o BindOptions) clientKey() string {
-	return fmt.Sprintf("to=%v tr=%p retry=%v ka=%v/%v bk=%v rec=%p met=%p sh=%v cp=%02x",
+	return fmt.Sprintf("to=%v tr=%p retry=%v ka=%v/%v bk=%v rec=%p met=%p sh=%v cp=%02x/%d",
 		o.Timeout, o.Transport, o.Retry, o.KeepaliveInterval, o.KeepaliveTimeout,
-		o.Breaker, o.Trace, o.Metrics, o.Sharding, o.Compression)
+		o.Breaker, o.Trace, o.Metrics, o.Sharding, o.effComp(), o.CompressionPolicy)
+}
+
+// effComp is the compression mask this binding actually offers:
+// the configured mask clipped to this build's codecs, or nothing at
+// all under PolicyNever (which must suppress even the handshake offer).
+func (o BindOptions) effComp() uint8 {
+	if o.CompressionPolicy == zcodec.PolicyNever {
+		return 0
+	}
+	return o.Compression & zcodec.Supported
 }
 
 // maxPipelineDepth bounds the lane fan-out so a typo'd depth cannot allocate
@@ -147,7 +166,7 @@ func (o BindOptions) newClient() *orb.Client {
 	cli.KeepaliveTimeout = o.KeepaliveTimeout
 	cli.Breaker = o.Breaker
 	cli.Shard = orb.ShardPolicy{VirtualNodes: o.Sharding.VirtualNodes}
-	cli.Compression = o.Compression & zcodec.Supported
+	cli.Compression = o.effComp()
 	return cli
 }
 
@@ -186,8 +205,13 @@ type Binding struct {
 
 	// comp is the binding's offered compression mask (BindOptions.Compression
 	// clipped to this build's codecs); 0 keeps every transfer raw and skips
-	// the per-invocation mask agreement entirely.
-	comp uint8
+	// the per-invocation mask agreement entirely. policy is the per-leg
+	// application rule (Auto/Always; Never already zeroed comp), and
+	// compSkipped counts request legs where the Auto estimator chose to
+	// send raw despite a negotiated codec (nil when metrics are off).
+	comp        uint8
+	policy      zcodec.Policy
+	compSkipped *obs.Counter
 
 	// sharding is the binding's shard-routing configuration (see
 	// BindOptions.Sharding); InvokeSharded consults it at rank 0.
@@ -393,12 +417,14 @@ func SPMDBindRef(comm *rts.Comm, ref orb.IOR, opts ...BindOptions) (*Binding, er
 		rec:        o.Trace,
 		lanes:      lanes,
 		chunkElems: ce,
-		comp:       o.Compression & zcodec.Supported,
+		comp:       o.effComp(),
+		policy:     o.CompressionPolicy,
 		sharding:   o.Sharding,
 		refEpoch:   uint32(ref.Epoch),
 	}
 	if o.Metrics != nil {
 		b.inflight = o.Metrics.Gauge("core.pipeline_inflight")
+		b.compSkipped = o.Metrics.Counter("core.compress.skipped_total")
 	}
 	if o.Method == Multiport && !ref.Multiport() {
 		b.Close()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dseq"
@@ -56,13 +57,15 @@ func TestCompressedStreamedRoundTrip(t *testing.T) {
 			zcodec.ResetStats()
 			tc := startCluster(t, cfg.s, false, nil, func(o *ExportOptions) {
 				o.Compression = zcodec.MaskAll
+				o.CompressionPolicy = zcodec.PolicyAlways
 			})
 			rec := obs.NewRecorder(256)
 			opts := BindOptions{
 				Method: Centralized, Timeout: testTimeout,
-				StreamChunkElems: 128,
-				Compression:      zcodec.MaskAll,
-				Trace:            rec,
+				StreamChunkElems:  128,
+				Compression:       zcodec.MaskAll,
+				CompressionPolicy: zcodec.PolicyAlways,
+				Trace:             rec,
 			}
 			tc.runClientOpts(t, cfg.c, opts, func(c *rts.Comm, b *Binding) error {
 				return invokeScaleSmooth(c, b, 1024, 3)
@@ -98,11 +101,17 @@ func TestCompressedStreamedRoundTrip(t *testing.T) {
 }
 
 // TestCompressedChunkAllocs bounds the marginal allocation cost of each
-// extra chunk when compression is negotiated. The compressed path buys its
-// byte savings with one encode buffer per chunk (plus codec state), so its
-// budget sits above the raw path's — but it must stay fixed, not grow with
-// traffic. The raw path's own budget is pinned by TestStreamedChunkAllocs
-// and is unaffected by compression existing in the binary.
+// extra chunk when compression is negotiated — which is also the pipelined
+// encode-ahead path: with a codec engaged both legs route their frames
+// through the bounded send worker, so this budget pins that path's
+// per-chunk cost too (the worker itself is one goroutine and one channel
+// per invocation, amortized away by the per-chunk delta). The compressed
+// path buys its byte savings with one encode buffer per chunk (plus codec
+// state), so its budget sits above the raw path's — but it must stay
+// fixed, not grow with traffic. The raw path's own budget is pinned by
+// TestStreamedChunkAllocs and is unaffected by compression existing in
+// the binary (no codec negotiated means no worker and the exact serial
+// send loop).
 func TestCompressedChunkAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation measurement in -short mode")
@@ -115,11 +124,13 @@ func TestCompressedChunkAllocs(t *testing.T) {
 	)
 	tc := startCluster(t, 1, false, nil, func(o *ExportOptions) {
 		o.Compression = zcodec.MaskAll
+		o.CompressionPolicy = zcodec.PolicyAlways
 	})
 	opts := BindOptions{
 		Method: Centralized, Timeout: testTimeout,
-		StreamChunkElems: chunk,
-		Compression:      zcodec.MaskAll,
+		StreamChunkElems:  chunk,
+		Compression:       zcodec.MaskAll,
+		CompressionPolicy: zcodec.PolicyAlways,
 	}
 	tc.runClientOpts(t, 1, opts, func(c *rts.Comm, b *Binding) error {
 		measure := func(elems int) (float64, error) {
@@ -162,17 +173,28 @@ func TestCompressedChunkAllocs(t *testing.T) {
 	})
 }
 
-// TestCompressionInterop is the mixed-version matrix: a peer that never
-// negotiates compression (Compression zero — the pre-compression wire
-// behavior) on either side of one that offers it. Every pairing must
-// complete on the raw path with the zcodec encoders never engaged.
+// TestCompressionInterop is the mixed-version matrix. The raw pairings put
+// a peer that never negotiates compression (Compression zero — the
+// pre-compression wire behavior) on either side of one that offers it:
+// every such pairing must complete on the raw path with the zcodec
+// encoders never engaged. The sub-block pairings put a peer that only
+// speaks single-block envelopes (MaskAll — a pre-sub-block build) on
+// either side of one offering the sub-block capability bit: negotiation
+// must strip the bit, the transfer must still compress, and the data must
+// round trip exactly. Chunks are sized past the sub-block threshold so a
+// faulty negotiation would actually emit the new envelope at an old peer.
 func TestCompressionInterop(t *testing.T) {
 	cases := []struct {
 		name           string
 		server, client uint8
+		chunk, elems   int
+		compressed     bool
 	}{
-		{"client-offers-server-declines", 0, zcodec.MaskAll},
-		{"server-accepts-client-silent", zcodec.MaskAll, 0},
+		{"client-offers-server-declines", 0, zcodec.MaskAll, 128, 1024, false},
+		{"server-accepts-client-silent", zcodec.MaskAll, 0, 128, 1024, false},
+		{"subblock-client-old-server", zcodec.MaskAll, zcodec.Supported, 8192, 16384, true},
+		{"subblock-server-old-client", zcodec.Supported, zcodec.MaskAll, 8192, 16384, true},
+		{"subblock-both", zcodec.Supported, zcodec.Supported, 8192, 16384, true},
 	}
 	for _, tt := range cases {
 		tt := tt
@@ -180,18 +202,75 @@ func TestCompressionInterop(t *testing.T) {
 			zcodec.ResetStats()
 			tc := startCluster(t, 2, false, nil, func(o *ExportOptions) {
 				o.Compression = tt.server
+				o.CompressionPolicy = zcodec.PolicyAlways
 			})
 			opts := BindOptions{
 				Method: Centralized, Timeout: testTimeout,
-				StreamChunkElems: 128,
-				Compression:      tt.client,
+				StreamChunkElems:  tt.chunk,
+				Compression:       tt.client,
+				CompressionPolicy: zcodec.PolicyAlways,
 			}
 			tc.runClientOpts(t, 2, opts, func(c *rts.Comm, b *Binding) error {
-				return invokeScaleSmooth(c, b, 1024, 2)
+				return invokeScaleSmooth(c, b, tt.elems, 2)
 			})
-			if rawOut, wireOut, _, _ := zcodec.Stats(); rawOut != 0 || wireOut != 0 {
+			rawOut, wireOut, _, _ := zcodec.Stats()
+			if tt.compressed {
+				if rawOut == 0 || wireOut == 0 || wireOut >= rawOut {
+					t.Errorf("%s: compression not engaged (raw %d wire %d)", tt.name, rawOut, wireOut)
+				}
+			} else if rawOut != 0 || wireOut != 0 {
 				t.Errorf("%s: zcodec encoders engaged (raw %d wire %d), want raw path", tt.name, rawOut, wireOut)
 			}
 		})
+	}
+}
+
+// TestCompressionAutoFlip drives the Auto policy end to end through the
+// compressionWins seam: a deterministic stand-in estimator approves the
+// first invocation's two leg decisions (client request mask, server reply
+// mask) and vetoes everything after. The first invocation must compress,
+// the second must run fully raw, and both sides must count the skip in
+// core.compress.skipped_total.
+func TestCompressionAutoFlip(t *testing.T) {
+	zcodec.ResetStats()
+	var calls atomic.Int64
+	orig := compressionWins
+	compressionWins = func(float64) bool { return calls.Add(1) <= 2 }
+	defer func() { compressionWins = orig }()
+
+	srvReg := obs.NewRegistry()
+	cliReg := obs.NewRegistry()
+	tc := startCluster(t, 1, false, nil, func(o *ExportOptions) {
+		o.Compression = zcodec.MaskAll
+		o.Server.Metrics = srvReg
+	})
+	opts := BindOptions{
+		Method: Centralized, Timeout: testTimeout,
+		StreamChunkElems: 128,
+		Compression:      zcodec.MaskAll,
+		Metrics:          cliReg,
+	}
+	tc.runClientOpts(t, 1, opts, func(c *rts.Comm, b *Binding) error {
+		if err := invokeScaleSmooth(c, b, 1024, 3); err != nil {
+			return err
+		}
+		rawOut, wireOut, _, _ := zcodec.Stats()
+		if rawOut == 0 || wireOut == 0 {
+			return fmt.Errorf("approved invocation did not compress (raw %d wire %d)", rawOut, wireOut)
+		}
+		zcodec.ResetStats()
+		if err := invokeScaleSmooth(c, b, 1024, 3); err != nil {
+			return err
+		}
+		if rawOut, wireOut, _, _ := zcodec.Stats(); rawOut != 0 || wireOut != 0 {
+			return fmt.Errorf("vetoed invocation still compressed (raw %d wire %d)", rawOut, wireOut)
+		}
+		return nil
+	})
+	if got := cliReg.Counter("core.compress.skipped_total").Value(); got != 1 {
+		t.Errorf("client skipped counter = %d, want 1", got)
+	}
+	if got := srvReg.Counter("core.compress.skipped_total").Value(); got != 1 {
+		t.Errorf("server skipped counter = %d, want 1", got)
 	}
 }

@@ -99,6 +99,13 @@ type ExportOptions struct {
 	// compress their chunks with the connection's negotiated mask. Zero
 	// declines every offer and keeps all transfers raw.
 	Compression uint8
+	// CompressionPolicy selects how reply legs apply the negotiated mask:
+	// PolicyAuto (the zero default) lets the adaptive estimator send raw
+	// when the client's connection is faster than the codec, PolicyAlways
+	// compresses whenever a codec was negotiated, and PolicyNever declines
+	// every handshake offer (equivalent to Compression == 0). Merged into
+	// Server.CompressionPolicy when that field is left at its zero value.
+	CompressionPolicy zcodec.Policy
 	// Epoch is the membership epoch of an elastic export (set by the elastic
 	// engine; leave 0 for conventional exports). A non-zero epoch is suffixed
 	// into the object key — so a stale client whose request reaches a reused
@@ -119,6 +126,9 @@ type Object struct {
 	srv  *orb.Server // nil on threads without a listener
 	ref  orb.IOR
 	rec  *obs.Recorder
+	// compSkipped counts reply legs where the Auto estimator chose raw
+	// despite a negotiated codec (nil-safe no-op without Server.Metrics).
+	compSkipped *obs.Counter
 
 	// rank 0 only: requests from the object adapter awaiting the
 	// collective loop.
@@ -231,6 +241,15 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 	// here lets callers set either knob.
 	opts.Compression &= zcodec.Supported
 	opts.Server.Compression = (opts.Server.Compression | opts.Compression) & zcodec.Supported
+	if opts.Server.CompressionPolicy == zcodec.PolicyAuto {
+		opts.Server.CompressionPolicy = opts.CompressionPolicy
+	}
+	if opts.Server.CompressionPolicy == zcodec.PolicyNever {
+		// Never means never: don't even accept offers, so the handshake
+		// resolves to raw and the reply leg skips mask agreement entirely.
+		opts.Compression = 0
+		opts.Server.Compression = 0
+	}
 	o := &Object{
 		comm:    engine,
 		opts:    opts,
@@ -239,6 +258,7 @@ func Export(comm *rts.Comm, opts ExportOptions, operations []Operation) (*Object
 		stop:    make(chan struct{}),
 		rec:     opts.Trace,
 	}
+	o.compSkipped = opts.Server.Metrics.Counter("core.compress.skipped_total")
 	for i := range operations {
 		op := &operations[i]
 		if _, dup := o.ops[op.Desc.Name]; dup {

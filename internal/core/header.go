@@ -24,9 +24,9 @@ type invocationHeader struct {
 	// object is not elastic. A non-zero epoch shifts the wire method code
 	// into the epoch-tagged range so untagged peers reject the header cleanly
 	// instead of misreading the epoch field.
-	Epoch       uint32
-	Scalars     []byte // opaque marshalled non-distributed arguments
-	Args        []headerArg
+	Epoch   uint32
+	Scalars []byte // opaque marshalled non-distributed arguments
+	Args    []headerArg
 }
 
 // wireMethodStreamed is the on-the-wire method code for a streamed

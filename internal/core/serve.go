@@ -12,6 +12,7 @@ import (
 	"repro/internal/orb"
 	"repro/internal/transport"
 	"repro/internal/wire"
+	"repro/internal/zcodec"
 )
 
 // Directive kinds broadcast from the communicating thread to the others.
@@ -492,6 +493,14 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 				codecs, _ := c.Compression()
 				mask = codecs
 			}
+			// Under Auto the estimator can veto the negotiated codec for
+			// this reply leg: on a connection we can write faster than we
+			// can encode, raw wins. Decided once here, then broadcast, so
+			// the collective marshal schedule stays deterministic.
+			if mask != 0 && o.opts.Server.CompressionPolicy == zcodec.PolicyAuto && !compressionWins(conn.WriteBandwidth()) {
+				mask = 0
+				o.compSkipped.Inc()
+			}
 			// A missing attachment resolves to raw here; the send loop's own
 			// conn fetch reports the failure through the usual error path.
 			mb = []byte{mask}
@@ -505,12 +514,39 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 		}
 	}
 
+	// With a codec engaged, thread 0 hands finished frames to a bounded
+	// send worker so chunk k+1 is gathered and encoded while chunk k is
+	// still being written — the server-side mirror of the client's
+	// pipelined request leg. A single worker draining a FIFO channel keeps
+	// frames in schedule order; raw replies keep the exact serial send.
+	var (
+		sendCh   chan *wire.Data
+		sendDone chan struct{}
+		sendErr  error // owned by the worker until sendDone is closed
+	)
+	if me == 0 && mask != 0 && conn != nil {
+		sendCh = make(chan *wire.Data, encodeAheadDepth)
+		sendDone = make(chan struct{})
+		go func() {
+			defer close(sendDone)
+			for msg := range sendCh {
+				if err := conn.WriteMessage(msg); err != nil && sendErr == nil {
+					sendErr = err
+				}
+			}
+		}()
+	}
+
 	for i, a := range h.Args {
 		if a.Dir == In {
 			continue
 		}
 		st, ok := args[i].(dseq.StreamTransferable)
 		if !ok {
+			if sendCh != nil {
+				close(sendCh)
+				<-sendDone
+			}
 			return &orb.SystemException{RepoID: orb.RepoMarshal, Message: fmt.Sprintf("arg %d does not support streamed transfers", i)}
 		}
 		l := args[i].Len()
@@ -554,7 +590,9 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 					DstOff: uint64(start), Count: uint64(n), Reply: true,
 					Flags: chunkFlagsZ(k == nchunks-1, payload), Payload: payload,
 				}
-				if err := conn.WriteMessage(msg); err != nil {
+				if sendCh != nil {
+					sendCh <- msg
+				} else if err := conn.WriteMessage(msg); err != nil {
 					connDown = true
 					if firstErr == nil {
 						firstErr = err
@@ -562,6 +600,13 @@ func (o *Object) sendStreamed(bucket *dataBucket, h *invocationHeader, args []ds
 				}
 			}
 			o.spanCodec(h.Token, obs.PhaseChunkSend, chunkStart, mask)
+		}
+	}
+	if sendCh != nil {
+		close(sendCh)
+		<-sendDone
+		if firstErr == nil {
+			firstErr = sendErr
 		}
 	}
 	if firstErr != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/orb"
 	"repro/internal/rts"
 	"repro/internal/wire"
+	"repro/internal/zcodec"
 )
 
 // Streamed centralized transfers: instead of gathering a whole argument at
@@ -24,6 +25,12 @@ import (
 // BindOptions.StreamChunkElems is zero. 8192 doubles (64 KiB payloads) sit
 // comfortably above the per-message overhead and below the frame limit.
 const DefaultStreamChunkElems = 8192
+
+// encodeAheadDepth bounds how many encoded chunks the pipelined send
+// worker may hold ahead of the wire. Depth 2 is enough to overlap the
+// encode of chunk k+1 with the write of chunk k without letting a slow
+// link pile up compressed frames (and their memory) unboundedly.
+const encodeAheadDepth = 2
 
 // maxStreamChunks bounds the total number of chunks in one direction of one
 // invocation; the chunk size is raised until the schedule fits. The bound
@@ -104,7 +111,17 @@ func (b *Binding) streamMask(comm *rts.Comm) (uint8, error) {
 		if wait <= 0 || wait > 5*time.Second {
 			wait = 5 * time.Second
 		}
-		mb = []byte{b.client.NegotiatedCompression(b.ref, wait) & b.comp}
+		m := b.client.NegotiatedCompression(b.ref, wait) & b.comp
+		// Under Auto the estimator can veto a negotiated codec for this
+		// invocation: on a link faster than we can encode, raw wins. The
+		// decision is made once, at the same single point the mask is
+		// resolved, and broadcast — so the collective schedule stays
+		// deterministic across threads.
+		if m != 0 && b.policy == zcodec.PolicyAuto && !compressionWins(b.client.WireBandwidth(b.ref)) {
+			m = 0
+			b.compSkipped.Inc()
+		}
+		mb = []byte{m}
 	}
 	mb, err := comm.Bcast(0, mb)
 	if err != nil {
@@ -275,9 +292,33 @@ func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op str
 	// thread it stops issuing gathers (the peers fail their next collective
 	// and stop too); thread 0 keeps the wire schedule alive with fail
 	// markers so the server's receive loop stays aligned.
+	//
+	// With a codec engaged, thread 0 additionally hands finished frames to
+	// a bounded send worker: chunk k+1 is gathered and encoded while chunk
+	// k is still being written to the wire. The worker is a single
+	// goroutine draining a FIFO channel, so frames hit the wire in schedule
+	// order; the raw path keeps the exact serial send (and its alloc
+	// profile) because no codec means nothing to overlap.
 	gatherTotal := time.Duration(0)
 	var streamErr error // this thread's first failure
 	gatherDown := false
+	var (
+		sendCh   chan *wire.Data
+		sendDone chan struct{}
+		sendErr  error // owned by the worker until sendDone is closed
+	)
+	if me == 0 && mask != 0 {
+		sendCh = make(chan *wire.Data, encodeAheadDepth)
+		sendDone = make(chan struct{})
+		go func() {
+			defer close(sendDone)
+			for d := range sendCh {
+				if err := b.client.SendData(b.ref, d); err != nil && sendErr == nil {
+					sendErr = &orb.SystemException{RepoID: orb.RepoComm, Message: err.Error()}
+				}
+			}
+		}()
+	}
 	for i, a := range args {
 		if a.Dir == Out {
 			continue
@@ -313,13 +354,22 @@ func (b *Binding) invokeCentralizedStreamed(comm *rts.Comm, token uint32, op str
 				DstOff: uint64(start), Count: uint64(n),
 				Flags: chunkFlagsZ(k == nchunks-1, payload), Payload: payload,
 			}
-			if err := b.client.SendData(b.ref, d); err != nil && streamErr == nil {
+			if sendCh != nil {
+				sendCh <- d
+			} else if err := b.client.SendData(b.ref, d); err != nil && streamErr == nil {
 				// Wire failures surface in the control path's error taxonomy
 				// (COMM_FAILURE), not as raw transport errors, so callers can
 				// classify a dead peer the same way on every transfer path.
 				streamErr = &orb.SystemException{RepoID: orb.RepoComm, Message: err.Error()}
 			}
 			b.spanCodec(token, obs.PhaseChunkSend, chunkStart, mask)
+		}
+	}
+	if sendCh != nil {
+		close(sendCh)
+		<-sendDone
+		if streamErr == nil {
+			streamErr = sendErr
 		}
 	}
 	if timing != nil {

@@ -1,0 +1,219 @@
+package dseq
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/zcodec"
+)
+
+// subBlockStreams builds the float64 shapes the property test sweeps:
+// smooth ramps, random walks, plain noise, and runs of the bit
+// patterns that historically break XOR codecs (NaN, ±Inf, denormals).
+func subBlockStreams(n int) map[string][]float64 {
+	r := rand.New(rand.NewSource(42))
+	ramp := make([]float64, n)
+	noise := make([]float64, n)
+	walk := make([]float64, n)
+	specials := make([]float64, n)
+	v := 0.0
+	for i := 0; i < n; i++ {
+		ramp[i] = float64(i) * 0.5
+		noise[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(40)-20))
+		v += r.Float64() - 0.5
+		walk[i] = v
+		switch r.Intn(6) {
+		case 0:
+			specials[i] = math.NaN()
+		case 1:
+			specials[i] = math.Inf(1 - 2*r.Intn(2))
+		case 2:
+			specials[i] = math.SmallestNonzeroFloat64 * float64(1+r.Intn(100)) // denormal
+		case 3:
+			specials[i] = math.Copysign(0, -1)
+		default:
+			specials[i] = r.NormFloat64()
+		}
+	}
+	return map[string][]float64{"ramp": ramp, "noise": noise, "walk": walk, "specials": specials}
+}
+
+// TestSubBlockMatchesSerial is the sub-block soundness property: the
+// parallel 0x03 envelope must decode to exactly the values (bit for
+// bit) that the serial single-block envelope does, across random
+// float64 streams including NaN/±Inf/denormal runs.
+func TestSubBlockMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // ensure the split actually engages
+	defer runtime.GOMAXPROCS(prev)
+	for _, n := range []int{2 * subBlockMinElems, 3*subBlockMinElems + 17, 1 << 16} {
+		for name, vals := range subBlockStreams(n) {
+			sub := MarshalChunkZ(Float64, vals, zcodec.MaskAll|zcodec.MaskSubBlock)
+			serial := MarshalChunkZ(Float64, vals, zcodec.MaskAll)
+			if name == "ramp" {
+				// Noisy shapes may legitimately fall back to raw; the
+				// smooth ramp must compress under both framings.
+				if sub[0] != compMarkerSub {
+					t.Fatalf("%s/%d: sub-block mask produced marker %#x, want 0x03", name, n, sub[0])
+				}
+				if serial[0] != compMarker {
+					t.Fatalf("%s/%d: serial mask produced marker %#x, want 0x02", name, n, serial[0])
+				}
+			}
+			fromSub, err := UnmarshalChunk(Float64, sub)
+			if err != nil {
+				t.Fatalf("%s/%d: decode sub: %v", name, n, err)
+			}
+			fromSerial, err := UnmarshalChunk(Float64, serial)
+			if err != nil {
+				t.Fatalf("%s/%d: decode serial: %v", name, n, err)
+			}
+			if len(fromSub) != n || len(fromSerial) != n {
+				t.Fatalf("%s/%d: lengths %d/%d", name, n, len(fromSub), len(fromSerial))
+			}
+			for i := range vals {
+				want := math.Float64bits(vals[i])
+				if math.Float64bits(fromSub[i]) != want || math.Float64bits(fromSerial[i]) != want {
+					t.Fatalf("%s/%d: [%d] sub=%x serial=%x want %x",
+						name, n, i, math.Float64bits(fromSub[i]), math.Float64bits(fromSerial[i]), want)
+				}
+			}
+			into := make([]float64, n)
+			if k, err := UnmarshalChunkInto(Float64, sub, into); err != nil || k != n {
+				t.Fatalf("%s/%d: UnmarshalChunkInto = %d, %v", name, n, k, err)
+			}
+			for i := range vals {
+				if math.Float64bits(into[i]) != math.Float64bits(vals[i]) {
+					t.Fatalf("%s/%d: into[%d] mismatch", name, n, i)
+				}
+			}
+			if id, count, err := CompressedChunkInfo(sub); name == "ramp" &&
+				(err != nil || id != zcodec.XOR || count != n) {
+				t.Fatalf("%s/%d: CompressedChunkInfo = (%v, %d, %v)", name, n, id, count, err)
+			}
+		}
+	}
+}
+
+// TestSubBlockMaskGating pins the interop rule: without the negotiated
+// MaskSubBlock capability a large chunk still travels as a single-block
+// 0x02 envelope that PR 8-era receivers decode.
+func TestSubBlockMaskGating(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	vals := make([]float64, 2*subBlockMinElems)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if p := MarshalChunkZ(Float64, vals, zcodec.MaskAll); p[0] != compMarker {
+		t.Fatalf("codec-only mask produced marker %#x, want single-block 0x02", p[0])
+	}
+	if p := MarshalChunkZ(Float64, vals, zcodec.MaskAll|zcodec.MaskSubBlock); p[0] != compMarkerSub {
+		t.Fatalf("sub-capable mask produced marker %#x, want 0x03", p[0])
+	}
+	// Below two sub-blocks' worth of elements the split must decline.
+	small := vals[:2*subBlockMinElems-1]
+	if p := MarshalChunkZ(Float64, small, zcodec.MaskAll|zcodec.MaskSubBlock); p[0] != compMarker {
+		t.Fatalf("undersized chunk produced marker %#x, want 0x02", p[0])
+	}
+}
+
+// TestByteAwareGate pins the compMinBytes rule for tiny mixed-type
+// chunks: 16 int32s is 64 B of payload and must stay raw, while the
+// same element count of float64 (128 B) clears the bar.
+func TestByteAwareGate(t *testing.T) {
+	i32 := make([]int32, 16)
+	f64 := make([]float64, 16)
+	for i := 0; i < 16; i++ {
+		i32[i] = int32(i)
+		f64[i] = float64(i)
+	}
+	if p := MarshalChunkZ(Int32, i32, zcodec.Supported); IsCompressedChunk(p) {
+		t.Fatal("16 int32s (64 B) compressed; byte-aware gate should keep them raw")
+	}
+	if p := MarshalChunkZ(Float64, f64, zcodec.Supported); !IsCompressedChunk(p) {
+		t.Fatal("16 float64s (128 B) stayed raw; gate regressed past the old threshold")
+	}
+	i32big := make([]int32, 32)
+	for i := range i32big {
+		i32big[i] = int32(i)
+	}
+	if p := MarshalChunkZ(Int32, i32big, zcodec.Supported); !IsCompressedChunk(p) {
+		t.Fatal("32 int32s (128 B) stayed raw")
+	}
+	// Types without a block codec always travel raw no matter the mask.
+	strs := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p", "q"}
+	if p := MarshalChunkZ(String, strs, zcodec.Supported); IsCompressedChunk(p) {
+		t.Fatal("string chunk compressed")
+	}
+}
+
+// TestSubBlockRejectsCorruption walks corrupted and truncated 0x03
+// envelopes through the decoders: every mutation must error or decode
+// to a value set, never panic, and structural damage to the frame
+// table must be detected.
+func TestSubBlockRejectsCorruption(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	vals := make([]float64, 2*subBlockMinElems)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	p := MarshalChunkZ(Float64, vals, zcodec.MaskAll|zcodec.MaskSubBlock)
+	if p[0] != compMarkerSub {
+		t.Fatalf("marker %#x, want 0x03", p[0])
+	}
+	dst := make([]float64, len(vals))
+	for cut := 1; cut < len(p); cut += 97 {
+		if _, err := UnmarshalChunkInto(Float64, p[:cut], dst); err == nil && cut < len(p) {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+	// Trailing garbage after the last block must be rejected.
+	if _, err := UnmarshalChunkInto(Float64, append(append([]byte(nil), p...), 0xAA), dst); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// Wrong codec octet must be rejected before any block decodes.
+	bad := append([]byte(nil), p...)
+	bad[1] = byte(zcodec.Delta)
+	if _, err := UnmarshalChunkInto(Float64, bad, dst); err == nil {
+		t.Fatal("mismatched codec accepted")
+	}
+	// Random bit flips: errors are fine, panics are not.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		b := append([]byte(nil), p...)
+		for f := 0; f < 1+r.Intn(4); f++ {
+			b[r.Intn(len(b))] ^= byte(1 << r.Intn(8))
+		}
+		UnmarshalChunkInto(Float64, b, dst) //nolint:errcheck — must not panic
+	}
+	// A destination too small for the declared totals must error.
+	if _, err := UnmarshalChunkInto(Float64, p, dst[:len(vals)-1]); err == nil {
+		t.Fatal("oversized chunk accepted into short destination")
+	}
+}
+
+// TestSubBlockInt64 covers the delta codec through the sub-block path.
+func TestSubBlockInt64(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	vals := make([]int64, 3*subBlockMinElems)
+	for i := range vals {
+		vals[i] = int64(i) * 7
+	}
+	p := MarshalChunkZ(Int64, vals, zcodec.Supported)
+	if p[0] != compMarkerSub {
+		t.Fatalf("marker %#x, want 0x03", p[0])
+	}
+	got, err := UnmarshalChunk(Int64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("[%d] %d != %d", i, got[i], vals[i])
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/orb"
 	"repro/internal/rts"
 	"repro/internal/transport"
+	"repro/internal/zcodec"
 )
 
 // RealConfig describes one real-stack measurement: a c-thread SPMD client
@@ -35,6 +36,13 @@ type RealConfig struct {
 	// Zero measures the raw wire. Compression engages on centralized
 	// streamed transfers; the multi-port method ignores it.
 	Compression uint8
+	// Policy is the per-leg compression policy both sides apply
+	// (BindOptions.CompressionPolicy / ExportOptions.CompressionPolicy).
+	// The zero value is PolicyAuto: the unmeasured warmup invocation seeds
+	// the bandwidth and encode-throughput estimators, and the measured
+	// reps then compress only where the estimator says it nets out. Use
+	// PolicyAlways to measure the codec unconditionally.
+	Policy zcodec.Policy
 	// BandwidthBps, when positive, throttles every client-side connection
 	// to that many bytes per second in each direction — a simulated
 	// low-bandwidth link where compression's byte savings become
@@ -70,13 +78,14 @@ func RunReal(cfg RealConfig) (Breakdown, error) {
 	go func() {
 		serverErr <- serverW.Run(func(c *rts.Comm) error {
 			obj, err := core.Export(c, core.ExportOptions{
-				TypeID:      "IDL:pardis/bench:1.0",
-				Multiport:   true,
-				Name:        "bench",
-				NameServer:  ns.Addr(),
-				Trace:       cfg.Trace,
-				Compression: cfg.Compression,
-				Server:      orb.ServerOptions{Metrics: cfg.Metrics},
+				TypeID:            "IDL:pardis/bench:1.0",
+				Multiport:         true,
+				Name:              "bench",
+				NameServer:        ns.Addr(),
+				Trace:             cfg.Trace,
+				Compression:       cfg.Compression,
+				CompressionPolicy: cfg.Policy,
+				Server:            orb.ServerOptions{Metrics: cfg.Metrics},
 			}, []core.Operation{{
 				Desc:    xferDesc,
 				NewArgs: core.SeqArgsFloat64(xferDesc.Args),
@@ -116,7 +125,8 @@ func RunReal(cfg RealConfig) (Breakdown, error) {
 		opts := core.BindOptions{
 			Method: cfg.Method, Timeout: timeout,
 			Trace: cfg.Trace, Metrics: cfg.Metrics,
-			Compression: cfg.Compression,
+			Compression:       cfg.Compression,
+			CompressionPolicy: cfg.Policy,
 		}
 		if cfg.BandwidthBps > 0 {
 			opts.Transport = &transport.Options{Wrap: func(rw io.ReadWriteCloser) io.ReadWriteCloser {

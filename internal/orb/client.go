@@ -861,6 +861,24 @@ func (c *Client) NegotiatedCompression(ref IOR, wait time.Duration) uint8 {
 	return codecs
 }
 
+// WireBandwidth returns the estimated effective write bandwidth
+// (bytes/sec) of the connection serving ref's communicating thread, or
+// 0 when the connection is missing or has no measurable Data write
+// yet. The adaptive compression policy feeds it to the per-leg
+// decision; like NegotiatedCompression it dials if needed, so the
+// answer always describes the connection a transfer would actually use.
+func (c *Client) WireBandwidth(ref IOR) float64 {
+	ep, err := ref.EndpointFor(0)
+	if err != nil {
+		return 0
+	}
+	cc, err := c.conn(ep.Addr())
+	if err != nil {
+		return 0
+	}
+	return cc.conn.WriteBandwidth()
+}
+
 // SendData ships one multi-port argument transfer to the endpoint serving
 // the destination computing thread.
 func (c *Client) SendData(ref IOR, d *wire.Data) error {

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestWriteBandwidthEWMA(t *testing.T) {
+	c := &Conn{}
+	if c.WriteBandwidth() != 0 {
+		t.Fatal("fresh conn reports nonzero bandwidth")
+	}
+	// Samples below the size floor or without elapsed time must not count.
+	c.noteWrite(bwMinSampleBytes-1, time.Second)
+	c.noteWrite(1<<20, 0)
+	if c.WriteBandwidth() != 0 {
+		t.Fatal("undersized/zero-duration samples moved the estimate")
+	}
+	// First sample seeds the EWMA directly: 1 MiB in 10ms = 100 MiB/s.
+	c.noteWrite(1<<20, 10*time.Millisecond)
+	first := c.WriteBandwidth()
+	want := float64(1<<20) / 0.010
+	if math.Abs(first-want) > want*1e-9 {
+		t.Fatalf("first sample = %.0f B/s, want %.0f", first, want)
+	}
+	// A second, slower sample blends in at bwAlpha.
+	c.noteWrite(1<<20, 100*time.Millisecond)
+	slow := float64(1<<20) / 0.100
+	wantBlend := first + bwAlpha*(slow-first)
+	if got := c.WriteBandwidth(); math.Abs(got-wantBlend) > wantBlend*1e-9 {
+		t.Fatalf("blended estimate = %.0f B/s, want %.0f", got, wantBlend)
+	}
+}
+
+func TestWriteBandwidthMeasuredOnDataWrites(t *testing.T) {
+	a, b := Pipe(nil)
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, 64<<10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			m, err := b.ReadMessage()
+			if err != nil {
+				return
+			}
+			if d, ok := m.(*wire.Data); ok {
+				d.Release()
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		if err := a.WriteMessage(&wire.Data{RequestID: uint32(i), Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if a.WriteBandwidth() <= 0 {
+		t.Fatal("Data writes produced no bandwidth estimate")
+	}
+	// The reader never writes: its estimate must remain unset.
+	if b.WriteBandwidth() != 0 {
+		t.Fatal("read-only side acquired a bandwidth estimate")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -129,6 +130,44 @@ type Conn struct {
 	// Conn because both orb endpoints and the core data plane need the
 	// same per-connection answer.
 	comp atomic.Uint32
+
+	// wbw is an EWMA of this connection's effective write bandwidth in
+	// bytes/sec (float64 bits), fed by Data writes large enough to
+	// measure. Zero until the first sample. The adaptive compression
+	// policy reads it to decide whether a codec can outrun the link.
+	wbw atomic.Uint64
+}
+
+// Write-bandwidth estimator tuning: samples below bwMinSampleBytes are
+// dominated by fixed per-write costs and are skipped; bwAlpha is the
+// EWMA smoothing factor (higher adapts faster, noisier).
+const (
+	bwMinSampleBytes = 4096
+	bwAlpha          = 0.25
+)
+
+// noteWrite folds one timed Data write into the bandwidth EWMA.
+func (c *Conn) noteWrite(n int, dur time.Duration) {
+	if n < bwMinSampleBytes || dur <= 0 {
+		return
+	}
+	bps := float64(n) / dur.Seconds()
+	for {
+		old := c.wbw.Load()
+		est := bps
+		if prev := math.Float64frombits(old); prev > 0 {
+			est = prev + bwAlpha*(bps-prev)
+		}
+		if c.wbw.CompareAndSwap(old, math.Float64bits(est)) {
+			return
+		}
+	}
+}
+
+// WriteBandwidth returns the estimated effective write bandwidth of
+// this connection in bytes/sec, or 0 before any measurable Data write.
+func (c *Conn) WriteBandwidth() float64 {
+	return math.Float64frombits(c.wbw.Load())
 }
 
 // SetCompression records the negotiated codec bitmask and level for this
@@ -417,6 +456,10 @@ func (c *Conn) writeData(d *wire.Data) error {
 	if d.Chunked() {
 		xflags = wire.FlagStreamChunk
 	}
+	// Time the write for the bandwidth EWMA: from here to the final flush
+	// is the serialized wire work, including any stall the stream imposes
+	// (a throttled link back-pressures right here).
+	t0 := time.Now()
 	if !c.vectored {
 		// Non-TCP streams (pipes, fault-injection wrappers) get the staged
 		// path: append the payload to the scratch body and frame it through
@@ -424,6 +467,9 @@ func (c *Conn) writeData(d *wire.Data) error {
 		e.WriteRaw(d.Payload)
 		err := c.writeFrames(wire.MsgData, e.Bytes(), trace, xflags)
 		c.dropHugeScratch()
+		if err == nil {
+			c.noteWrite(total, time.Since(t0))
+		}
 		return err
 	}
 	// bw is empty between messages (every write path flushes before
@@ -473,6 +519,9 @@ func (c *Conn) writeData(d *wire.Data) error {
 		c.vec[i] = nil
 	}
 	c.vec = c.vec[:0]
+	if err == nil {
+		c.noteWrite(total, time.Since(t0))
+	}
 	return err
 }
 

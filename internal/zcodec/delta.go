@@ -1,6 +1,9 @@
 package zcodec
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"time"
+)
 
 // Zig-zag varint delta-of-delta codec for integer blocks.
 //
@@ -14,6 +17,7 @@ import "encoding/binary"
 
 // AppendInt64s appends the encoded block for vals to dst.
 func AppendInt64s(dst []byte, vals []int64) []byte {
+	t0 := time.Now()
 	start := len(dst)
 	dst = binary.AppendUvarint(dst, uint64(len(vals)))
 	var prev, prevDelta int64
@@ -31,12 +35,13 @@ func AppendInt64s(dst []byte, vals []int64) []byte {
 		}
 		prev = v
 	}
-	statEncode(8*len(vals), len(dst)-start)
+	statEncode(8*len(vals), len(dst)-start, time.Since(t0))
 	return dst
 }
 
 // AppendInt32s appends the encoded block for vals to dst.
 func AppendInt32s(dst []byte, vals []int32) []byte {
+	t0 := time.Now()
 	start := len(dst)
 	dst = binary.AppendUvarint(dst, uint64(len(vals)))
 	var prev, prevDelta int64
@@ -54,13 +59,14 @@ func AppendInt32s(dst []byte, vals []int32) []byte {
 		}
 		prev = int64(v)
 	}
-	statEncode(4*len(vals), len(dst)-start)
+	statEncode(4*len(vals), len(dst)-start, time.Since(t0))
 	return dst
 }
 
 // DecodeInt64sInto decodes a block produced by AppendInt64s into dst,
 // whose length must equal the encoded element count.
 func DecodeInt64sInto(dst []int64, src []byte) error {
+	t0 := time.Now()
 	n, rest, err := intHeader(src, MaxBlockElems)
 	if err != nil {
 		return err
@@ -72,13 +78,14 @@ func DecodeInt64sInto(dst []int64, src []byte) error {
 	if err != nil {
 		return err
 	}
-	statDecode(8*len(dst), len(src)-len(rest)+used)
+	statDecode(8*len(dst), len(src)-len(rest)+used, time.Since(t0))
 	return nil
 }
 
 // DecodeInt64s decodes a block produced by AppendInt64s, allocating
 // the result, with maxElems bounding the accepted count.
 func DecodeInt64s(src []byte, maxElems int) ([]int64, error) {
+	t0 := time.Now()
 	n, rest, err := intHeader(src, maxElems)
 	if err != nil {
 		return nil, err
@@ -88,13 +95,14 @@ func DecodeInt64s(src []byte, maxElems int) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	statDecode(8*n, len(src)-len(rest)+used)
+	statDecode(8*n, len(src)-len(rest)+used, time.Since(t0))
 	return dst, nil
 }
 
 // DecodeInt32sInto decodes a block produced by AppendInt32s into dst,
 // whose length must equal the encoded element count.
 func DecodeInt32sInto(dst []int32, src []byte) error {
+	t0 := time.Now()
 	n, rest, err := intHeader(src, MaxBlockElems)
 	if err != nil {
 		return err
@@ -106,13 +114,14 @@ func DecodeInt32sInto(dst []int32, src []byte) error {
 	if err != nil {
 		return err
 	}
-	statDecode(4*len(dst), len(src)-len(rest)+used)
+	statDecode(4*len(dst), len(src)-len(rest)+used, time.Since(t0))
 	return nil
 }
 
 // DecodeInt32s decodes a block produced by AppendInt32s, allocating
 // the result, with maxElems bounding the accepted count.
 func DecodeInt32s(src []byte, maxElems int) ([]int32, error) {
+	t0 := time.Now()
 	n, rest, err := intHeader(src, maxElems)
 	if err != nil {
 		return nil, err
@@ -122,7 +131,7 @@ func DecodeInt32s(src []byte, maxElems int) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	statDecode(4*n, len(src)-len(rest)+used)
+	statDecode(4*n, len(src)-len(rest)+used, time.Since(t0))
 	return dst, nil
 }
 

@@ -1,9 +1,25 @@
 package zcodec
 
 import (
+	"encoding/binary"
 	"math"
 	"testing"
 )
+
+// subEnvelopeSeed hand-rolls a dseq sub-block chunk envelope
+// ([0x03][codec][uvarint nsub][nsub × uvarint len + block]) around the
+// given encoded blocks. The envelope container lives in dseq, but its
+// bytes reaching a bare block decoder is exactly the garbage-tolerance
+// case the fuzzers guard, so the corpora seed it here.
+func subEnvelopeSeed(codec ID, blocks ...[]byte) []byte {
+	out := []byte{0x03, byte(codec)}
+	out = binary.AppendUvarint(out, uint64(len(blocks)))
+	for _, b := range blocks {
+		out = binary.AppendUvarint(out, uint64(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
 
 // FuzzDecodeDoubles drives the XOR decoder with arbitrary bytes: it
 // must reject garbage with an error, never panic, and re-encode any
@@ -15,6 +31,10 @@ func FuzzDecodeDoubles(f *testing.F) {
 	f.Add(AppendDoubles(nil, []float64{0, math.Inf(1), math.NaN(), -1e300}))
 	f.Add(AppendDoubles(nil, []float64{3.25}))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(subEnvelopeSeed(XOR,
+		AppendDoubles(nil, []float64{1, 2, 3, 4}),
+		AppendDoubles(nil, []float64{5, 6, 7, 8})))
+	f.Add(subEnvelopeSeed(XOR, AppendDoubles(nil, []float64{math.NaN(), math.Inf(-1)})))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		vals, err := DecodeDoubles(data, 1<<16)
 		if err != nil {
@@ -45,6 +65,10 @@ func FuzzDecodeInts(f *testing.F) {
 	f.Add(AppendInt64s(nil, []int64{math.MaxInt64, math.MinInt64, 0}))
 	f.Add(AppendInt32s(nil, []int32{-7, 7, 1 << 30}))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(subEnvelopeSeed(Delta,
+		AppendInt64s(nil, []int64{1, 2, 3}),
+		AppendInt64s(nil, []int64{4, 5, 6})))
+	f.Add(subEnvelopeSeed(Delta, AppendInt32s(nil, []int32{-1, 0, 1})))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if _, err := DecodeInt32s(data, 1<<16); err != nil {
 			_ = err

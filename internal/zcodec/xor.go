@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"math/bits"
+	"time"
 )
 
 // Gorilla-style XOR codec for float64 blocks.
@@ -23,6 +24,7 @@ import (
 // AppendDoubles appends the encoded block for vals to dst and returns
 // the extended slice. It allocates only if dst lacks capacity.
 func AppendDoubles(dst []byte, vals []float64) []byte {
+	t0 := time.Now()
 	start := len(dst)
 	dst = binary.AppendUvarint(dst, uint64(len(vals)))
 	if len(vals) == 0 {
@@ -59,7 +61,7 @@ func AppendDoubles(dst []byte, vals []float64) []byte {
 		w.write(x>>t, s)
 	}
 	out := w.finish()
-	statEncode(8*len(vals), len(out)-start)
+	statEncode(8*len(vals), len(out)-start, time.Since(t0))
 	return out
 }
 
@@ -103,9 +105,10 @@ func decodeDoublesHeader(src []byte, maxElems int) (int, error) {
 }
 
 func decodeDoublesBody(dst []float64, src []byte) error {
+	t0 := time.Now()
 	_, k := binary.Uvarint(src)
 	if len(dst) == 0 {
-		statDecode(0, k)
+		statDecode(0, k, time.Since(t0))
 		return nil
 	}
 	r := bitReader{buf: src[k:]}
@@ -154,6 +157,6 @@ func decodeDoublesBody(dst []float64, src []byte) error {
 		prev ^= m << (64 - lead - sig)
 		dst[i] = math.Float64frombits(prev)
 	}
-	statDecode(8*len(dst), k+r.pos)
+	statDecode(8*len(dst), k+r.pos, time.Since(t0))
 	return nil
 }

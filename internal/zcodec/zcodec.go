@@ -48,15 +48,26 @@ func (id ID) String() string {
 
 // Codec-support bitmask, as advertised in the Ping/Pong handshake
 // extension. One bit per codec so the intersection of two offers is a
-// single AND.
+// single AND. High bits are capability flags negotiated the same way:
+// MaskSubBlock advertises that the peer's decoder understands the
+// parallel sub-block chunk envelope (marker 0x03). A peer that predates
+// sub-blocks simply never offers the bit, the AND strips it, and the
+// sender falls back to single-block 0x02 envelopes — structural
+// backward compatibility with no version handshake.
 const (
-	MaskDelta uint8 = 1 << 0
-	MaskXOR   uint8 = 1 << 1
-	MaskAll         = MaskDelta | MaskXOR
+	MaskDelta    uint8 = 1 << 0
+	MaskXOR      uint8 = 1 << 1
+	MaskAll            = MaskDelta | MaskXOR
+	MaskSubBlock uint8 = 1 << 6
+
+	// MaskCodecs selects the codec bits of a mask, excluding
+	// capability flags.
+	MaskCodecs = MaskAll
 )
 
-// Supported is the mask this build advertises.
-const Supported = MaskAll
+// Supported is the mask this build advertises: every codec plus the
+// sub-block envelope capability.
+const Supported = MaskAll | MaskSubBlock
 
 // HasCodec reports whether mask admits the given codec.
 func HasCodec(mask uint8, id ID) bool {
@@ -71,17 +82,19 @@ func HasCodec(mask uint8, id ID) bool {
 }
 
 // ParseMask parses a user-facing codec selection ("off", "delta",
-// "xor", "all"/"auto") into a support mask.
+// "xor", "all"/"auto") into a support mask. Codec selections other
+// than "off" include the sub-block capability bit; negotiation strips
+// it against peers that lack it.
 func ParseMask(s string) (uint8, error) {
 	switch s {
 	case "", "off", "none":
 		return 0, nil
 	case "delta":
-		return MaskDelta, nil
+		return MaskDelta | MaskSubBlock, nil
 	case "xor":
-		return MaskXOR, nil
-	case "all", "auto":
-		return MaskAll, nil
+		return MaskXOR | MaskSubBlock, nil
+	case "all", "auto", "always":
+		return Supported, nil
 	default:
 		return 0, fmt.Errorf("zcodec: unknown codec %q (want off, delta, xor, or all)", s)
 	}
@@ -89,17 +102,74 @@ func ParseMask(s string) (uint8, error) {
 
 // MaskString renders a support mask for logs and wiredump output.
 func MaskString(mask uint8) string {
-	switch mask {
-	case 0:
+	if mask == 0 {
 		return "off"
-	case MaskDelta:
-		return "delta"
-	case MaskXOR:
-		return "xor"
-	case MaskAll:
-		return "all"
-	default:
+	}
+	if mask&^(MaskCodecs|MaskSubBlock) != 0 {
 		return fmt.Sprintf("mask(0x%02x)", mask)
+	}
+	var s string
+	switch mask & MaskCodecs {
+	case MaskDelta:
+		s = "delta"
+	case MaskXOR:
+		s = "xor"
+	case MaskAll:
+		s = "all"
+	default: // capability bits with no codec
+		return fmt.Sprintf("mask(0x%02x)", mask)
+	}
+	if mask&MaskSubBlock != 0 {
+		s += "+sub"
+	}
+	return s
+}
+
+// Policy selects how a negotiated codec mask is applied per transfer
+// leg. The zero value is Auto.
+type Policy uint8
+
+const (
+	// PolicyAuto compresses only when the bandwidth/throughput
+	// estimator predicts a net win (see CompressionWins).
+	PolicyAuto Policy = iota
+	// PolicyAlways compresses whenever a codec is negotiated.
+	PolicyAlways
+	// PolicyNever disables compression entirely: no codecs are
+	// offered or accepted.
+	PolicyNever
+)
+
+// String returns the policy's user-facing name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAuto:
+		return "auto"
+	case PolicyAlways:
+		return "always"
+	case PolicyNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParseMode parses a user-facing compression mode into a (mask,
+// policy) pair: "off" disables, codec names ("delta", "xor", "all")
+// pin PolicyAlways — preserving the pre-adaptive meaning of selecting
+// a codec — and "auto" enables every codec under the adaptive policy.
+func ParseMode(s string) (uint8, Policy, error) {
+	mask, err := ParseMask(s)
+	if err != nil {
+		return 0, PolicyAuto, err
+	}
+	switch {
+	case mask == 0:
+		return 0, PolicyNever, nil
+	case s == "auto":
+		return mask, PolicyAuto, nil
+	default:
+		return mask, PolicyAlways, nil
 	}
 }
 

@@ -235,7 +235,8 @@ func TestAppendDoublesNoAllocWithCapacity(t *testing.T) {
 func TestParseMask(t *testing.T) {
 	for s, want := range map[string]uint8{
 		"": 0, "off": 0, "none": 0,
-		"delta": MaskDelta, "xor": MaskXOR, "all": MaskAll, "auto": MaskAll,
+		"delta": MaskDelta | MaskSubBlock, "xor": MaskXOR | MaskSubBlock,
+		"all": Supported, "auto": Supported, "always": Supported,
 	} {
 		got, err := ParseMask(s)
 		if err != nil || got != want {
@@ -248,10 +249,96 @@ func TestParseMask(t *testing.T) {
 	if MaskString(MaskXOR) != "xor" || MaskString(0) != "off" || MaskString(MaskAll) != "all" {
 		t.Fatal("MaskString mismatch")
 	}
+	if MaskString(Supported) != "all+sub" || MaskString(MaskDelta|MaskSubBlock) != "delta+sub" {
+		t.Fatalf("MaskString sub-block mismatch: %q, %q", MaskString(Supported), MaskString(MaskDelta|MaskSubBlock))
+	}
+	if MaskString(0x80) != "mask(0x80)" || MaskString(MaskAll|0x80) != "mask(0x83)" {
+		t.Fatal("MaskString unknown-bit mismatch")
+	}
 	if XOR.String() != "xor" || Delta.String() != "delta" || None.String() != "none" {
 		t.Fatal("ID.String mismatch")
 	}
 	if !HasCodec(MaskAll, XOR) || !HasCodec(MaskAll, Delta) || HasCodec(MaskDelta, XOR) || HasCodec(MaskAll, None) {
 		t.Fatal("HasCodec mismatch")
+	}
+	if HasCodec(MaskSubBlock, XOR) || HasCodec(MaskSubBlock, Delta) {
+		t.Fatal("capability bit must not admit a codec")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		mask uint8
+		pol  Policy
+	}{
+		{"off", 0, PolicyNever},
+		{"", 0, PolicyNever},
+		{"delta", MaskDelta | MaskSubBlock, PolicyAlways},
+		{"xor", MaskXOR | MaskSubBlock, PolicyAlways},
+		{"all", Supported, PolicyAlways},
+		{"always", Supported, PolicyAlways},
+		{"auto", Supported, PolicyAuto},
+	} {
+		mask, pol, err := ParseMode(tc.in)
+		if err != nil || mask != tc.mask || pol != tc.pol {
+			t.Fatalf("ParseMode(%q) = (%#x, %v, %v); want (%#x, %v)", tc.in, mask, pol, err, tc.mask, tc.pol)
+		}
+	}
+	if _, _, err := ParseMode("zstd"); err == nil {
+		t.Fatal("ParseMode accepted unknown mode")
+	}
+	if PolicyAuto.String() != "auto" || PolicyAlways.String() != "always" || PolicyNever.String() != "never" {
+		t.Fatal("Policy.String mismatch")
+	}
+}
+
+func TestCompressionWins(t *testing.T) {
+	const MBps = float64(1 << 20)
+	for _, tc := range []struct {
+		name                string
+		ratio, encBps, wire float64
+		want                bool
+	}{
+		{"cold-encoder", 0, 0, 10000 * MBps, true},
+		{"cold-wire", 4.6, 800 * MBps, 0, true},
+		{"incompressible", 1.02, 800 * MBps, 1 * MBps, false},
+		{"slow-link", 4.6, 800 * MBps, 64 * MBps, true},
+		{"fast-loopback", 4.6, 800 * MBps, 8000 * MBps, false},
+		{"marginal", 4.6, 90 * MBps, 64 * MBps, false},
+	} {
+		if got := compressionWins(tc.ratio, tc.encBps, tc.wire); got != tc.want {
+			t.Errorf("%s: compressionWins(%.2f, %.0f, %.0f) = %v, want %v",
+				tc.name, tc.ratio, tc.encBps, tc.wire, got, tc.want)
+		}
+	}
+}
+
+func TestEncodeThroughputLedger(t *testing.T) {
+	ResetStats()
+	defer ResetStats()
+	if EncodeThroughput() != 0 {
+		t.Fatal("throughput nonzero before any encode")
+	}
+	vals := make([]float64, 1<<14)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	enc := AppendDoubles(nil, vals)
+	if EncodeThroughput() <= 0 {
+		t.Fatal("throughput not recorded after encode")
+	}
+	if _, err := DecodeDoubles(enc, MaxBlockElems); err != nil {
+		t.Fatal(err)
+	}
+	if decNanos.Load() <= 0 {
+		t.Fatal("decode nanoseconds not recorded")
+	}
+	// CompressionWins must route through the live ledgers without error
+	// in both warm and cold states.
+	_ = CompressionWins(1 << 30)
+	ResetStats()
+	if !CompressionWins(1 << 30) {
+		t.Fatal("cold ledger must decide optimistically")
 	}
 }
